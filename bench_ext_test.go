@@ -1,0 +1,294 @@
+// Extension benchmarks: the database-system substrates layered on the
+// analysis core — persistent storage engine, CQL query engine, search
+// index, cuisine classifier and HTTP API. Kept separate from
+// bench_test.go, which covers the paper's tables and figures.
+package culinary
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"culinary/internal/classify"
+	"culinary/internal/flavor"
+	"culinary/internal/query"
+	"culinary/internal/recipedb"
+	"culinary/internal/recommend"
+	"culinary/internal/search"
+	"culinary/internal/server"
+	"culinary/internal/storage"
+)
+
+// BenchmarkStoragePut measures appending fresh keys to the log.
+func BenchmarkStoragePut(b *testing.B) {
+	db, err := storage.Open(b.TempDir(), storage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	val := bytes.Repeat([]byte("v"), 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(fmt.Sprintf("key%09d", i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorageGet measures random point reads through the keydir.
+func BenchmarkStorageGet(b *testing.B) {
+	db, err := storage.Open(b.TempDir(), storage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const n = 4096
+	val := bytes.Repeat([]byte("v"), 128)
+	for i := 0; i < n; i++ {
+		if err := db.Put(fmt.Sprintf("key%09d", i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get(fmt.Sprintf("key%09d", i%n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorageSnapshot measures persisting and reloading the corpus
+// through the storage engine — the server's -db startup path.
+func BenchmarkStorageSnapshot(b *testing.B) {
+	b.Run("Save", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db, err := storage.Open(b.TempDir(), storage.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := storage.SaveCorpus(db, benchEnv.Store); err != nil {
+				b.Fatal(err)
+			}
+			db.Close()
+		}
+	})
+	b.Run("Load", func(b *testing.B) {
+		db, err := storage.Open(b.TempDir(), storage.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		if err := storage.SaveCorpus(db, benchEnv.Store); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			store, err := storage.LoadCorpus(db, benchEnv.Catalog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if store.Len() != benchEnv.Store.Len() {
+				b.Fatal("size mismatch")
+			}
+		}
+	})
+}
+
+// BenchmarkQueryEngine measures representative CQL statements,
+// including the region-index fast path vs the full scan.
+func BenchmarkQueryEngine(b *testing.B) {
+	engine := query.NewEngine(benchEnv.Store, benchEnv.Analyzer)
+	cases := map[string]string{
+		"FullScanFilter":  "SELECT name FROM recipes WHERE size >= 12",
+		"RegionIndexScan": "SELECT name FROM recipes WHERE region = 'ITA' AND size >= 12",
+		"GroupByRegion":   "SELECT region, count(*), avg(size) FROM recipes GROUP BY region",
+		"HasIngredient":   "SELECT count(*) FROM recipes WHERE has('garlic')",
+		"OrderByLimit":    "SELECT name, size FROM recipes ORDER BY size DESC LIMIT 10",
+	}
+	for name, stmt := range cases {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIngredientIndex compares the planner's posting-list
+// scan for has() against the equivalent full scan (the planner cannot
+// use the index when has() sits under NOT(NOT ...)).
+func BenchmarkAblationIngredientIndex(b *testing.B) {
+	engine := query.NewEngine(benchEnv.Store, benchEnv.Analyzer)
+	b.Run("PostingList", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Run("SELECT count(*) FROM recipes WHERE has('saffron')"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("FullScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Run("SELECT count(*) FROM recipes WHERE NOT (NOT has('saffron'))"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQueryParse isolates parsing from execution.
+func BenchmarkQueryParse(b *testing.B) {
+	const stmt = "SELECT region, count(*), avg(size) FROM recipes WHERE (size >= 4 AND has('garlic')) OR category('Spice') > 2 GROUP BY region ORDER BY count(*) DESC LIMIT 5"
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearch measures index construction and querying.
+func BenchmarkSearch(b *testing.B) {
+	idx := search.Build(benchEnv.Store)
+	b.Run("Build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if search.Build(benchEnv.Store).DocCount() == 0 {
+				b.Fatal("empty index")
+			}
+		}
+	})
+	b.Run("QueryAny", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.Search("tomato garlic basil", search.Options{Limit: 10})
+		}
+	})
+	b.Run("QueryAll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.Search("tomato garlic", search.Options{Mode: search.ModeAll, Limit: 10})
+		}
+	})
+	b.Run("QueryFuzzy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.Search("tomatto garlik", search.Options{Fuzzy: true, Limit: 10})
+		}
+	})
+}
+
+// BenchmarkClassify measures training and prediction of the cuisine
+// classifier.
+func BenchmarkClassify(b *testing.B) {
+	train, test, err := classify.Split(benchEnv.Store, 0.2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Train", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := classify.New()
+			if err := c.Train(benchEnv.Store, train); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	c := classify.New()
+	if err := c.Train(benchEnv.Store, train); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Predict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := benchEnv.Store.Recipe(test[i%len(test)])
+			if _, err := c.PredictRegion(rec.Ingredients); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Fingerprints", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if fp := classify.Fingerprints(benchEnv.Store, 3); len(fp) == 0 {
+				b.Fatal("no fingerprints")
+			}
+		}
+	})
+}
+
+// BenchmarkRecommend measures recipe completion and ingredient
+// substitution — the food-design kernels.
+func BenchmarkRecommend(b *testing.B) {
+	r := recommend.New(benchEnv.Analyzer, benchEnv.Store)
+	tomato, ok := benchEnv.Catalog.Lookup("tomato")
+	if !ok {
+		b.Fatal("no tomato")
+	}
+	garlic, _ := benchEnv.Catalog.Lookup("garlic")
+	basil, _ := benchEnv.Catalog.Lookup("basil")
+	b.Run("Complete", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Complete(recipedb.Italy, []flavor.ID{tomato, garlic, basil},
+				recommend.CompleteOptions{K: 5}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Substitutes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Substitutes(basil, recommend.SubstituteOptions{K: 5, RequireSameCategory: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServerAPI measures request handling through the full HTTP
+// stack (mux, middleware, JSON encoding) for cheap and expensive
+// endpoints.
+func BenchmarkServerAPI(b *testing.B) {
+	srv, err := server.New(server.Config{
+		Store:       benchEnv.Store,
+		Analyzer:    benchEnv.Analyzer,
+		NullRecipes: 500,
+		Seed:        7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	get := func(b *testing.B, path string) {
+		req := httptest.NewRequest("GET", path, nil)
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			b.Fatalf("%s -> %d", path, rr.Code)
+		}
+	}
+	b.Run("Health", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			get(b, "/api/health")
+		}
+	})
+	b.Run("RecipeByID", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			get(b, fmt.Sprintf("/api/recipes/%d", i%benchEnv.Store.Len()))
+		}
+	})
+	b.Run("Search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			get(b, "/api/search?q=tomato+garlic&limit=5")
+		}
+	})
+	b.Run("Classify", func(b *testing.B) {
+		body, _ := json.Marshal(map[string][]string{
+			"ingredients": {"soy sauce", "tofu", "ginger", "scallion"},
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/api/classify", bytes.NewReader(body))
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			if rr.Code != http.StatusOK {
+				b.Fatalf("classify -> %d", rr.Code)
+			}
+		}
+	})
+}

@@ -1,0 +1,119 @@
+// Command alias runs the §IV.A ingredient-aliasing pipeline over phrase
+// input: one ingredient phrase per line on stdin (or a file), one
+// resolution per line on stdout, followed by a curation report of
+// recurring unmatched n-grams.
+//
+// Usage:
+//
+//	alias [-in phrases.txt] [-budget 1] [-mincount 2] [-demo n]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"culinary/internal/alias"
+	"culinary/internal/flavor"
+	"culinary/internal/report"
+	"culinary/internal/synth"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "phrase file (default stdin)")
+		budget   = flag.Int("budget", 1, "fuzzy-match edit budget (0 disables)")
+		minCount = flag.Int("mincount", 2, "minimum count for curation candidates")
+		demo     = flag.Int("demo", 0, "instead of reading input, synthesize n noisy phrases and evaluate accuracy")
+		seed     = flag.Uint64("seed", 20180416, "catalog/phrase seed")
+	)
+	flag.Parse()
+
+	fcfg := flavor.DefaultConfig()
+	fcfg.Seed = *seed
+	catalog, err := flavor.Build(fcfg)
+	if err != nil {
+		fatal(err)
+	}
+	al := alias.New(catalog, alias.WithEditBudget(*budget))
+
+	if *demo > 0 {
+		runDemo(catalog, al, *demo, *seed)
+		return
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var matches []alias.Match
+	scanner := bufio.NewScanner(r)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if line == "" {
+			continue
+		}
+		m := al.Resolve(line)
+		matches = append(matches, m)
+		name := "-"
+		if m.Ingredient != flavor.Invalid {
+			name = catalog.Ingredient(m.Ingredient).Name
+		}
+		fuzzy := ""
+		if m.Fuzzy {
+			fuzzy = " (fuzzy)"
+		}
+		fmt.Printf("%-14s %-28s %s%s\n", m.Status, name, line, fuzzy)
+	}
+	if err := scanner.Err(); err != nil {
+		fatal(err)
+	}
+
+	rep := alias.Curate(matches, *minCount)
+	fmt.Printf("\n%d phrases: %d matched, %d partial, %d unrecognized (%d fuzzy); match rate %.1f%%\n",
+		rep.TotalPhrases, rep.Matched, rep.Partial, rep.Unrecognized, rep.Fuzzy,
+		100*rep.MatchRate())
+	if len(rep.Candidates) > 0 {
+		t := report.NewTable("Curation candidates (recurring unmatched n-grams)",
+			"NGram", "Count")
+		for _, c := range rep.Candidates {
+			t.AddRow(c.NGram, c.Count)
+		}
+		fmt.Println()
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runDemo(catalog *flavor.Catalog, al *alias.Aliaser, n int, seed uint64) {
+	pcfg := synth.DefaultPhraseConfig()
+	pcfg.Seed = seed + 77
+	ps := synth.NewPhraseSynthesizer(catalog, pcfg)
+	batch := ps.RenderBatch(n)
+	correct, resolved := 0, 0
+	for _, lp := range batch {
+		m := al.Resolve(lp.Phrase)
+		if m.Status == alias.Unrecognized {
+			continue
+		}
+		resolved++
+		if m.Ingredient == lp.Truth {
+			correct++
+		}
+	}
+	fmt.Printf("synthesized %d phrases: resolve rate %.3f, precision %.3f\n",
+		n, float64(resolved)/float64(n), float64(correct)/float64(resolved))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alias:", err)
+	os.Exit(1)
+}

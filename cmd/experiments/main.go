@@ -1,0 +1,66 @@
+// Command experiments regenerates the paper's tables and figures from
+// the synthetic corpus.
+//
+// Usage:
+//
+//	experiments [-run name[,name...]] [-scale f] [-null n] [-seed s]
+//
+// With no -run flag every experiment runs in paper order. Experiment
+// names: table1, fig2, fig3a, fig3b, fig4, fig5, tuples, robustness,
+// evolution, aliasing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"culinary/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment names (default: all)")
+		scale = flag.Float64("scale", 1.0, "corpus scale factor (1.0 = full 45,772 recipes)")
+		null  = flag.Int("null", 100000, "randomized recipes per null model (paper: 100,000)")
+		seed  = flag.Uint64("seed", 20180416, "master seed")
+		list  = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+
+	t0 := time.Now()
+	fmt.Fprintf(os.Stderr, "building environment (scale=%.2f, null=%d, seed=%d)...\n",
+		*scale, *null, *seed)
+	env, err := experiments.NewEnv(experiments.Options{
+		Scale: *scale, NullRecipes: *null, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "environment ready in %v (%d recipes)\n",
+		time.Since(t0).Round(time.Millisecond), env.Store.Len())
+
+	runner := &experiments.Runner{Env: env, Out: os.Stdout}
+	if *run == "" {
+		if err := runner.RunAll(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, name := range strings.Split(*run, ",") {
+			if err := runner.Run(strings.TrimSpace(name)); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(t0).Round(time.Millisecond))
+}

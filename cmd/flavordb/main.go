@@ -1,0 +1,171 @@
+// Command flavordb inspects the synthetic FlavorDB substrate: list
+// ingredients by category, show an ingredient's flavor profile and
+// taste descriptors, query pairwise shared compounds, and dump the
+// molecule universe.
+//
+// Usage:
+//
+//	flavordb -list [-category NAME]
+//	flavordb -show INGREDIENT
+//	flavordb -pair "A,B"
+//	flavordb -molecules [-limit n]
+//	flavordb -network [-minshared n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"culinary/internal/flavor"
+	"culinary/internal/flavornet"
+	"culinary/internal/pairing"
+	"culinary/internal/report"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list ingredients")
+		category  = flag.String("category", "", "restrict -list to one category")
+		show      = flag.String("show", "", "show one ingredient's profile")
+		pair      = flag.String("pair", "", "comma-separated ingredient pair to compare")
+		molecules = flag.Bool("molecules", false, "dump the molecule universe")
+		network   = flag.Bool("network", false, "print flavor-network summary and top pairs")
+		minShared = flag.Int("minshared", 5, "edge threshold for -network")
+		limit     = flag.Int("limit", 25, "row limit for -molecules")
+		seed      = flag.Uint64("seed", 20180416, "catalog seed")
+	)
+	flag.Parse()
+
+	fcfg := flavor.DefaultConfig()
+	fcfg.Seed = *seed
+	catalog, err := flavor.Build(fcfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *list:
+		runList(catalog, *category)
+	case *show != "":
+		runShow(catalog, *show)
+	case *pair != "":
+		runPair(catalog, *pair)
+	case *molecules:
+		runMolecules(catalog, *limit)
+	case *network:
+		runNetwork(catalog, *minShared)
+	default:
+		fmt.Fprintln(os.Stderr, "flavordb: choose one of -list, -show, -pair, -molecules, -network")
+		os.Exit(2)
+	}
+}
+
+func runList(catalog *flavor.Catalog, categoryName string) {
+	var cats []flavor.Category
+	if categoryName == "" {
+		cats = flavor.AllCategories()
+	} else {
+		c, err := flavor.ParseCategory(categoryName)
+		if err != nil {
+			fatal(err)
+		}
+		cats = []flavor.Category{c}
+	}
+	t := report.NewTable("Ingredient catalog", "Ingredient", "Category", "Compound", "ProfileSize")
+	for _, cat := range cats {
+		for _, id := range catalog.ByCategory(cat) {
+			ing := catalog.Ingredient(id)
+			t.AddRow(ing.Name, cat.String(), fmt.Sprintf("%v", ing.Compound),
+				catalog.Profile(id).Count())
+		}
+	}
+	render(t)
+}
+
+func runShow(catalog *flavor.Catalog, name string) {
+	id, ok := catalog.Lookup(name)
+	if !ok {
+		fatal(fmt.Errorf("unknown ingredient %q", name))
+	}
+	ing := catalog.Ingredient(id)
+	fmt.Printf("%s  (category %s", ing.Name, ing.Category)
+	if ing.Compound {
+		parts := make([]string, len(ing.Constituents))
+		for i, pid := range ing.Constituents {
+			parts[i] = catalog.Ingredient(pid).Name
+		}
+		fmt.Printf("; compound of %s", strings.Join(parts, ", "))
+	}
+	fmt.Printf(")\n")
+	profile := catalog.Profile(id)
+	fmt.Printf("flavor profile: %d molecules\n", profile.Count())
+	taste := catalog.TasteProfile([]flavor.ID{id})
+	if len(taste) > 8 {
+		taste = taste[:8]
+	}
+	fmt.Println("dominant descriptors:")
+	for _, d := range taste {
+		fmt.Printf("  %-14s %.1f%%\n", d.Descriptor, 100*d.Weight)
+	}
+}
+
+func runPair(catalog *flavor.Catalog, spec string) {
+	parts := strings.SplitN(spec, ",", 2)
+	if len(parts) != 2 {
+		fatal(fmt.Errorf("-pair wants \"A,B\", got %q", spec))
+	}
+	a, ok := catalog.Lookup(strings.TrimSpace(parts[0]))
+	if !ok {
+		fatal(fmt.Errorf("unknown ingredient %q", parts[0]))
+	}
+	b, ok := catalog.Lookup(strings.TrimSpace(parts[1]))
+	if !ok {
+		fatal(fmt.Errorf("unknown ingredient %q", parts[1]))
+	}
+	pa, pb := catalog.Profile(a), catalog.Profile(b)
+	shared := catalog.SharedCompounds(a, b)
+	fmt.Printf("%s (%d molecules) + %s (%d molecules)\n",
+		catalog.Ingredient(a).Name, pa.Count(),
+		catalog.Ingredient(b).Name, pb.Count())
+	fmt.Printf("shared compounds: %d   Jaccard: %.3f\n", shared, pa.Jaccard(pb))
+}
+
+func runMolecules(catalog *flavor.Catalog, limit int) {
+	t := report.NewTable("Molecule universe", "ID", "Name", "Theme", "Descriptors")
+	n := catalog.NumMolecules()
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		m := catalog.Molecule(i)
+		t.AddRow(m.ID, m.Name, m.Theme, strings.Join(m.Descriptors, ", "))
+	}
+	render(t)
+	fmt.Printf("(%d of %d molecules)\n", n, catalog.NumMolecules())
+}
+
+func runNetwork(catalog *flavor.Catalog, minShared int) {
+	analyzer := pairing.NewAnalyzer(catalog)
+	net := flavornet.Build(analyzer, minShared)
+	fmt.Printf("flavor network: %d nodes, %d edges (≥%d shared), density %.4f, clustering %.3f\n",
+		net.NumNodes(), net.NumEdges(), minShared, net.Density(), net.MeanClustering())
+	fmt.Printf("disparity backbone (α=0.05): %d edges\n\n", len(net.Backbone(0.05)))
+	t := report.NewTable("Strongest flavor-sharing pairs", "Pair", "Shared")
+	for _, e := range net.TopPairs(15) {
+		t.AddRow(catalog.Ingredient(e.A).Name+" + "+catalog.Ingredient(e.B).Name, e.Weight)
+	}
+	render(t)
+}
+
+func render(t *report.Table) {
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flavordb:", err)
+	os.Exit(1)
+}

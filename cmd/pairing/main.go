@@ -1,0 +1,109 @@
+// Command pairing runs the food-pairing analysis for one region or all
+// regions: observed flavor sharing, null-model moments, Z-scores, and
+// optionally the top contributing ingredients.
+//
+// Usage:
+//
+//	pairing [-region CODE] [-model name] [-null n] [-top k] [-scale f]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"culinary/internal/experiments"
+	"culinary/internal/pairing"
+	"culinary/internal/recipedb"
+	"culinary/internal/report"
+	"culinary/internal/rng"
+)
+
+func main() {
+	var (
+		regionCode = flag.String("region", "", "region code (e.g. ITA); empty = all 22")
+		modelName  = flag.String("model", "Random", "null model: Random, Frequency, Category, Frequency+Category")
+		null       = flag.Int("null", 100000, "randomized recipes per model")
+		top        = flag.Int("top", 0, "also print the top-k contributing ingredients")
+		scale      = flag.Float64("scale", 1.0, "corpus scale factor")
+		seed       = flag.Uint64("seed", 20180416, "master seed")
+	)
+	flag.Parse()
+
+	model, err := parseModel(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+
+	t0 := time.Now()
+	env, err := experiments.NewEnv(experiments.Options{
+		Scale: *scale, NullRecipes: *null, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "environment ready in %v\n", time.Since(t0).Round(time.Millisecond))
+
+	regions := recipedb.MajorRegions()
+	if *regionCode != "" {
+		r, err := recipedb.ParseRegion(*regionCode)
+		if err != nil {
+			fatal(err)
+		}
+		regions = []recipedb.Region{r}
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Food pairing vs %s model (%d random recipes)", model, *null),
+		"Region", "N̄s", "NullMean", "NullStd", "Z")
+	for _, r := range regions {
+		c := env.Store.BuildCuisine(r)
+		res, err := pairing.Compare(env.Analyzer, env.Store, c, model, *null,
+			rng.New(*seed).Split(0x9000+uint64(r)))
+		if err != nil {
+			fatal(err)
+		}
+		t.AddRow(r.Code(), res.Observed, res.NullMean, res.NullStd,
+			fmt.Sprintf("%+.1f", res.Z))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *top > 0 {
+		for _, r := range regions {
+			c := env.Store.BuildCuisine(r)
+			contribs := env.Analyzer.Contributions(env.Store, c)
+			sign := r.PairingSign()
+			if sign == 0 {
+				sign = 1
+			}
+			tc := report.NewTable(
+				fmt.Sprintf("Top %d contributors for %s", *top, r.Code()),
+				"Ingredient", "Freq", "ΔN̄s% on removal")
+			for _, ct := range pairing.TopContributors(contribs, *top, sign) {
+				tc.AddRow(ct.Name, ct.Freq, fmt.Sprintf("%+.2f", ct.DeltaPct))
+			}
+			fmt.Println()
+			if err := tc.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func parseModel(name string) (pairing.Model, error) {
+	for _, m := range pairing.AllModels() {
+		if strings.EqualFold(m.String(), name) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown model %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pairing:", err)
+	os.Exit(1)
+}

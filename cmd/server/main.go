@@ -1,0 +1,129 @@
+// Command server exposes the culinary database over HTTP — the library's
+// equivalent of the paper's public CulinaryDB/FlavorDB web front ends.
+//
+// Usage:
+//
+//	server [-addr :8080] [-scale f] [-seed s] [-null n] [-db DIR]
+//
+// With -db, the corpus is loaded from (or, when absent, generated and
+// saved into) a storage snapshot directory, so restarts skip corpus
+// generation.
+//
+// Endpoints (all JSON):
+//
+//	GET  /api/health
+//	GET  /api/regions
+//	GET  /api/regions/{code}
+//	GET  /api/regions/{code}/pairing?null=N&model=frequency
+//	GET  /api/recipes?region=ITA&limit=20&offset=0
+//	GET  /api/recipes/{id}
+//	GET  /api/ingredients/{name}
+//	GET  /api/ingredients/{name}/pairings?limit=10
+//	GET  /api/search?q=tomato+garlic&mode=all&fuzzy=1&region=ITA
+//	POST /api/query      {"q": "SELECT region, count(*) FROM recipes GROUP BY region"}
+//	POST /api/classify   {"ingredients": ["soy sauce", "tofu"]}
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"culinary/internal/flavor"
+	"culinary/internal/pairing"
+	"culinary/internal/recipedb"
+	"culinary/internal/server"
+	"culinary/internal/storage"
+	"culinary/internal/synth"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		scale = flag.Float64("scale", 0.25, "corpus scale factor (1.0 = full 45,772 recipes)")
+		seed  = flag.Uint64("seed", 20180416, "master seed")
+		null  = flag.Int("null", 2000, "default null-model sample size for the pairing endpoint")
+		dbDir = flag.String("db", "", "storage snapshot directory (load if present, else generate and save)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "server: ", log.LstdFlags)
+
+	t0 := time.Now()
+	fcfg := flavor.DefaultConfig()
+	fcfg.Seed = *seed
+	catalog, err := flavor.Build(fcfg)
+	if err != nil {
+		fatal(err)
+	}
+	analyzer := pairing.NewAnalyzer(catalog)
+
+	store, err := loadOrGenerate(logger, catalog, analyzer, *dbDir, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	logger.Printf("corpus ready: %d recipes in %v", store.Len(), time.Since(t0).Round(time.Millisecond))
+
+	srv, err := server.New(server.Config{
+		Store:       store,
+		Analyzer:    analyzer,
+		NullRecipes: *null,
+		Seed:        *seed,
+		Logger:      logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	logger.Printf("listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// loadOrGenerate restores the corpus from a snapshot directory when one
+// exists there, generating (and saving, if dbDir is set) otherwise.
+func loadOrGenerate(logger *log.Logger, catalog *flavor.Catalog, analyzer *pairing.Analyzer,
+	dbDir string, scale float64, seed uint64) (*recipedb.Store, error) {
+	if dbDir != "" {
+		db, err := storage.Open(dbDir, storage.Options{})
+		if err != nil {
+			return nil, err
+		}
+		defer db.Close()
+		store, err := storage.LoadCorpus(db, catalog)
+		if err == nil {
+			logger.Printf("loaded snapshot from %s", dbDir)
+			return store, nil
+		}
+		if !errors.Is(err, storage.ErrNotFound) && !errors.Is(err, storage.ErrSnapshot) {
+			return nil, err
+		}
+		logger.Printf("no usable snapshot in %s (%v); generating", dbDir, err)
+		store, gerr := generate(analyzer, scale, seed)
+		if gerr != nil {
+			return nil, gerr
+		}
+		if serr := storage.SaveCorpus(db, store); serr != nil {
+			return nil, fmt.Errorf("saving snapshot: %w", serr)
+		}
+		logger.Printf("saved snapshot to %s", dbDir)
+		return store, nil
+	}
+	return generate(analyzer, scale, seed)
+}
+
+func generate(analyzer *pairing.Analyzer, scale float64, seed uint64) (*recipedb.Store, error) {
+	scfg := synth.DefaultConfig()
+	scfg.Seed = seed
+	scfg.Scale = scale
+	return synth.Generate(analyzer, scfg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Aliasing: demonstrate the §IV.A ingredient-aliasing pipeline on raw
+// recipe phrases — the NLP path from scraped text to catalog entities —
+// including partial matches, fuzzy spelling recovery, and the curation
+// report that surfaces recurring unknown ingredients.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"culinary/internal/alias"
+	"culinary/internal/flavor"
+)
+
+func main() {
+	catalog, err := flavor.Build(flavor.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	al := alias.New(catalog)
+	fmt.Printf("aliasing vocabulary: %d recognizable names\n\n", al.VocabularySize())
+
+	phrases := []string{
+		"2 jalapeno peppers, roasted and slit", // the paper's worked example
+		"1/2 cup extra-virgin olive oil",
+		"3 cloves garlic, finely minced",
+		"1 pound fresh tomatoes, cored and quartered",
+		"2 cups garbanzo beans, drained and rinsed", // synonym
+		"1 tsp tumeric",                 // misspelling
+		"100 ml double cream",           // regional synonym
+		"2 aubergines, cubed",           // regional synonym + plural
+		"1 packet unobtainium crystals", // unknown
+		"3 unobtainium crystals",        // recurring unknown
+		"a pinch of saffron threads",
+		"1 cup chicken stock",
+	}
+
+	matches := al.ResolveAll(phrases)
+	for _, m := range matches {
+		name := "—"
+		if m.Ingredient != flavor.Invalid {
+			name = catalog.Ingredient(m.Ingredient).Name
+		}
+		note := ""
+		if m.Fuzzy {
+			note = " [fuzzy]"
+		}
+		if len(m.Residual) > 0 {
+			note += fmt.Sprintf(" [residual: %v]", m.Residual)
+		}
+		fmt.Printf("%-13s %-22s ← %q%s\n", m.Status, name, m.Phrase, note)
+	}
+
+	rep := alias.Curate(matches, 2)
+	fmt.Printf("\nmatch rate %.0f%% (%d matched, %d partial, %d unrecognized)\n",
+		100*rep.MatchRate(), rep.Matched, rep.Partial, rep.Unrecognized)
+	if len(rep.Candidates) > 0 {
+		fmt.Println("curation candidates (recurring unmatched n-grams):")
+		for _, c := range rep.Candidates {
+			fmt.Printf("  %-24s ×%d\n", c.NGram, c.Count)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Fingerprint: compute a cuisine's 'culinary fingerprint' — its
+// food-pairing direction, the null models that explain it, and the
+// ingredients that carry it (the paper's Fig 4 + Fig 5 for one region).
+//
+// Usage: go run ./examples/fingerprint [REGION_CODE]   (default INSC)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"culinary/internal/experiments"
+	"culinary/internal/pairing"
+	"culinary/internal/recipedb"
+)
+
+func main() {
+	region := recipedb.IndianSubcontinent
+	if len(os.Args) > 1 {
+		r, err := recipedb.ParseRegion(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		region = r
+	}
+
+	env, err := experiments.NewEnv(experiments.Options{
+		Scale: 0.2, NullRecipes: 20000, Seed: 20180416,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	row, err := env.Fig4Region(region)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Culinary fingerprint of %s (%s)\n", region.Name(), region.Code())
+	fmt.Printf("  mean flavor sharing N̄s      %.3f\n", row.Observed)
+	fmt.Printf("  random control              %.3f ± %.3f\n", row.RandomMean, row.RandomStd)
+	fmt.Printf("  Z-score                     %+.1f\n", row.ZCuisine)
+	direction := "uniform (positive) pairing — similar flavors blend"
+	sign := 1
+	if row.ZCuisine < 0 {
+		direction = "contrasting (negative) pairing — dissimilar flavors blend"
+		sign = -1
+	}
+	fmt.Printf("  direction                   %s\n\n", direction)
+
+	fmt.Println("What explains the pattern? (model mean as Z vs random control)")
+	for _, m := range []pairing.Model{pairing.FrequencyModel, pairing.CategoryModel, pairing.FrequencyCategoryModel} {
+		share := 0.0
+		if row.ZCuisine != 0 {
+			share = 100 * row.ZModel[m] / row.ZCuisine
+		}
+		fmt.Printf("  %-22s Z=%+9.1f  (%.0f%% of the cuisine's deviation)\n",
+			m.String(), row.ZModel[m], share)
+	}
+
+	fmt.Println("\nIngredients carrying the pattern (leave-one-out ΔN̄s%):")
+	cuisine := env.Store.BuildCuisine(region)
+	contribs := env.Analyzer.Contributions(env.Store, cuisine)
+	for i, c := range pairing.TopContributors(contribs, 5, sign) {
+		fmt.Printf("  %d. %-20s freq=%-5d ΔN̄s%%=%+.2f\n", i+1, c.Name, c.Freq, c.DeltaPct)
+	}
+}

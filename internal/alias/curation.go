@@ -1,0 +1,95 @@
+package alias
+
+import (
+	"sort"
+	"strings"
+
+	"culinary/internal/textproc"
+)
+
+// CurationEntry is one recurring unmatched n-gram surfaced for manual
+// review.
+type CurationEntry struct {
+	NGram string
+	Count int
+}
+
+// CurationReport aggregates the partial and unrecognized residue of a
+// batch of phrases, implementing §IV.A's curation loop: "N-grams (up to
+// 6-grams) were created on the basis of partial and unrecognized
+// ingredients to identify commonly occurring ingredients which were
+// either not present in the database or were variations of existing
+// entities."
+type CurationReport struct {
+	// TotalPhrases is the number of phrases examined.
+	TotalPhrases int
+	// Matched, Partial, Unrecognized count phrase outcomes.
+	Matched, Partial, Unrecognized int
+	// Fuzzy counts matches that required edit-distance correction.
+	Fuzzy int
+	// Candidates lists recurring unmatched n-grams in descending count
+	// order (ties lexical).
+	Candidates []CurationEntry
+}
+
+// MatchRate returns the fraction of phrases fully or partially matched.
+func (r *CurationReport) MatchRate() float64 {
+	if r.TotalPhrases == 0 {
+		return 0
+	}
+	return float64(r.Matched+r.Partial) / float64(r.TotalPhrases)
+}
+
+// Curate builds a curation report from a batch of matches. minCount
+// filters candidate n-grams that occur fewer times.
+func Curate(matches []Match, minCount int) *CurationReport {
+	rep := &CurationReport{TotalPhrases: len(matches)}
+	counts := make(map[string]int)
+	for _, m := range matches {
+		switch m.Status {
+		case Matched:
+			rep.Matched++
+		case Partial:
+			rep.Partial++
+		case Unrecognized:
+			rep.Unrecognized++
+		}
+		if m.Fuzzy {
+			rep.Fuzzy++
+		}
+		if m.Status == Matched || len(m.Residual) == 0 {
+			continue
+		}
+		for _, gram := range textproc.NGrams(m.Residual, 1, 6) {
+			if len(gram) < 3 {
+				continue
+			}
+			if isAllGeneric(gram) {
+				continue
+			}
+			counts[gram]++
+		}
+	}
+	for gram, c := range counts {
+		if c >= minCount {
+			rep.Candidates = append(rep.Candidates, CurationEntry{NGram: gram, Count: c})
+		}
+	}
+	sort.Slice(rep.Candidates, func(i, j int) bool {
+		a, b := rep.Candidates[i], rep.Candidates[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		return a.NGram < b.NGram
+	})
+	return rep
+}
+
+func isAllGeneric(gram string) bool {
+	for _, tok := range strings.Fields(gram) {
+		if !textproc.IsGenericFoodWord(tok) {
+			return false
+		}
+	}
+	return true
+}

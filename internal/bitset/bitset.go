@@ -1,0 +1,236 @@
+// Package bitset implements fixed-universe packed bitsets.
+//
+// Flavor profiles are sets of molecule identifiers drawn from a universe
+// of a few thousand molecules. The food-pairing score is dominated by
+// pairwise intersection cardinalities |F(i) ∩ F(j)| computed across
+// hundreds of thousands of randomized recipes, so profiles are stored as
+// packed uint64 words and intersections are popcounted word-wise.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a bitset over a fixed universe [0, Universe). The zero value is
+// an empty set over an empty universe; construct with New.
+type Set struct {
+	words    []uint64
+	universe int
+}
+
+// New creates an empty set over the universe [0, universe).
+func New(universe int) *Set {
+	if universe < 0 {
+		panic("bitset: negative universe")
+	}
+	return &Set{
+		words:    make([]uint64, (universe+63)/64),
+		universe: universe,
+	}
+}
+
+// FromMembers creates a set over the given universe containing the listed
+// members. Members outside the universe cause a panic, surfacing indexing
+// bugs early rather than silently truncating profiles.
+func FromMembers(universe int, members []int) *Set {
+	s := New(universe)
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+// Universe returns the size of the set's universe.
+func (s *Set) Universe() int { return s.universe }
+
+// Add inserts element i. It panics if i is outside the universe.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Remove deletes element i. It panics if i is outside the universe.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Contains reports whether element i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.universe {
+		return false
+	}
+	return s.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.universe {
+		panic(fmt.Sprintf("bitset: element %d outside universe [0,%d)", i, s.universe))
+	}
+}
+
+// Count returns the cardinality of the set.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IntersectionCount returns |s ∩ t| without allocating. The sets must
+// share a universe size; mismatched universes panic because they indicate
+// profiles built against different molecule catalogs.
+func (s *Set) IntersectionCount(t *Set) int {
+	if s.universe != t.universe {
+		panic(fmt.Sprintf("bitset: universe mismatch %d vs %d", s.universe, t.universe))
+	}
+	n := 0
+	for i, w := range s.words {
+		n += bits.OnesCount64(w & t.words[i])
+	}
+	return n
+}
+
+// UnionCount returns |s ∪ t| without allocating.
+func (s *Set) UnionCount(t *Set) int {
+	if s.universe != t.universe {
+		panic(fmt.Sprintf("bitset: universe mismatch %d vs %d", s.universe, t.universe))
+	}
+	n := 0
+	for i, w := range s.words {
+		n += bits.OnesCount64(w | t.words[i])
+	}
+	return n
+}
+
+// Jaccard returns |s∩t| / |s∪t|, or 0 when both sets are empty.
+func (s *Set) Jaccard(t *Set) float64 {
+	u := s.UnionCount(t)
+	if u == 0 {
+		return 0
+	}
+	return float64(s.IntersectionCount(t)) / float64(u)
+}
+
+// Union returns a new set s ∪ t.
+func (s *Set) Union(t *Set) *Set {
+	if s.universe != t.universe {
+		panic(fmt.Sprintf("bitset: universe mismatch %d vs %d", s.universe, t.universe))
+	}
+	out := New(s.universe)
+	for i := range s.words {
+		out.words[i] = s.words[i] | t.words[i]
+	}
+	return out
+}
+
+// Intersect returns a new set s ∩ t.
+func (s *Set) Intersect(t *Set) *Set {
+	if s.universe != t.universe {
+		panic(fmt.Sprintf("bitset: universe mismatch %d vs %d", s.universe, t.universe))
+	}
+	out := New(s.universe)
+	for i := range s.words {
+		out.words[i] = s.words[i] & t.words[i]
+	}
+	return out
+}
+
+// Difference returns a new set s \ t.
+func (s *Set) Difference(t *Set) *Set {
+	if s.universe != t.universe {
+		panic(fmt.Sprintf("bitset: universe mismatch %d vs %d", s.universe, t.universe))
+	}
+	out := New(s.universe)
+	for i := range s.words {
+		out.words[i] = s.words[i] &^ t.words[i]
+	}
+	return out
+}
+
+// UnionInPlace adds every member of t to s.
+func (s *Set) UnionInPlace(t *Set) {
+	if s.universe != t.universe {
+		panic(fmt.Sprintf("bitset: universe mismatch %d vs %d", s.universe, t.universe))
+	}
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	out := New(s.universe)
+	copy(out.words, s.words)
+	return out
+}
+
+// Equal reports whether s and t have the same universe and members.
+func (s *Set) Equal(t *Set) bool {
+	if s.universe != t.universe {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsEmpty reports whether the set has no members.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Members returns the elements of the set in ascending order.
+func (s *Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for every member in ascending order. Iteration stops
+// if fn returns false.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*64 + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// String renders the set as "{a, b, c}" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

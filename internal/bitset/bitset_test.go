@@ -1,0 +1,248 @@
+package bitset
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("fresh set contains %d", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("set missing %d after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("set contains 64 after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestContainsOutsideUniverse(t *testing.T) {
+	s := New(10)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(100) {
+		t.Fatal("Contains should be false outside the universe")
+	}
+}
+
+func TestAddPanicsOutsideUniverse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add outside universe should panic")
+		}
+	}()
+	New(10).Add(10)
+}
+
+func TestNewPanicsNegativeUniverse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative universe should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFromMembersAndMembersRoundTrip(t *testing.T) {
+	members := []int{5, 3, 99, 64, 0}
+	s := FromMembers(100, members)
+	got := s.Members()
+	want := append([]int(nil), members...)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestIntersectionCount(t *testing.T) {
+	a := FromMembers(200, []int{1, 2, 3, 100, 150})
+	b := FromMembers(200, []int{2, 3, 4, 150, 199})
+	if got := a.IntersectionCount(b); got != 3 {
+		t.Fatalf("IntersectionCount = %d, want 3", got)
+	}
+	if got := b.IntersectionCount(a); got != 3 {
+		t.Fatalf("IntersectionCount not symmetric: %d", got)
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("universe mismatch should panic")
+		}
+	}()
+	New(10).IntersectionCount(New(11))
+}
+
+func TestUnionIntersectDifference(t *testing.T) {
+	a := FromMembers(70, []int{1, 2, 3, 65})
+	b := FromMembers(70, []int{3, 4, 65, 69})
+	u := a.Union(b)
+	i := a.Intersect(b)
+	d := a.Difference(b)
+	if got := u.Members(); len(got) != 6 {
+		t.Fatalf("union %v", got)
+	}
+	wantI := []int{3, 65}
+	gotI := i.Members()
+	if len(gotI) != 2 || gotI[0] != wantI[0] || gotI[1] != wantI[1] {
+		t.Fatalf("intersect %v want %v", gotI, wantI)
+	}
+	wantD := []int{1, 2}
+	gotD := d.Members()
+	if len(gotD) != 2 || gotD[0] != wantD[0] || gotD[1] != wantD[1] {
+		t.Fatalf("difference %v want %v", gotD, wantD)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := FromMembers(10, []int{1, 2})
+	b := FromMembers(10, []int{2, 3})
+	if got := a.Jaccard(b); got != 1.0/3 {
+		t.Fatalf("Jaccard = %v, want 1/3", got)
+	}
+	empty := New(10)
+	if got := empty.Jaccard(New(10)); got != 0 {
+		t.Fatalf("Jaccard of empties = %v, want 0", got)
+	}
+}
+
+func TestUnionInPlaceAndClone(t *testing.T) {
+	a := FromMembers(100, []int{1, 2})
+	c := a.Clone()
+	b := FromMembers(100, []int{50, 99})
+	a.UnionInPlace(b)
+	if a.Count() != 4 {
+		t.Fatalf("after UnionInPlace count = %d", a.Count())
+	}
+	if c.Count() != 2 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestEqualAndIsEmpty(t *testing.T) {
+	a := FromMembers(100, []int{10, 20})
+	b := FromMembers(100, []int{10, 20})
+	if !a.Equal(b) {
+		t.Fatal("equal sets not Equal")
+	}
+	b.Add(30)
+	if a.Equal(b) {
+		t.Fatal("unequal sets Equal")
+	}
+	if !New(100).IsEmpty() {
+		t.Fatal("fresh set not empty")
+	}
+	if a.IsEmpty() {
+		t.Fatal("populated set reported empty")
+	}
+	if a.Equal(FromMembers(101, []int{10, 20})) {
+		t.Fatal("sets with different universes should not be Equal")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromMembers(100, []int{1, 2, 3, 4, 5})
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 3
+	})
+	if len(seen) != 3 {
+		t.Fatalf("early stop failed, saw %v", seen)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromMembers(10, []int{1, 3})
+	if got := s.String(); got != "{1, 3}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// normalize maps arbitrary int8 test vectors into valid members of a
+// universe of size 256.
+func normalize(xs []uint8) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}
+
+func TestPropertyIntersectionBounds(t *testing.T) {
+	// |a∩b| <= min(|a|,|b|) and |a∪b| = |a|+|b|-|a∩b|.
+	f := func(xs, ys []uint8) bool {
+		a := FromMembers(256, normalize(xs))
+		b := FromMembers(256, normalize(ys))
+		inter := a.IntersectionCount(b)
+		union := a.UnionCount(b)
+		ca, cb := a.Count(), b.Count()
+		if inter > ca || inter > cb {
+			return false
+		}
+		return union == ca+cb-inter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUnionCommutesAndIdempotent(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := FromMembers(256, normalize(xs))
+		b := FromMembers(256, normalize(ys))
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		return a.Union(a).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	// a \ (b ∪ c) == (a \ b) ∩ (a \ c)
+	f := func(xs, ys, zs []uint8) bool {
+		a := FromMembers(256, normalize(xs))
+		b := FromMembers(256, normalize(ys))
+		c := FromMembers(256, normalize(zs))
+		left := a.Difference(b.Union(c))
+		right := a.Difference(b).Intersect(a.Difference(c))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMembersRoundTrip(t *testing.T) {
+	f := func(xs []uint8) bool {
+		a := FromMembers(256, normalize(xs))
+		b := FromMembers(256, a.Members())
+		return a.Equal(b) && a.Count() == len(a.Members())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+package classify
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"culinary/internal/flavor"
+	"culinary/internal/pairing"
+	"culinary/internal/recipedb"
+	"culinary/internal/synth"
+)
+
+// syntheticStore is a shared 5%-scale synthetic corpus (built directly
+// rather than through the experiments package, which imports classify).
+var syntheticStore = func() *recipedb.Store {
+	catalog, err := flavor.Build(flavor.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	cfg := synth.TestConfig()
+	store, err := synth.Generate(pairing.NewAnalyzer(catalog), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return store
+}()
+
+// handStore builds a tiny corpus with extremely separable cuisines.
+func handStore(t *testing.T) (*recipedb.Store, []int) {
+	t.Helper()
+	catalog, err := flavor.Build(flavor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := recipedb.NewStore(catalog)
+	ids := func(names ...string) []flavor.ID {
+		out := make([]flavor.ID, len(names))
+		for i, n := range names {
+			id, ok := catalog.Lookup(n)
+			if !ok {
+				t.Fatalf("catalog lacks %q", n)
+			}
+			out[i] = id
+		}
+		return out
+	}
+	var all []int
+	add := func(region recipedb.Region, names ...string) {
+		id, err := store.Add("r", region, recipedb.AllRecipes, ids(names...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, id)
+	}
+	// Italy: tomato/basil/olive oil world.
+	add(recipedb.Italy, "tomato", "basil", "olive oil", "garlic")
+	add(recipedb.Italy, "tomato", "mozzarella", "basil")
+	add(recipedb.Italy, "olive oil", "garlic", "parsley", "tomato")
+	// Japan: soy/miso/seaweed world.
+	add(recipedb.Japan, "soy sauce", "ginger", "scallion", "tofu")
+	add(recipedb.Japan, "seaweed", "soy sauce", "sesame seed")
+	add(recipedb.Japan, "tofu", "scallion", "seaweed", "soy sauce")
+	return store, all
+}
+
+func TestTrainPredictSeparableCuisines(t *testing.T) {
+	store, all := handStore(t)
+	c := New()
+	if err := c.Train(store, all); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	catalog := store.Catalog()
+	lookup := func(n string) flavor.ID {
+		id, ok := catalog.Lookup(n)
+		if !ok {
+			t.Fatalf("lookup %q", n)
+		}
+		return id
+	}
+	italian := []flavor.ID{lookup("tomato"), lookup("basil"), lookup("garlic")}
+	japanese := []flavor.ID{lookup("soy sauce"), lookup("tofu"), lookup("ginger")}
+
+	if r, err := c.PredictRegion(italian); err != nil || r != recipedb.Italy {
+		t.Errorf("italian ingredients predicted %v (err %v)", r, err)
+	}
+	if r, err := c.PredictRegion(japanese); err != nil || r != recipedb.Japan {
+		t.Errorf("japanese ingredients predicted %v (err %v)", r, err)
+	}
+}
+
+func TestPredictProbabilitiesNormalized(t *testing.T) {
+	store, all := handStore(t)
+	c := New()
+	if err := c.Train(store, all); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := store.Catalog().Lookup("tomato")
+	preds, err := c.Predict([]flavor.ID{id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range preds {
+		if p.Probability < 0 || p.Probability > 1 {
+			t.Errorf("probability %g outside [0,1]", p.Probability)
+		}
+		sum += p.Probability
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+	for i := 1; i < len(preds); i++ {
+		if preds[i].LogPosterior > preds[i-1].LogPosterior {
+			t.Error("predictions not sorted by posterior")
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	c := New()
+	if _, err := c.Predict([]flavor.ID{1}); !errors.Is(err, ErrUntrained) {
+		t.Errorf("untrained Predict err = %v", err)
+	}
+	store, all := handStore(t)
+	if err := c.Train(store, all); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(nil); err == nil {
+		t.Error("empty Predict succeeded")
+	}
+	if _, err := c.Predict([]flavor.ID{flavor.ID(store.Catalog().Len() + 5)}); err == nil {
+		t.Error("out-of-catalog Predict succeeded")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	store, all := handStore(t)
+	c := New()
+	c.Alpha = 0
+	if err := c.Train(store, all); err == nil {
+		t.Error("Alpha=0 Train succeeded")
+	}
+	c = New()
+	if err := c.Train(store, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty Train err = %v", err)
+	}
+}
+
+func TestSplitDeterministicAndStratified(t *testing.T) {
+	store := syntheticStore
+	train1, test1, err := Split(store, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train2, test2, err := Split(store, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train1) != len(train2) || len(test1) != len(test2) {
+		t.Fatal("split is not deterministic in sizes")
+	}
+	for i := range test1 {
+		if test1[i] != test2[i] {
+			t.Fatal("split is not deterministic in membership")
+		}
+	}
+	major := 0
+	for _, region := range recipedb.MajorRegions() {
+		major += store.RegionLen(region)
+	}
+	if len(train1)+len(test1) != major {
+		t.Errorf("split loses recipes: %d + %d != %d major-region recipes", len(train1), len(test1), major)
+	}
+	// No overlap.
+	seen := make(map[int]bool, len(train1))
+	for _, id := range train1 {
+		seen[id] = true
+	}
+	for _, id := range test1 {
+		if seen[id] {
+			t.Fatalf("recipe %d in both splits", id)
+		}
+	}
+	// Stratification: every major region with recipes appears in test.
+	inTest := make(map[recipedb.Region]bool)
+	for _, id := range test1 {
+		inTest[store.Recipe(id).Region] = true
+	}
+	for _, region := range recipedb.MajorRegions() {
+		if store.RegionLen(region) > 1 && !inTest[region] {
+			t.Errorf("region %v missing from test split", region)
+		}
+	}
+	// A different seed gives a different split.
+	_, test3, err := Split(store, 0.2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(test3) == len(test1)
+	if same {
+		for i := range test1 {
+			if test1[i] != test3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical splits")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	store := syntheticStore
+	for _, frac := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := Split(store, frac, 1); err == nil {
+			t.Errorf("Split(frac=%g) succeeded", frac)
+		}
+	}
+}
+
+func TestEvaluateOnSyntheticCorpus(t *testing.T) {
+	store := syntheticStore
+	train, test, err := Split(store, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	if err := c.Train(store, train); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(c, store, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Total != len(test) {
+		t.Errorf("Total = %d, want %d", ev.Total, len(test))
+	}
+	if ev.Accuracy <= ev.MajorityBaseline {
+		t.Errorf("accuracy %.3f does not beat majority baseline %.3f — no culinary fingerprint signal",
+			ev.Accuracy, ev.MajorityBaseline)
+	}
+	// Confusion rows sum to per-region support.
+	for region, row := range ev.Confusion {
+		sum := 0
+		for _, n := range row {
+			sum += n
+		}
+		if sum != ev.PerRegion[region].Support {
+			t.Errorf("confusion row %v sums to %d, support %d", region, sum, ev.PerRegion[region].Support)
+		}
+	}
+	// Metrics are within [0,1].
+	for region, m := range ev.PerRegion {
+		for name, v := range map[string]float64{"precision": m.Precision, "recall": m.Recall, "f1": m.F1} {
+			if v < 0 || v > 1 {
+				t.Errorf("%v %s = %g", region, name, v)
+			}
+		}
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	store, all := handStore(t)
+	c := New()
+	if _, err := Evaluate(c, store, all); !errors.Is(err, ErrUntrained) {
+		t.Errorf("untrained Evaluate err = %v", err)
+	}
+	if err := c.Train(store, all); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(c, store, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty Evaluate err = %v", err)
+	}
+}
+
+func TestFingerprintsAuthenticity(t *testing.T) {
+	store, _ := handStore(t)
+	fp := Fingerprints(store, 3)
+	if len(fp) != 2 {
+		t.Fatalf("fingerprinted regions = %d, want 2", len(fp))
+	}
+	catalog := store.Catalog()
+	// Italy's top fingerprint must be an ingredient absent from Japan
+	// (authenticity == prevalence).
+	ita := fp[recipedb.Italy]
+	if len(ita) != 3 {
+		t.Fatalf("Italy fingerprint size = %d", len(ita))
+	}
+	top := ita[0]
+	if top.Authenticity <= 0 {
+		t.Errorf("Italy top authenticity = %g", top.Authenticity)
+	}
+	name := catalog.Ingredient(top.Ingredient).Name
+	if name != "tomato" && name != "olive oil" && name != "basil" && name != "garlic" && name != "mozzarella" && name != "parsley" {
+		t.Errorf("unexpected Italy fingerprint %q", name)
+	}
+	// Entries sorted by authenticity.
+	for i := 1; i < len(ita); i++ {
+		if ita[i].Authenticity > ita[i-1].Authenticity {
+			t.Error("fingerprint not sorted")
+		}
+	}
+	// Prevalences are valid fractions.
+	for _, entries := range fp {
+		for _, e := range entries {
+			if e.Prevalence <= 0 || e.Prevalence > 1 {
+				t.Errorf("prevalence %g outside (0,1]", e.Prevalence)
+			}
+			if e.Authenticity > e.Prevalence {
+				t.Errorf("authenticity %g exceeds prevalence %g", e.Authenticity, e.Prevalence)
+			}
+		}
+	}
+}
+
+func TestFingerprintsOnSyntheticCorpusSpiceRegions(t *testing.T) {
+	// The synthetic corpus calibrates INSC as spice-heavy (Fig 2); its
+	// fingerprint should be dominated by positive-authenticity entries.
+	fp := Fingerprints(syntheticStore, 5)
+	insc := fp[recipedb.IndianSubcontinent]
+	if len(insc) == 0 {
+		t.Fatal("no INSC fingerprint")
+	}
+	if insc[0].Authenticity <= 0 {
+		t.Errorf("INSC top authenticity = %g, want positive", insc[0].Authenticity)
+	}
+}

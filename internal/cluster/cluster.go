@@ -1,0 +1,276 @@
+// Package cluster implements agglomerative hierarchical clustering of
+// cuisines. The paper frames regional cuisines as analogous to
+// languages and dialects; clustering regions by their category-usage
+// vectors (Fig 2 rows) or pairing signatures makes that analogy
+// quantitative: which cuisines are culinary dialects of one another.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Linkage selects the inter-cluster distance update rule.
+type Linkage int
+
+const (
+	// Complete linkage merges on the farthest pair (compact clusters).
+	Complete Linkage = iota
+	// Single linkage merges on the nearest pair (chaining clusters).
+	Single
+	// Average linkage (UPGMA) merges on the mean pairwise distance.
+	Average
+)
+
+// String returns the linkage name.
+func (l Linkage) String() string {
+	switch l {
+	case Complete:
+		return "complete"
+	case Single:
+		return "single"
+	case Average:
+		return "average"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Node is one node of the dendrogram. Leaves carry a label index;
+// internal nodes carry the merge height and two children.
+type Node struct {
+	// Leaf is the observation index for leaves, -1 for internal nodes.
+	Leaf int
+	// Height is the merge distance (0 for leaves).
+	Height float64
+	// Left and Right are the children (nil for leaves).
+	Left, Right *Node
+	// Size is the number of leaves under the node.
+	Size int
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Leaf >= 0 }
+
+// Leaves returns the observation indices under the node in left-to-
+// right order.
+func (n *Node) Leaves() []int {
+	if n.IsLeaf() {
+		return []int{n.Leaf}
+	}
+	return append(n.Left.Leaves(), n.Right.Leaves()...)
+}
+
+// CosineDistance returns 1 - cosine similarity of two non-negative
+// vectors; zero vectors are at distance 1 from everything (including
+// each other) by convention.
+func CosineDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("cluster: vector length mismatch")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	sim := dot / math.Sqrt(na*nb)
+	if sim > 1 {
+		sim = 1 // numerical guard
+	}
+	return 1 - sim
+}
+
+// EuclideanDistance returns the L2 distance.
+func EuclideanDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("cluster: vector length mismatch")
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Hierarchical clusters the observation vectors with the given distance
+// and linkage, returning the dendrogram root. It errors on fewer than
+// one observation; a single observation returns its leaf.
+func Hierarchical(vectors [][]float64, dist func(a, b []float64) float64, linkage Linkage) (*Node, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no observations")
+	}
+	// Active cluster list.
+	clusters := make([]*Node, n)
+	for i := range clusters {
+		clusters[i] = &Node{Leaf: i, Size: 1}
+	}
+	if n == 1 {
+		return clusters[0], nil
+	}
+	// Pairwise distance matrix between current clusters; maintained as
+	// clusters merge (Lance-Williams-style recomputation from members
+	// for clarity — n is the number of cuisines, 22, so O(n^3) with
+	// full recomputation is irrelevant).
+	leafDist := make([][]float64, n)
+	for i := range leafDist {
+		leafDist[i] = make([]float64, n)
+		for j := range leafDist[i] {
+			if i != j {
+				leafDist[i][j] = dist(vectors[i], vectors[j])
+			}
+		}
+	}
+	clusterDist := func(a, b *Node) float64 {
+		la, lb := a.Leaves(), b.Leaves()
+		var best float64
+		switch linkage {
+		case Complete:
+			for _, x := range la {
+				for _, y := range lb {
+					if d := leafDist[x][y]; d > best {
+						best = d
+					}
+				}
+			}
+		case Single:
+			best = math.Inf(1)
+			for _, x := range la {
+				for _, y := range lb {
+					if d := leafDist[x][y]; d < best {
+						best = d
+					}
+				}
+			}
+		case Average:
+			var sum float64
+			for _, x := range la {
+				for _, y := range lb {
+					sum += leafDist[x][y]
+				}
+			}
+			best = sum / float64(len(la)*len(lb))
+		default:
+			panic("cluster: unknown linkage")
+		}
+		return best
+	}
+
+	for len(clusters) > 1 {
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if d := clusterDist(clusters[i], clusters[j]); d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		merged := &Node{
+			Leaf:   -1,
+			Height: bd,
+			Left:   clusters[bi],
+			Right:  clusters[bj],
+			Size:   clusters[bi].Size + clusters[bj].Size,
+		}
+		next := make([]*Node, 0, len(clusters)-1)
+		for k, c := range clusters {
+			if k != bi && k != bj {
+				next = append(next, c)
+			}
+		}
+		clusters = append(next, merged)
+	}
+	return clusters[0], nil
+}
+
+// Cut returns the cluster assignment obtained by cutting the dendrogram
+// at the given height: groups of observation indices, each sorted, the
+// groups ordered by their smallest member.
+func Cut(root *Node, height float64) [][]int {
+	var groups [][]int
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() || n.Height <= height {
+			leaves := n.Leaves()
+			sort.Ints(leaves)
+			groups = append(groups, leaves)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}
+
+// Render draws the dendrogram as indented text with merge heights,
+// using the provided labels for leaves.
+func Render(root *Node, labels []string) string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if n.IsLeaf() {
+			label := fmt.Sprintf("#%d", n.Leaf)
+			if n.Leaf < len(labels) {
+				label = labels[n.Leaf]
+			}
+			fmt.Fprintf(&b, "%s%s\n", indent, label)
+			return
+		}
+		fmt.Fprintf(&b, "%s┐ h=%.3f (%d)\n", indent, n.Height, n.Size)
+		walk(n.Left, depth+1)
+		walk(n.Right, depth+1)
+	}
+	walk(root, 0)
+	return b.String()
+}
+
+// CopheneticDistance returns the height at which leaves i and j first
+// share a cluster — the dendrogram's induced ultrametric.
+func CopheneticDistance(root *Node, i, j int) (float64, error) {
+	if i == j {
+		return 0, nil
+	}
+	node := lca(root, i, j)
+	if node == nil {
+		return 0, fmt.Errorf("cluster: leaves %d and %d not under the root", i, j)
+	}
+	return node.Height, nil
+}
+
+func lca(n *Node, i, j int) *Node {
+	if n == nil {
+		return nil
+	}
+	hasI, hasJ := false, false
+	for _, l := range n.Leaves() {
+		if l == i {
+			hasI = true
+		}
+		if l == j {
+			hasJ = true
+		}
+	}
+	if !hasI || !hasJ {
+		return nil
+	}
+	if n.IsLeaf() {
+		return n
+	}
+	if c := lca(n.Left, i, j); c != nil {
+		return c
+	}
+	if c := lca(n.Right, i, j); c != nil {
+		return c
+	}
+	return n
+}

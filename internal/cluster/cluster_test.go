@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// two tight groups far apart, for unambiguous clustering.
+var testVectors = [][]float64{
+	{1, 0, 0}, {0.9, 0.1, 0}, {1, 0.05, 0}, // group A
+	{0, 0, 1}, {0, 0.1, 0.9}, // group B
+}
+
+func TestCosineDistance(t *testing.T) {
+	if d := CosineDistance([]float64{1, 0}, []float64{1, 0}); d != 0 {
+		t.Fatalf("identical distance %v", d)
+	}
+	if d := CosineDistance([]float64{1, 0}, []float64{0, 1}); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("orthogonal distance %v", d)
+	}
+	if d := CosineDistance([]float64{1, 0}, []float64{2, 0}); math.Abs(d) > 1e-12 {
+		t.Fatalf("scaled distance %v, cosine should ignore magnitude", d)
+	}
+	if d := CosineDistance([]float64{0, 0}, []float64{1, 0}); d != 1 {
+		t.Fatalf("zero-vector distance %v", d)
+	}
+}
+
+func TestCosineDistancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	CosineDistance([]float64{1}, []float64{1, 2})
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	if d := EuclideanDistance([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Fatalf("3-4-5 distance %v", d)
+	}
+}
+
+func TestHierarchicalSeparatesGroups(t *testing.T) {
+	for _, linkage := range []Linkage{Complete, Single, Average} {
+		root, err := Hierarchical(testVectors, CosineDistance, linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if root.Size != len(testVectors) {
+			t.Fatalf("%s: root size %d", linkage, root.Size)
+		}
+		// Cutting below the top merge must yield exactly the two groups.
+		groups := Cut(root, root.Height-1e-9)
+		if len(groups) != 2 {
+			t.Fatalf("%s: cut gave %d groups: %v", linkage, len(groups), groups)
+		}
+		want := map[int]int{0: 0, 1: 0, 2: 0, 3: 1, 4: 1}
+		for gi, g := range groups {
+			for _, leaf := range g {
+				if got := want[leaf]; gi == 0 && got != want[g[0]] {
+					t.Fatalf("%s: leaf %d misplaced: %v", linkage, leaf, groups)
+				}
+			}
+		}
+		// Group contents: {0,1,2} and {3,4}.
+		if len(groups[0]) != 3 || len(groups[1]) != 2 {
+			t.Fatalf("%s: group sizes %v", linkage, groups)
+		}
+	}
+}
+
+func TestHierarchicalEdgeCases(t *testing.T) {
+	if _, err := Hierarchical(nil, CosineDistance, Complete); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	root, err := Hierarchical([][]float64{{1, 2}}, CosineDistance, Complete)
+	if err != nil || !root.IsLeaf() || root.Leaf != 0 {
+		t.Fatalf("single observation: %+v err %v", root, err)
+	}
+}
+
+func TestHeightsMonotoneUpward(t *testing.T) {
+	// Along any root-to-leaf path, heights must not increase downward
+	// for complete and average linkage on these data.
+	root, err := Hierarchical(testVectors, CosineDistance, Complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *Node, parent float64)
+	walk = func(n *Node, parent float64) {
+		if n.IsLeaf() {
+			return
+		}
+		if n.Height > parent+1e-9 {
+			t.Fatalf("child height %v above parent %v", n.Height, parent)
+		}
+		walk(n.Left, n.Height)
+		walk(n.Right, n.Height)
+	}
+	walk(root, math.Inf(1))
+}
+
+func TestCutExtremes(t *testing.T) {
+	root, _ := Hierarchical(testVectors, CosineDistance, Average)
+	// Cutting at +inf yields one group with all leaves.
+	all := Cut(root, math.Inf(1))
+	if len(all) != 1 || len(all[0]) != len(testVectors) {
+		t.Fatalf("cut at inf: %v", all)
+	}
+	// Cutting below zero yields singletons.
+	singles := Cut(root, -1)
+	if len(singles) != len(testVectors) {
+		t.Fatalf("cut below 0: %v", singles)
+	}
+}
+
+func TestLeavesCoverAllObservations(t *testing.T) {
+	root, _ := Hierarchical(testVectors, EuclideanDistance, Single)
+	leaves := root.Leaves()
+	if len(leaves) != len(testVectors) {
+		t.Fatalf("leaves %v", leaves)
+	}
+	seen := map[int]bool{}
+	for _, l := range leaves {
+		if seen[l] {
+			t.Fatalf("duplicate leaf %d", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestRender(t *testing.T) {
+	root, _ := Hierarchical(testVectors, CosineDistance, Complete)
+	out := Render(root, []string{"a", "b", "c", "d", "e"})
+	for _, label := range []string{"a", "b", "c", "d", "e"} {
+		if !strings.Contains(out, label) {
+			t.Fatalf("render missing %q:\n%s", label, out)
+		}
+	}
+	if !strings.Contains(out, "h=") {
+		t.Fatal("render missing heights")
+	}
+	// Missing labels fall back to indices.
+	out = Render(root, nil)
+	if !strings.Contains(out, "#0") {
+		t.Fatal("fallback labels missing")
+	}
+}
+
+func TestCopheneticDistance(t *testing.T) {
+	root, _ := Hierarchical(testVectors, CosineDistance, Complete)
+	// Within-group cophenetic distance < between-group.
+	within, err := CopheneticDistance(root, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	between, err := CopheneticDistance(root, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if within >= between {
+		t.Fatalf("within %v >= between %v", within, between)
+	}
+	if d, _ := CopheneticDistance(root, 2, 2); d != 0 {
+		t.Fatalf("self distance %v", d)
+	}
+	if _, err := CopheneticDistance(root, 0, 99); err == nil {
+		t.Fatal("unknown leaf accepted")
+	}
+}
+
+func TestCopheneticUltrametric(t *testing.T) {
+	// Ultrametric inequality: d(i,k) <= max(d(i,j), d(j,k)).
+	root, _ := Hierarchical(testVectors, CosineDistance, Average)
+	n := len(testVectors)
+	f := func(a, b, c uint8) bool {
+		i, j, k := int(a)%n, int(b)%n, int(c)%n
+		dik, _ := CopheneticDistance(root, i, k)
+		dij, _ := CopheneticDistance(root, i, j)
+		djk, _ := CopheneticDistance(root, j, k)
+		return dik <= math.Max(dij, djk)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if Complete.String() != "complete" || Single.String() != "single" || Average.String() != "average" {
+		t.Fatal("linkage names wrong")
+	}
+	if !strings.Contains(Linkage(9).String(), "Linkage(") {
+		t.Fatal("invalid linkage String")
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"culinary/internal/classify"
+	"culinary/internal/recipedb"
+	"culinary/internal/report"
+)
+
+// ClassifyResult summarizes the culinary-fingerprint classification
+// extension: if cuisines carry non-random signature combinations (§I),
+// a naive Bayes model over ingredient bags must recover the region of
+// held-out recipes far above the majority-class baseline.
+type ClassifyResult struct {
+	// TestFraction is the held-out share (stratified per region).
+	TestFraction float64
+	// Evaluation is the full confusion/metric record.
+	Evaluation *classify.Evaluation
+	// Fingerprints holds each region's top-k authentic ingredients.
+	Fingerprints map[recipedb.Region][]classify.FingerprintEntry
+}
+
+// ExtClassify trains on a deterministic 80/20 stratified split and
+// evaluates held-out accuracy, then extracts per-region fingerprints.
+func (e *Env) ExtClassify(testFraction float64, fingerprintK int) (*ClassifyResult, error) {
+	if testFraction <= 0 || testFraction >= 1 {
+		testFraction = 0.2
+	}
+	if fingerprintK <= 0 {
+		fingerprintK = 3
+	}
+	train, test, err := classify.Split(e.Store, testFraction, e.Seed+0xC1A5)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: classify split: %w", err)
+	}
+	c := classify.New()
+	if err := c.Train(e.Store, train); err != nil {
+		return nil, fmt.Errorf("experiments: classify train: %w", err)
+	}
+	ev, err := classify.Evaluate(c, e.Store, test)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: classify evaluate: %w", err)
+	}
+	return &ClassifyResult{
+		TestFraction: testFraction,
+		Evaluation:   ev,
+		Fingerprints: classify.Fingerprints(e.Store, fingerprintK),
+	}, nil
+}
+
+// ExtClassifyReport renders accuracy and per-region metrics.
+func (e *Env) ExtClassifyReport(res *ClassifyResult) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Cuisine classification (naive Bayes, %.0f%% held out): accuracy %.3f vs majority baseline %.3f over %d recipes",
+			res.TestFraction*100, res.Evaluation.Accuracy, res.Evaluation.MajorityBaseline, res.Evaluation.Total),
+		"Region", "Support", "Precision", "Recall", "F1")
+	regions := make([]recipedb.Region, 0, len(res.Evaluation.PerRegion))
+	for r := range res.Evaluation.PerRegion {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	for _, r := range regions {
+		m := res.Evaluation.PerRegion[r]
+		t.AddRow(r.Code(), m.Support,
+			fmt.Sprintf("%.3f", m.Precision),
+			fmt.Sprintf("%.3f", m.Recall),
+			fmt.Sprintf("%.3f", m.F1))
+	}
+	return t
+}
+
+// FingerprintReport renders each region's most authentic ingredients.
+func (e *Env) FingerprintReport(res *ClassifyResult) *report.Table {
+	t := report.NewTable("Culinary fingerprints: most authentic ingredients per region",
+		"Region", "Ingredient", "Prevalence", "Authenticity")
+	regions := make([]recipedb.Region, 0, len(res.Fingerprints))
+	for r := range res.Fingerprints {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	for _, r := range regions {
+		for _, fe := range res.Fingerprints[r] {
+			t.AddRow(r.Code(), e.Catalog.Ingredient(fe.Ingredient).Name,
+				fmt.Sprintf("%.3f", fe.Prevalence),
+				fmt.Sprintf("%+.3f", fe.Authenticity))
+		}
+	}
+	return t
+}

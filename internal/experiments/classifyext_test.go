@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtClassifyBeatsBaseline(t *testing.T) {
+	res, err := testEnv.ExtClassify(0.2, 3)
+	if err != nil {
+		t.Fatalf("ExtClassify: %v", err)
+	}
+	ev := res.Evaluation
+	if ev.Total == 0 {
+		t.Fatal("empty evaluation")
+	}
+	if ev.Accuracy <= ev.MajorityBaseline {
+		t.Errorf("accuracy %.3f <= baseline %.3f: no fingerprint signal in the synthetic corpus",
+			ev.Accuracy, ev.MajorityBaseline)
+	}
+	if len(res.Fingerprints) == 0 {
+		t.Error("no fingerprints")
+	}
+	for region, entries := range res.Fingerprints {
+		if len(entries) == 0 || len(entries) > 3 {
+			t.Errorf("region %v fingerprint size %d", region, len(entries))
+		}
+	}
+}
+
+func TestExtClassifyDefaultsAndDeterminism(t *testing.T) {
+	// Out-of-range arguments fall back to defaults rather than failing.
+	a, err := testEnv.ExtClassify(-1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TestFraction != 0.2 {
+		t.Errorf("TestFraction = %g", a.TestFraction)
+	}
+	b, err := testEnv.ExtClassify(0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Evaluation.Accuracy != b.Evaluation.Accuracy {
+		t.Errorf("nondeterministic accuracy: %g vs %g", a.Evaluation.Accuracy, b.Evaluation.Accuracy)
+	}
+}
+
+func TestClassifyRunnerRenders(t *testing.T) {
+	var buf bytes.Buffer
+	r := &Runner{Env: testEnv, Out: &buf}
+	if err := r.Run("classify"); err != nil {
+		t.Fatalf("Run(classify): %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"accuracy", "Precision", "fingerprints", "Authenticity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

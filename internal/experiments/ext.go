@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"culinary/internal/alias"
+	"culinary/internal/pairing"
+	"culinary/internal/recipedb"
+	"culinary/internal/report"
+	"culinary/internal/stats"
+	"culinary/internal/synth"
+)
+
+// ExtTuples answers the paper's open question on higher-order patterns:
+// k-tuple flavor sharing vs the Random control for k = 2, 3, 4, over the
+// given regions (all major regions when regions is nil). The null sample
+// is reduced relative to Fig 4 because tuple enumeration is
+// combinatorial.
+func (e *Env) ExtTuples(regions []recipedb.Region, nullRecipes int) ([]pairing.TupleResult, error) {
+	if regions == nil {
+		regions = recipedb.MajorRegions()
+	}
+	if nullRecipes <= 0 {
+		nullRecipes = e.NullRecipes / 10
+	}
+	var out []pairing.TupleResult
+	for _, r := range regions {
+		c := e.Store.BuildCuisine(r)
+		for k := 2; k <= 4; k++ {
+			res, err := pairing.CompareTuples(e.Analyzer, e.Store, c, k, nullRecipes, e.src(0x500+uint64(r)*8+uint64(k)))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: tuples %s k=%d: %w", r.Code(), k, err)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// ExtTuplesReport renders the tuple analysis.
+func ExtTuplesReport(results []pairing.TupleResult) *report.Table {
+	t := report.NewTable(
+		"Ext-1. Higher-order (k-tuple) flavor sharing vs Random control",
+		"Region", "k", "Observed", "NullMean", "Z")
+	for _, res := range results {
+		t.AddRow(res.Region.Code(), res.K, res.Observed, res.NullMean,
+			fmt.Sprintf("%+.1f", res.Z))
+	}
+	return t
+}
+
+// RobustnessRow reports one region's sign stability under recipe
+// bootstrap resampling.
+type RobustnessRow struct {
+	Region recipedb.Region
+	// Observed is the full-cuisine N̄s; Lo/Hi bound its bootstrap CI.
+	Observed, Lo, Hi float64
+	// NullMean is the Random control mean; SignStable reports whether
+	// the CI stays on one side of it.
+	NullMean   float64
+	SignStable bool
+}
+
+// ExtRobustness bootstrap-resamples each region's recipes and checks
+// whether the food-pairing direction (N̄s vs Random-control mean)
+// survives resampling — the paper's "how robust are the patterns to
+// changes in recipes data" question.
+func (e *Env) ExtRobustness(regions []recipedb.Region, replicates int) ([]RobustnessRow, error) {
+	if regions == nil {
+		regions = recipedb.MajorRegions()
+	}
+	if replicates <= 0 {
+		replicates = 500
+	}
+	var out []RobustnessRow
+	for _, r := range regions {
+		c := e.Store.BuildCuisine(r)
+		scores := make([]float64, 0, len(c.RecipeIDs))
+		for _, rid := range c.RecipeIDs {
+			if v, ok := e.Analyzer.RecipeScore(e.Store.Recipe(rid).Ingredients); ok {
+				scores = append(scores, v)
+			}
+		}
+		if len(scores) == 0 {
+			return nil, fmt.Errorf("experiments: region %s has no scorable recipes", r.Code())
+		}
+		boot, err := stats.Bootstrap(scores, replicates, 0.95, e.src(0x600+uint64(r)), stats.MeanStat)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bootstrap %s: %w", r.Code(), err)
+		}
+		sampler, err := pairing.NewNullSampler(e.Analyzer, e.Store, c, pairing.RandomModel, e.src(0x700+uint64(r)))
+		if err != nil {
+			return nil, err
+		}
+		nullMean, _, _ := sampler.NullMoments(e.NullRecipes / 10)
+		stable := (boot.Lo > nullMean && boot.Hi > nullMean) ||
+			(boot.Lo < nullMean && boot.Hi < nullMean)
+		out = append(out, RobustnessRow{
+			Region: r, Observed: boot.Point, Lo: boot.Lo, Hi: boot.Hi,
+			NullMean: nullMean, SignStable: stable,
+		})
+	}
+	return out, nil
+}
+
+// ExtRobustnessReport renders the robustness table.
+func ExtRobustnessReport(rows []RobustnessRow) *report.Table {
+	t := report.NewTable(
+		"Ext-2. Bootstrap robustness of the food-pairing direction (95% CI of N̄s vs Random mean)",
+		"Region", "N̄s", "CI lo", "CI hi", "RandMean", "SignStable")
+	for _, r := range rows {
+		t.AddRow(r.Region.Code(), r.Observed, r.Lo, r.Hi, r.NullMean,
+			fmt.Sprintf("%v", r.SignStable))
+	}
+	return t
+}
+
+// EvolutionPoint is one β setting of the copy-mutate sweep.
+type EvolutionPoint struct {
+	Beta float64
+	Z    float64
+}
+
+// ExtEvolution sweeps the copy-mutate model's flavor-affinity bias β and
+// measures the resulting pairing Z, demonstrating that the evolution
+// model spans the full uniform-to-contrasting spectrum ([10] of the
+// paper). The sweep generates a single mid-size cuisine per point.
+func (e *Env) ExtEvolution(betas []float64) ([]EvolutionPoint, error) {
+	if betas == nil {
+		betas = []float64{-1.5, -1.0, -0.5, 0, 0.5, 1.0, 1.5}
+	}
+	out := make([]EvolutionPoint, 0, len(betas))
+	for i, beta := range betas {
+		store, err := synth.GenerateSingleRegion(e.Analyzer, recipedb.Greece, synth.SingleRegionConfig{
+			Seed:    e.Seed + uint64(i)*31 + 1,
+			Recipes: 600,
+			Beta:    beta,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: evolution β=%g: %w", beta, err)
+		}
+		c := store.BuildCuisine(recipedb.Greece)
+		res, err := pairing.Compare(e.Analyzer, store, c, pairing.RandomModel,
+			e.NullRecipes/10, e.src(0x800+uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EvolutionPoint{Beta: beta, Z: res.Z})
+	}
+	return out, nil
+}
+
+// ExtEvolutionReport renders the β sweep.
+func ExtEvolutionReport(points []EvolutionPoint) *report.Table {
+	t := report.NewTable(
+		"Ext-3. Copy-mutate evolution model: pairing Z as a function of flavor-affinity bias β",
+		"Beta", "Z")
+	for _, p := range points {
+		t.AddRow(p.Beta, fmt.Sprintf("%+.1f", p.Z))
+	}
+	return t
+}
+
+// AliasingResult summarizes the §IV.A pipeline's accuracy on synthesized
+// noisy phrases with known ground truth.
+type AliasingResult struct {
+	Phrases      int
+	Matched      int
+	Partial      int
+	Unrecognized int
+	Fuzzy        int
+	// Correct counts resolved phrases whose entity equals the ground
+	// truth; Precision = Correct / (Matched + Partial).
+	Correct   int
+	Precision float64
+	// ResolveRate = (Matched + Partial) / Phrases.
+	ResolveRate float64
+}
+
+// ExtAliasing renders n noisy phrases and measures the aliasing
+// pipeline's resolve rate and precision.
+func (e *Env) ExtAliasing(n int) AliasingResult {
+	if n <= 0 {
+		n = 5000
+	}
+	pcfg := synth.DefaultPhraseConfig()
+	pcfg.Seed = e.Seed + 77
+	ps := synth.NewPhraseSynthesizer(e.Catalog, pcfg)
+	batch := ps.RenderBatch(n)
+	al := alias.New(e.Catalog)
+	res := AliasingResult{Phrases: n}
+	for _, lp := range batch {
+		m := al.Resolve(lp.Phrase)
+		switch m.Status {
+		case alias.Matched:
+			res.Matched++
+		case alias.Partial:
+			res.Partial++
+		default:
+			res.Unrecognized++
+		}
+		if m.Fuzzy {
+			res.Fuzzy++
+		}
+		if m.Status != alias.Unrecognized && m.Ingredient == lp.Truth {
+			res.Correct++
+		}
+	}
+	resolved := res.Matched + res.Partial
+	if resolved > 0 {
+		res.Precision = float64(res.Correct) / float64(resolved)
+	}
+	res.ResolveRate = float64(resolved) / float64(n)
+	return res
+}
+
+// ExtAliasingReport renders the aliasing evaluation.
+func ExtAliasingReport(r AliasingResult) *report.Table {
+	t := report.NewTable(
+		"Ext-4. Ingredient aliasing pipeline accuracy on synthesized noisy phrases",
+		"Phrases", "Matched", "Partial", "Unrecognized", "Fuzzy", "ResolveRate", "Precision")
+	t.AddRow(r.Phrases, r.Matched, r.Partial, r.Unrecognized, r.Fuzzy,
+		r.ResolveRate, r.Precision)
+	return t
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"culinary/internal/flavornet"
+	"culinary/internal/pairing"
+	"culinary/internal/recipedb"
+	"culinary/internal/report"
+)
+
+// PerturbationRow reports one region's pairing-sign stability under
+// flavor-profile dropout.
+type PerturbationRow struct {
+	Region recipedb.Region
+	// ZBase is the Z-score on the unperturbed catalog; ZPerturbed on the
+	// dropout catalog.
+	ZBase, ZPerturbed float64
+	// Dropout is the molecule-dropout probability applied.
+	Dropout float64
+	// SignStable reports whether both Z-scores share a sign.
+	SignStable bool
+}
+
+// ExtPerturbation answers the flavor-data half of the paper's
+// robustness question: drop each profile molecule with probability
+// dropout, rebuild the pair-sharing matrix, and re-measure each
+// region's pairing Z against the Random control. The corpus is held
+// fixed; only the flavor data changes.
+func (e *Env) ExtPerturbation(regions []recipedb.Region, dropout float64, nullRecipes int) ([]PerturbationRow, error) {
+	if regions == nil {
+		regions = recipedb.MajorRegions()
+	}
+	if dropout <= 0 {
+		dropout = 0.2
+	}
+	if nullRecipes <= 0 {
+		nullRecipes = e.NullRecipes / 10
+	}
+	perturbed, err := e.Catalog.Perturb(dropout, e.Seed+1234)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: perturbing catalog: %w", err)
+	}
+	pAnalyzer := pairing.NewAnalyzer(perturbed)
+	var out []PerturbationRow
+	for _, r := range regions {
+		c := e.Store.BuildCuisine(r)
+		base, err := pairing.Compare(e.Analyzer, e.Store, c, pairing.RandomModel,
+			nullRecipes, e.src(0x900+uint64(r)))
+		if err != nil {
+			return nil, err
+		}
+		pert, err := pairing.Compare(pAnalyzer, e.Store, c, pairing.RandomModel,
+			nullRecipes, e.src(0xA00+uint64(r)))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PerturbationRow{
+			Region:     r,
+			ZBase:      base.Z,
+			ZPerturbed: pert.Z,
+			Dropout:    dropout,
+			SignStable: (base.Z > 0) == (pert.Z > 0),
+		})
+	}
+	return out, nil
+}
+
+// ExtPerturbationReport renders the perturbation table.
+func ExtPerturbationReport(rows []PerturbationRow) *report.Table {
+	t := report.NewTable(
+		"Ext-5. Pairing-sign stability under flavor-profile dropout",
+		"Region", "Dropout", "Z(base)", "Z(perturbed)", "SignStable")
+	for _, r := range rows {
+		t.AddRow(r.Region.Code(), r.Dropout,
+			fmt.Sprintf("%+.1f", r.ZBase),
+			fmt.Sprintf("%+.1f", r.ZPerturbed),
+			fmt.Sprintf("%v", r.SignStable))
+	}
+	return t
+}
+
+// NetworkSummary captures whole-network statistics of the flavor
+// network (the Ahn et al. substrate the paper builds on).
+type NetworkSummary struct {
+	MinShared      int
+	Nodes, Edges   int
+	Density        float64
+	MeanClustering float64
+	BackboneEdges  int
+	TopPairs       []flavornet.Edge
+	// Communities is the weighted label-propagation partition (sizes,
+	// largest first) and Modularity its Newman Q.
+	Communities []int
+	Modularity  float64
+}
+
+// ExtNetwork builds the flavor network at the given edge threshold and
+// summarizes its topology and backbone.
+func (e *Env) ExtNetwork(minShared, topK int) NetworkSummary {
+	if minShared < 1 {
+		minShared = 5
+	}
+	if topK <= 0 {
+		topK = 10
+	}
+	net := flavornet.Build(e.Analyzer, minShared)
+	comms := net.Communities(0)
+	sizes := make([]int, 0, len(comms))
+	for _, c := range comms {
+		sizes = append(sizes, c.Size())
+	}
+	return NetworkSummary{
+		MinShared:      minShared,
+		Nodes:          net.NumNodes(),
+		Edges:          net.NumEdges(),
+		Density:        net.Density(),
+		MeanClustering: net.MeanClustering(),
+		BackboneEdges:  len(net.Backbone(0.05)),
+		TopPairs:       net.TopPairs(topK),
+		Communities:    sizes,
+		Modularity:     net.Modularity(comms),
+	}
+}
+
+// ExtNetworkReport renders the network summary.
+func (e *Env) ExtNetworkReport(s NetworkSummary) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Ext-6. Flavor network (edges: ≥%d shared compounds): %d nodes, %d edges, density %.3f, clustering %.3f, backbone %d edges, %d communities (Q=%.3f)",
+			s.MinShared, s.Nodes, s.Edges, s.Density, s.MeanClustering, s.BackboneEdges, len(s.Communities), s.Modularity),
+		"Pair", "SharedCompounds")
+	for _, p := range s.TopPairs {
+		t.AddRow(
+			e.Catalog.Ingredient(p.A).Name+" + "+e.Catalog.Ingredient(p.B).Name,
+			p.Weight)
+	}
+	return t
+}
+
+// AuthenticityReport lists each region's most authentic ingredients
+// (highest prevalence relative to the rest of the world).
+func (e *Env) AuthenticityReport(k int) (*report.Table, error) {
+	t := report.NewTable(
+		fmt.Sprintf("Ext-7. Top %d authentic ingredients per region (prevalence above world mean)", k),
+		"Region", "Ingredients (ΔPrevalence)")
+	for _, r := range recipedb.MajorRegions() {
+		ids, scores, err := flavornet.TopAuthentic(e.Store, r, k)
+		if err != nil {
+			return nil, err
+		}
+		var cells []string
+		for i, id := range ids {
+			cells = append(cells, fmt.Sprintf("%s(%+.2f)", e.Catalog.Ingredient(id).Name, scores[i]))
+		}
+		t.AddRow(r.Code(), joinComma(cells))
+	}
+	return t, nil
+}

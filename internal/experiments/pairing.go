@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"culinary/internal/pairing"
+	"culinary/internal/recipedb"
+	"culinary/internal/report"
+	"culinary/internal/stats"
+)
+
+// Fig4Row is one cuisine's food-pairing comparison: the real cuisine and
+// each randomized model expressed as Z-scores against the Random
+// control (Fig 4).
+type Fig4Row struct {
+	Region recipedb.Region
+	// Observed is the cuisine's mean flavor sharing N̄s.
+	Observed float64
+	// RandomMean and RandomStd are the Random control's moments.
+	RandomMean, RandomStd float64
+	// ZCuisine is the real cuisine's Z against the Random control.
+	ZCuisine float64
+	// ZModel[m] is model m's mean score expressed as a Z against the
+	// Random control (ZModel[RandomModel] ≈ 0 by construction).
+	ZModel [pairing.NumModels]float64
+	// ModelMean[m] is model m's mean pairing score.
+	ModelMean [pairing.NumModels]float64
+	// PaperSign is the direction the paper reports for this cuisine.
+	PaperSign int
+}
+
+// Fig4 runs the full food-pairing analysis: for every major region, the
+// real cuisine and the four randomized models, each sampled with
+// e.NullRecipes recipes, all referenced to the Random control. Regions
+// are independent — each draws from its own stream keyed by region ID —
+// so the sweep fans out across CPUs with results identical to a
+// sequential run regardless of scheduling.
+func (e *Env) Fig4() ([]Fig4Row, error) {
+	regions := recipedb.MajorRegions()
+	rows := make([]Fig4Row, len(regions))
+	errs := make([]error, len(regions))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(regions) {
+		workers = len(regions)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rows[i], errs[i] = e.fig4Region(regions[i])
+			}
+		}()
+	}
+	for i := range regions {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// Fig4Region runs the Fig 4 analysis for a single region.
+func (e *Env) Fig4Region(r recipedb.Region) (Fig4Row, error) {
+	return e.fig4Region(r)
+}
+
+func (e *Env) fig4Region(r recipedb.Region) (Fig4Row, error) {
+	c := e.Store.BuildCuisine(r)
+	src := e.src(0x40 + uint64(r))
+	observed, scored := e.Analyzer.CuisineScore(e.Store, c)
+	if scored == 0 {
+		return Fig4Row{}, fmt.Errorf("experiments: region %s has no scorable recipes", r.Code())
+	}
+	// Random control moments.
+	rs, err := pairing.NewNullSampler(e.Analyzer, e.Store, c, pairing.RandomModel, src.Split(0))
+	if err != nil {
+		return Fig4Row{}, err
+	}
+	rMean, rStd, rN := rs.NullMoments(e.NullRecipes)
+	row := Fig4Row{
+		Region:     r,
+		Observed:   observed,
+		RandomMean: rMean,
+		RandomStd:  rStd,
+		ZCuisine:   stats.ZScore(observed, rMean, rStd, rN),
+		PaperSign:  r.PairingSign(),
+	}
+	row.ModelMean[pairing.RandomModel] = rMean
+	row.ZModel[pairing.RandomModel] = 0
+	for _, m := range []pairing.Model{pairing.FrequencyModel, pairing.CategoryModel, pairing.FrequencyCategoryModel} {
+		mMean, err := pairing.ModelScore(e.Analyzer, e.Store, c, m, e.NullRecipes, src.Split(uint64(m)+1))
+		if err != nil {
+			return Fig4Row{}, err
+		}
+		row.ModelMean[m] = mMean
+		row.ZModel[m] = stats.ZScore(mMean, rMean, rStd, rN)
+	}
+	return row, nil
+}
+
+// Fig4Report renders the per-cuisine Z table.
+func (e *Env) Fig4Report(rows []Fig4Row) *report.Table {
+	t := report.NewTable(
+		"Fig 4. Food pairing Z-scores vs the Random control (paper: 16 positive, 6 negative cuisines; Frequency model reproduces the pattern, Category model does not)",
+		"Region", "N̄s", "RandMean", "Z(cuisine)", "Z(Frequency)", "Z(Category)", "Z(Freq+Cat)", "Sign", "PaperSign")
+	for _, row := range rows {
+		sign := "0"
+		if row.ZCuisine > 0 {
+			sign = "+"
+		} else if row.ZCuisine < 0 {
+			sign = "-"
+		}
+		paperSign := "+"
+		if row.PaperSign < 0 {
+			paperSign = "-"
+		}
+		t.AddRow(row.Region.Code(), row.Observed, row.RandomMean,
+			fmt.Sprintf("%+.1f", row.ZCuisine),
+			fmt.Sprintf("%+.1f", row.ZModel[pairing.FrequencyModel]),
+			fmt.Sprintf("%+.1f", row.ZModel[pairing.CategoryModel]),
+			fmt.Sprintf("%+.1f", row.ZModel[pairing.FrequencyCategoryModel]),
+			sign, paperSign)
+	}
+	return t
+}
+
+// Fig4Chart renders the cuisines' Z-scores as a bar chart around zero.
+func (e *Env) Fig4Chart(rows []Fig4Row) *report.BarChart {
+	chart := &report.BarChart{
+		Title: "Fig 4. Food pairing Z-score per cuisine (vs Random control)",
+		Width: 30,
+	}
+	for _, row := range rows {
+		chart.Labels = append(chart.Labels, row.Region.Code())
+		chart.Values = append(chart.Values, row.ZCuisine)
+	}
+	return chart
+}
+
+// Fig5Row lists one cuisine's top contributing ingredients (Fig 5).
+type Fig5Row struct {
+	Region recipedb.Region
+	Sign   int
+	Top    []pairing.Contribution
+}
+
+// Fig5 computes the top-k contributing ingredients for every major
+// region, split by the cuisine's observed pairing direction. zSigns maps
+// each region to the sign of its Fig 4 Z-score (pass the Fig4 output);
+// if a region is missing its paper sign is used.
+func (e *Env) Fig5(k int, fig4 []Fig4Row) []Fig5Row {
+	signOf := make(map[recipedb.Region]int, len(fig4))
+	for _, row := range fig4 {
+		s := 0
+		if row.ZCuisine > 0 {
+			s = 1
+		} else if row.ZCuisine < 0 {
+			s = -1
+		}
+		signOf[row.Region] = s
+	}
+	out := make([]Fig5Row, 0, recipedb.NumMajorRegions)
+	for _, r := range recipedb.MajorRegions() {
+		sign, ok := signOf[r]
+		if !ok || sign == 0 {
+			sign = r.PairingSign()
+		}
+		c := e.Store.BuildCuisine(r)
+		contribs := e.Analyzer.Contributions(e.Store, c)
+		out = append(out, Fig5Row{
+			Region: r,
+			Sign:   sign,
+			Top:    pairing.TopContributors(contribs, k, sign),
+		})
+	}
+	return out
+}
+
+// Fig5Report renders the positive-pairing (a) and negative-pairing (b)
+// contributor tables.
+func (e *Env) Fig5Report(rows []Fig5Row) (positive, negative *report.Table) {
+	positive = report.NewTable(
+		"Fig 5(a). Top ingredients contributing to positive food pairing",
+		"Region", "Ingredients (ΔN̄s% on removal)")
+	negative = report.NewTable(
+		"Fig 5(b). Top ingredients contributing to negative food pairing",
+		"Region", "Ingredients (ΔN̄s% on removal)")
+	for _, row := range rows {
+		var cells []string
+		for _, c := range row.Top {
+			cells = append(cells, fmt.Sprintf("%s(%+.1f%%)", c.Name, c.DeltaPct))
+		}
+		line := joinComma(cells)
+		if row.Sign >= 0 {
+			positive.AddRow(row.Region.Code(), line)
+		} else {
+			negative.AddRow(row.Region.Code(), line)
+		}
+	}
+	return positive, negative
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"culinary/internal/assoc"
+	"culinary/internal/recipedb"
+)
+
+// Runner executes named experiments and writes rendered output.
+type Runner struct {
+	Env *Env
+	// Out receives rendered tables and charts.
+	Out io.Writer
+
+	// fig4Cache memoizes the expensive Fig 4 sweep so that fig5 (which
+	// needs the per-cuisine signs) does not recompute it.
+	fig4Cache []Fig4Row
+}
+
+// fig4 returns cached Fig 4 rows, computing them on first use.
+func (r *Runner) fig4() ([]Fig4Row, error) {
+	if r.fig4Cache != nil {
+		return r.fig4Cache, nil
+	}
+	rows, err := r.Env.Fig4()
+	if err != nil {
+		return nil, err
+	}
+	r.fig4Cache = rows
+	return rows, nil
+}
+
+// experimentFn runs one named experiment.
+type experimentFn func(*Runner) error
+
+var registry = map[string]experimentFn{
+	"table1": func(r *Runner) error {
+		return r.Env.Table1Report().Render(r.Out)
+	},
+	"fig2": func(r *Runner) error {
+		if err := r.Env.Fig2().Render(r.Out); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out)
+		return r.Env.Fig2Table().Render(r.Out)
+	},
+	"fig3a": func(r *Runner) error {
+		return r.Env.Fig3aReport().Render(r.Out)
+	},
+	"fig3b": func(r *Runner) error {
+		if err := r.Env.Fig3bReport().Render(r.Out); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out)
+		return r.Env.TopIngredientsReport(5).Render(r.Out)
+	},
+	"fig4": func(r *Runner) error {
+		rows, err := r.fig4()
+		if err != nil {
+			return err
+		}
+		if err := r.Env.Fig4Chart(rows).Render(r.Out); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out)
+		return r.Env.Fig4Report(rows).Render(r.Out)
+	},
+	"fig5": func(r *Runner) error {
+		fig4, err := r.fig4()
+		if err != nil {
+			return err
+		}
+		rows := r.Env.Fig5(3, fig4)
+		pos, neg := r.Env.Fig5Report(rows)
+		if err := pos.Render(r.Out); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out)
+		return neg.Render(r.Out)
+	},
+	"tuples": func(r *Runner) error {
+		res, err := r.Env.ExtTuples(nil, 0)
+		if err != nil {
+			return err
+		}
+		return ExtTuplesReport(res).Render(r.Out)
+	},
+	"robustness": func(r *Runner) error {
+		rows, err := r.Env.ExtRobustness(nil, 0)
+		if err != nil {
+			return err
+		}
+		return ExtRobustnessReport(rows).Render(r.Out)
+	},
+	"evolution": func(r *Runner) error {
+		points, err := r.Env.ExtEvolution(nil)
+		if err != nil {
+			return err
+		}
+		return ExtEvolutionReport(points).Render(r.Out)
+	},
+	"aliasing": func(r *Runner) error {
+		return ExtAliasingReport(r.Env.ExtAliasing(0)).Render(r.Out)
+	},
+	"perturbation": func(r *Runner) error {
+		rows, err := r.Env.ExtPerturbation(nil, 0.2, 0)
+		if err != nil {
+			return err
+		}
+		return ExtPerturbationReport(rows).Render(r.Out)
+	},
+	"classify": func(r *Runner) error {
+		res, err := r.Env.ExtClassify(0.2, 3)
+		if err != nil {
+			return err
+		}
+		if err := r.Env.ExtClassifyReport(res).Render(r.Out); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out)
+		return r.Env.FingerprintReport(res).Render(r.Out)
+	},
+	"clusters": func(r *Runner) error {
+		res, err := r.Env.ExtCluster()
+		if err != nil {
+			return err
+		}
+		if err := r.Env.ExtClusterReport(res).Render(r.Out); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out)
+		_, err = fmt.Fprintln(r.Out, r.Env.ClusterDendrogram(res))
+		return err
+	},
+	"rules": func(r *Runner) error {
+		res, err := r.Env.ExtRules(recipedb.Italy, assoc.Config{})
+		if err != nil {
+			return err
+		}
+		counts, rules := r.Env.ExtRulesReport(res, 10)
+		if err := counts.Render(r.Out); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out)
+		return rules.Render(r.Out)
+	},
+	"network": func(r *Runner) error {
+		if err := r.Env.ExtNetworkReport(r.Env.ExtNetwork(5, 10)).Render(r.Out); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out)
+		tbl, err := r.Env.AuthenticityReport(3)
+		if err != nil {
+			return err
+		}
+		return tbl.Render(r.Out)
+	},
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by name.
+func (r *Runner) Run(name string) error {
+	fn, ok := registry[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	fmt.Fprintf(r.Out, "== %s ==\n", strings.ToLower(name))
+	if err := fn(r); err != nil {
+		return fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	fmt.Fprintln(r.Out)
+	return nil
+}
+
+// RunAll executes every registered experiment in a fixed order.
+func (r *Runner) RunAll() error {
+	order := []string{
+		"table1", "fig2", "fig3a", "fig3b", "fig4", "fig5",
+		"tuples", "robustness", "evolution", "aliasing",
+		"perturbation", "network", "classify", "clusters", "rules",
+	}
+	for _, name := range order {
+		if err := r.Run(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

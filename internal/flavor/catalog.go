@@ -1,0 +1,401 @@
+package flavor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"culinary/internal/bitset"
+	"culinary/internal/rng"
+)
+
+// ID identifies an ingredient within a Catalog. IDs are dense indices
+// [0, Catalog.Len()) so downstream packages index arrays by ID.
+type ID int
+
+// Invalid is the sentinel returned by lookups that fail.
+const Invalid ID = -1
+
+// Ingredient is one catalog entity: a basic natural ingredient or a
+// compound ingredient whose profile pools its constituents' molecules.
+type Ingredient struct {
+	ID       ID
+	Name     string
+	Category Category
+	// Compound marks ready-made combinations ('mayonnaise', 'half half').
+	Compound bool
+	// Constituents lists the component ingredients of a compound.
+	Constituents []ID
+	// HasProfile is false for the additive entities the paper lists as
+	// carrying no flavor profile; the pairing analysis skips them.
+	HasProfile bool
+}
+
+// Config controls synthetic flavor-profile generation. The zero value is
+// not valid; start from DefaultConfig.
+type Config struct {
+	// Seed drives all profile randomness; equal seeds give equal catalogs.
+	Seed uint64
+	// NumMolecules is the size of the molecule universe.
+	NumMolecules int
+	// NumThemes is the number of latent flavor themes.
+	NumThemes int
+	// BackboneSize is the count of ubiquitous molecules shared broadly
+	// across ingredients (Maillard products, common esters and acids in
+	// the real data).
+	BackboneSize int
+	// BackboneProb is the probability that any profile slot draws from
+	// the backbone instead of the ingredient's theme mixture.
+	BackboneProb float64
+	// MeanLogProfile and SigmaLogProfile parameterize the log-normal
+	// profile-size distribution.
+	MeanLogProfile  float64
+	SigmaLogProfile float64
+	// MinProfile and MaxProfile clamp profile sizes.
+	MinProfile, MaxProfile int
+	// ThemesPerCategory is how many preferred themes each category has.
+	ThemesPerCategory int
+	// CategoryFocus in (0,1] is the probability that a non-backbone slot
+	// draws from the category's preferred themes rather than a uniform
+	// random theme; higher focus means stronger within-category overlap.
+	CategoryFocus float64
+}
+
+// DefaultConfig returns the calibration used across the repository:
+// ~1100-molecule universe, heavy-tailed profile sizes with median ≈ 40
+// molecules, and category-correlated theme structure.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              20180416, // ICDE 2018 conference date
+		NumMolecules:      1104,     // divisible by default theme count
+		NumThemes:         48,
+		BackboneSize:      64,
+		BackboneProb:      0.22,
+		MeanLogProfile:    3.7, // exp(3.7) ≈ 40
+		SigmaLogProfile:   0.75,
+		MinProfile:        3,
+		MaxProfile:        320,
+		ThemesPerCategory: 4,
+		CategoryFocus:     0.8,
+	}
+}
+
+// Catalog is the ingredient catalog with generated flavor profiles. It is
+// immutable after Build and safe for concurrent readers.
+type Catalog struct {
+	cfg         Config
+	ingredients []Ingredient
+	byName      map[string]ID
+	synonyms    map[string]ID // alternate spellings → canonical ID
+	profiles    []*bitset.Set
+	molecules   []Molecule
+	byCategory  [][]ID
+}
+
+// Build assembles the embedded catalog and synthesizes flavor profiles
+// according to cfg.
+func Build(cfg Config) (*Catalog, error) {
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
+	}
+	c := &Catalog{
+		cfg:        cfg,
+		byName:     make(map[string]ID),
+		synonyms:   make(map[string]ID),
+		byCategory: make([][]ID, NumCategories),
+	}
+
+	// 1. Basic ingredients.
+	add := func(name string, cat Category) error {
+		if _, dup := c.byName[name]; dup {
+			return fmt.Errorf("flavor: duplicate ingredient %q", name)
+		}
+		id := ID(len(c.ingredients))
+		c.ingredients = append(c.ingredients, Ingredient{
+			ID:         id,
+			Name:       name,
+			Category:   cat,
+			HasProfile: !noProfileIngredients[name],
+		})
+		c.byName[name] = id
+		c.byCategory[cat] = append(c.byCategory[cat], id)
+		return nil
+	}
+	for _, e := range baseIngredients {
+		if err := add(e.name, e.cat); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range extraBaseIngredients {
+		if err := add(e.name, e.cat); err != nil {
+			return nil, err
+		}
+	}
+
+	// 2. Compound ingredients, resolvable in declaration order so later
+	// compounds may reference earlier ones.
+	for _, spec := range compoundIngredients {
+		if _, dup := c.byName[spec.name]; dup {
+			return nil, fmt.Errorf("flavor: compound %q duplicates an existing name", spec.name)
+		}
+		ids := make([]ID, 0, len(spec.constituents))
+		for _, part := range spec.constituents {
+			pid, ok := c.byName[part]
+			if !ok {
+				return nil, fmt.Errorf("flavor: compound %q references unknown constituent %q", spec.name, part)
+			}
+			ids = append(ids, pid)
+		}
+		id := ID(len(c.ingredients))
+		c.ingredients = append(c.ingredients, Ingredient{
+			ID:           id,
+			Name:         spec.name,
+			Category:     spec.cat,
+			Compound:     true,
+			Constituents: ids,
+			HasProfile:   true,
+		})
+		c.byName[spec.name] = id
+		c.byCategory[spec.cat] = append(c.byCategory[spec.cat], id)
+	}
+
+	// 3. Synonyms.
+	for _, pair := range synonymPairs {
+		alt, canonical := pair[0], pair[1]
+		target, ok := c.byName[canonical]
+		if !ok {
+			return nil, fmt.Errorf("flavor: synonym %q targets unknown ingredient %q", alt, canonical)
+		}
+		if _, clash := c.byName[alt]; clash {
+			return nil, fmt.Errorf("flavor: synonym %q collides with a canonical name", alt)
+		}
+		if prev, dup := c.synonyms[alt]; dup && prev != target {
+			return nil, fmt.Errorf("flavor: synonym %q maps to both %d and %d", alt, prev, target)
+		}
+		c.synonyms[alt] = target
+	}
+
+	// 4. Molecule universe and profiles.
+	src := rng.New(cfg.Seed)
+	c.molecules = buildMoleculeUniverse(cfg.NumMolecules, cfg.NumThemes, src.Split(1))
+	if err := c.generateProfiles(src.Split(2)); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func validateConfig(cfg Config) error {
+	switch {
+	case cfg.NumMolecules < 64:
+		return fmt.Errorf("flavor: NumMolecules %d too small", cfg.NumMolecules)
+	case cfg.NumThemes < 1 || cfg.NumThemes > cfg.NumMolecules:
+		return fmt.Errorf("flavor: NumThemes %d invalid for %d molecules", cfg.NumThemes, cfg.NumMolecules)
+	case cfg.BackboneSize < 0 || cfg.BackboneSize >= cfg.NumMolecules:
+		return fmt.Errorf("flavor: BackboneSize %d invalid", cfg.BackboneSize)
+	case cfg.BackboneProb < 0 || cfg.BackboneProb > 1:
+		return fmt.Errorf("flavor: BackboneProb %g outside [0,1]", cfg.BackboneProb)
+	case cfg.MinProfile < 1 || cfg.MaxProfile < cfg.MinProfile:
+		return fmt.Errorf("flavor: profile bounds [%d,%d] invalid", cfg.MinProfile, cfg.MaxProfile)
+	case cfg.MaxProfile > cfg.NumMolecules:
+		return fmt.Errorf("flavor: MaxProfile %d exceeds universe %d", cfg.MaxProfile, cfg.NumMolecules)
+	case cfg.ThemesPerCategory < 1 || cfg.ThemesPerCategory > cfg.NumThemes:
+		return fmt.Errorf("flavor: ThemesPerCategory %d invalid", cfg.ThemesPerCategory)
+	case cfg.CategoryFocus <= 0 || cfg.CategoryFocus > 1:
+		return fmt.Errorf("flavor: CategoryFocus %g outside (0,1]", cfg.CategoryFocus)
+	}
+	return nil
+}
+
+// generateProfiles assigns every basic ingredient a molecule set and
+// pools compound profiles from constituents.
+func (c *Catalog) generateProfiles(src *rng.Source) error {
+	cfg := c.cfg
+	n := cfg.NumMolecules
+
+	// Backbone: the first BackboneSize molecule ids after a deterministic
+	// shuffle, so backbone membership is spread over themes.
+	perm := src.Split(0).Perm(n)
+	backbone := perm[:cfg.BackboneSize]
+
+	// Molecules grouped by theme for theme-directed sampling.
+	byTheme := make([][]int, cfg.NumThemes)
+	for _, m := range c.molecules {
+		byTheme[m.Theme] = append(byTheme[m.Theme], m.ID)
+	}
+
+	// Preferred themes per category: a deterministic stride assignment
+	// with overlap between adjacent categories, mimicking how e.g. herbs
+	// and spices share terpene chemistry while dairy and meat share
+	// lipid-derived compounds.
+	catThemes := make([][]int, NumCategories)
+	for cat := 0; cat < NumCategories; cat++ {
+		themes := make([]int, cfg.ThemesPerCategory)
+		for j := 0; j < cfg.ThemesPerCategory; j++ {
+			themes[j] = (cat*2 + j*3) % cfg.NumThemes
+		}
+		catThemes[cat] = themes
+	}
+
+	c.profiles = make([]*bitset.Set, len(c.ingredients))
+	for i := range c.ingredients {
+		ing := &c.ingredients[i]
+		if ing.Compound {
+			continue // pooled below after all basics exist
+		}
+		set := bitset.New(n)
+		if ing.HasProfile {
+			isrc := src.Split(uint64(i) + 1)
+			size := c.sampleProfileSize(isrc)
+			themes := catThemes[ing.Category]
+			// Each ingredient also has a private signature theme giving
+			// it molecules its category-mates lack.
+			private := isrc.Intn(cfg.NumThemes)
+			for set.Count() < size {
+				r := isrc.Float64()
+				var pool []int
+				switch {
+				case r < cfg.BackboneProb:
+					pool = backbone
+				case r < cfg.BackboneProb+(1-cfg.BackboneProb)*cfg.CategoryFocus:
+					// Weighted toward the category's first themes.
+					t := themes[themeRank(isrc, len(themes))]
+					pool = byTheme[t]
+				default:
+					if isrc.Float64() < 0.5 {
+						pool = byTheme[private]
+					} else {
+						pool = byTheme[isrc.Intn(cfg.NumThemes)]
+					}
+				}
+				if len(pool) == 0 {
+					continue
+				}
+				set.Add(pool[isrc.Intn(len(pool))])
+			}
+		}
+		c.profiles[i] = set
+	}
+	// Compound profiles: union of constituents (§III.C). Constituents are
+	// guaranteed to precede the compound or be compounds declared earlier,
+	// so a single in-order pass suffices.
+	for i := range c.ingredients {
+		ing := &c.ingredients[i]
+		if !ing.Compound {
+			continue
+		}
+		set := bitset.New(n)
+		for _, pid := range ing.Constituents {
+			sub := c.profiles[pid]
+			if sub == nil {
+				return fmt.Errorf("flavor: compound %q built before constituent %d", ing.Name, pid)
+			}
+			set.UnionInPlace(sub)
+		}
+		c.profiles[i] = set
+	}
+	return nil
+}
+
+// themeRank picks an index in [0, k) geometrically favoring low indices,
+// so a category's first preferred theme dominates its profile chemistry.
+func themeRank(src *rng.Source, k int) int {
+	for i := 0; i < k-1; i++ {
+		if src.Float64() < 0.5 {
+			return i
+		}
+	}
+	return k - 1
+}
+
+// sampleProfileSize draws a log-normal profile size clamped to the
+// configured range.
+func (c *Catalog) sampleProfileSize(src *rng.Source) int {
+	cfg := c.cfg
+	v := int(expf(cfg.MeanLogProfile + cfg.SigmaLogProfile*src.NormFloat64()))
+	if v < cfg.MinProfile {
+		v = cfg.MinProfile
+	}
+	if v > cfg.MaxProfile {
+		v = cfg.MaxProfile
+	}
+	return v
+}
+
+// Len returns the number of ingredients in the catalog.
+func (c *Catalog) Len() int { return len(c.ingredients) }
+
+// NumMolecules returns the size of the molecule universe.
+func (c *Catalog) NumMolecules() int { return c.cfg.NumMolecules }
+
+// Config returns the configuration the catalog was built with.
+func (c *Catalog) Config() Config { return c.cfg }
+
+// Ingredient returns the ingredient with the given ID. It panics on an
+// out-of-range ID, which always indicates a programming error.
+func (c *Catalog) Ingredient(id ID) Ingredient {
+	return c.ingredients[id]
+}
+
+// Lookup resolves a canonical name or registered synonym to an ID.
+func (c *Catalog) Lookup(name string) (ID, bool) {
+	if id, ok := c.byName[name]; ok {
+		return id, true
+	}
+	if id, ok := c.synonyms[name]; ok {
+		return id, true
+	}
+	return Invalid, false
+}
+
+// Profile returns the flavor profile of the ingredient. Ingredients
+// without profiles return an empty set (never nil).
+func (c *Catalog) Profile(id ID) *bitset.Set { return c.profiles[id] }
+
+// SharedCompounds returns |F(a) ∩ F(b)|, the pairwise statistic at the
+// heart of the food-pairing score.
+func (c *Catalog) SharedCompounds(a, b ID) int {
+	return c.profiles[a].IntersectionCount(c.profiles[b])
+}
+
+// Molecule returns the molecule with the given universe index.
+func (c *Catalog) Molecule(i int) Molecule { return c.molecules[i] }
+
+// ByCategory returns the IDs in the given category, in catalog order.
+// The returned slice is shared; callers must not mutate it.
+func (c *Catalog) ByCategory(cat Category) []ID {
+	if !cat.Valid() {
+		return nil
+	}
+	return c.byCategory[cat]
+}
+
+// Names returns every canonical ingredient name, sorted, for use by the
+// aliasing pipeline's matcher.
+func (c *Catalog) Names() []string {
+	out := make([]string, len(c.ingredients))
+	for i, ing := range c.ingredients {
+		out[i] = ing.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SynonymNames returns every registered synonym, sorted.
+func (c *Catalog) SynonymNames() []string {
+	out := make([]string, 0, len(c.synonyms))
+	for s := range c.synonyms {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllNames returns canonical names and synonyms merged and sorted; the
+// alias matcher uses this as its recognition vocabulary.
+func (c *Catalog) AllNames() []string {
+	out := append(c.Names(), c.SynonymNames()...)
+	sort.Strings(out)
+	return out
+}
+
+func expf(x float64) float64 { return math.Exp(x) }

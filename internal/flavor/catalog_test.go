@@ -1,0 +1,388 @@
+package flavor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func buildDefault(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := Build(DefaultConfig())
+	if err != nil {
+		t.Fatalf("Build(DefaultConfig()): %v", err)
+	}
+	return c
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := buildDefault(t)
+	b := buildDefault(t)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		id := ID(i)
+		if a.Ingredient(id).Name != b.Ingredient(id).Name {
+			t.Fatalf("ingredient %d name differs", i)
+		}
+		if !a.Profile(id).Equal(b.Profile(id)) {
+			t.Fatalf("ingredient %d (%s) profile differs between identical builds",
+				i, a.Ingredient(id).Name)
+		}
+	}
+}
+
+func TestBuildDifferentSeedsDiffer(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = cfg.Seed + 1
+	b, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differ := 0
+	for i := 0; i < a.Len(); i++ {
+		if !a.Profile(ID(i)).Equal(b.Profile(ID(i))) {
+			differ++
+		}
+	}
+	if differ == 0 {
+		t.Fatal("different seeds produced identical profiles")
+	}
+}
+
+func TestCatalogSize(t *testing.T) {
+	c := buildDefault(t)
+	// The embedded catalog should be substantial: several hundred basic
+	// ingredients plus compounds, comparable to the per-region unique
+	// ingredient counts in Table 1 (198..612).
+	if c.Len() < 500 {
+		t.Fatalf("catalog has only %d ingredients", c.Len())
+	}
+}
+
+func TestPaperSpecificIngredients(t *testing.T) {
+	c := buildDefault(t)
+	// §III.B: 13 ingredients added to the FlavorDB-derived list.
+	added13 := []string{
+		"anise oil", "apple juice", "coconut milk", "coconut oil",
+		"hops bear", "lemon juice", "brown rice", "tomato juice",
+		"tomato paste", "tomato puree", "coriander seed", "pork fat",
+		"cured ham",
+	}
+	// 4 from Ahn et al.
+	ahn4 := []string{"cayenne", "yeast", "tequila", "sauerkraut"}
+	// 7 manually added additives.
+	additives7 := []string{
+		"baking powder", "monosodium glutamate", "citric acid",
+		"cooking spray", "gelatin", "food coloring", "liquid smoke",
+	}
+	for _, name := range append(append(added13, ahn4...), additives7...) {
+		if _, ok := c.Lookup(name); !ok {
+			t.Errorf("paper-required ingredient %q missing from catalog", name)
+		}
+	}
+}
+
+func TestNoProfileAdditives(t *testing.T) {
+	c := buildDefault(t)
+	// §III.B: "For the last four additives, no flavor profile was added."
+	for _, name := range []string{"cooking spray", "gelatin", "food coloring", "liquid smoke"} {
+		id, ok := c.Lookup(name)
+		if !ok {
+			t.Fatalf("%q missing", name)
+		}
+		ing := c.Ingredient(id)
+		if ing.HasProfile {
+			t.Errorf("%q should have HasProfile=false", name)
+		}
+		if !c.Profile(id).IsEmpty() {
+			t.Errorf("%q should have an empty profile", name)
+		}
+	}
+	// The first three additives do carry profiles.
+	for _, name := range []string{"baking powder", "monosodium glutamate", "citric acid"} {
+		id, _ := c.Lookup(name)
+		if c.Profile(id).IsEmpty() {
+			t.Errorf("%q should have a non-empty profile", name)
+		}
+	}
+}
+
+func TestSynonymLookups(t *testing.T) {
+	c := buildDefault(t)
+	cases := [][2]string{
+		{"bun", "bread"},
+		{"lager", "beer"},
+		{"curd", "yogurt"},
+		{"whisky", "whiskey"},
+		{"hing", "asafoetida"},
+		{"chile", "chili pepper"},
+		{"aubergine", "eggplant"},
+		{"garbanzo", "chickpea"},
+	}
+	for _, pair := range cases {
+		alt, canonical := pair[0], pair[1]
+		aid, ok := c.Lookup(alt)
+		if !ok {
+			t.Errorf("synonym %q not found", alt)
+			continue
+		}
+		cid, ok := c.Lookup(canonical)
+		if !ok {
+			t.Errorf("canonical %q not found", canonical)
+			continue
+		}
+		if aid != cid {
+			t.Errorf("Lookup(%q)=%d but Lookup(%q)=%d", alt, aid, canonical, cid)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	c := buildDefault(t)
+	if id, ok := c.Lookup("unobtainium"); ok || id != Invalid {
+		t.Fatalf("unknown lookup returned %d, %v", id, ok)
+	}
+}
+
+func TestCompoundProfilesAreUnions(t *testing.T) {
+	c := buildDefault(t)
+	// 'half half' = milk + cream (the paper's example).
+	hh, ok := c.Lookup("half half")
+	if !ok {
+		t.Fatal("half half missing")
+	}
+	ing := c.Ingredient(hh)
+	if !ing.Compound || len(ing.Constituents) != 2 {
+		t.Fatalf("half half should be a 2-part compound, got %+v", ing)
+	}
+	milk, _ := c.Lookup("milk")
+	cream, _ := c.Lookup("cream")
+	want := c.Profile(milk).Union(c.Profile(cream))
+	if !c.Profile(hh).Equal(want) {
+		t.Fatal("half half profile is not milk ∪ cream")
+	}
+	// 'mayonnaise' = oil + egg + lemon juice.
+	mayo, ok := c.Lookup("mayonnaise")
+	if !ok {
+		t.Fatal("mayonnaise missing")
+	}
+	m := c.Ingredient(mayo)
+	if !m.Compound || len(m.Constituents) != 3 {
+		t.Fatalf("mayonnaise should be a 3-part compound, got %+v", m)
+	}
+}
+
+func TestNestedCompound(t *testing.T) {
+	c := buildDefault(t)
+	// 'wonton soup base' includes compound 'chicken stock'.
+	id, ok := c.Lookup("wonton soup base")
+	if !ok {
+		t.Fatal("wonton soup base missing")
+	}
+	stock, _ := c.Lookup("chicken stock")
+	// Every molecule of the stock must appear in the soup base.
+	inter := c.Profile(id).IntersectionCount(c.Profile(stock))
+	if inter != c.Profile(stock).Count() {
+		t.Fatalf("nested compound not fully pooled: %d of %d molecules",
+			inter, c.Profile(stock).Count())
+	}
+}
+
+func TestProfileSizesWithinBounds(t *testing.T) {
+	c := buildDefault(t)
+	cfg := c.Config()
+	for i := 0; i < c.Len(); i++ {
+		ing := c.Ingredient(ID(i))
+		n := c.Profile(ID(i)).Count()
+		if !ing.HasProfile {
+			if n != 0 {
+				t.Errorf("%s: no-profile ingredient has %d molecules", ing.Name, n)
+			}
+			continue
+		}
+		if ing.Compound {
+			continue // unions may exceed MaxProfile
+		}
+		if n < cfg.MinProfile || n > cfg.MaxProfile {
+			t.Errorf("%s: profile size %d outside [%d,%d]",
+				ing.Name, n, cfg.MinProfile, cfg.MaxProfile)
+		}
+	}
+}
+
+func TestWithinCategoryOverlapExceedsCross(t *testing.T) {
+	// The structural property the pairing analysis depends on: mean
+	// shared-compound count within a category exceeds the cross-category
+	// mean.
+	c := buildDefault(t)
+	var within, cross float64
+	var nw, nc int
+	for i := 0; i < c.Len(); i++ {
+		a := c.Ingredient(ID(i))
+		if a.Compound || !a.HasProfile {
+			continue
+		}
+		for j := i + 1; j < c.Len(); j += 7 { // stride to keep the test fast
+			b := c.Ingredient(ID(j))
+			if b.Compound || !b.HasProfile {
+				continue
+			}
+			s := float64(c.SharedCompounds(ID(i), ID(j)))
+			if a.Category == b.Category {
+				within += s
+				nw++
+			} else {
+				cross += s
+				nc++
+			}
+		}
+	}
+	if nw == 0 || nc == 0 {
+		t.Fatal("degenerate sample")
+	}
+	mw, mc := within/float64(nw), cross/float64(nc)
+	if mw <= mc*1.2 {
+		t.Fatalf("within-category sharing %.2f not clearly above cross-category %.2f", mw, mc)
+	}
+}
+
+func TestByCategory(t *testing.T) {
+	c := buildDefault(t)
+	total := 0
+	for _, cat := range AllCategories() {
+		ids := c.ByCategory(cat)
+		if len(ids) == 0 {
+			t.Errorf("category %s has no ingredients", cat)
+		}
+		for _, id := range ids {
+			if c.Ingredient(id).Category != cat {
+				t.Errorf("ingredient %s indexed under wrong category", c.Ingredient(id).Name)
+			}
+		}
+		total += len(ids)
+	}
+	if total != c.Len() {
+		t.Fatalf("category index covers %d of %d ingredients", total, c.Len())
+	}
+	if c.ByCategory(Category(99)) != nil {
+		t.Fatal("invalid category should return nil")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	c := buildDefault(t)
+	names := c.Names()
+	if len(names) != c.Len() {
+		t.Fatalf("Names returned %d of %d", len(names), c.Len())
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not strictly sorted at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+	all := c.AllNames()
+	if len(all) != len(names)+len(c.SynonymNames()) {
+		t.Fatal("AllNames length mismatch")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig()
+	mutations := []func(*Config){
+		func(c *Config) { c.NumMolecules = 10 },
+		func(c *Config) { c.NumThemes = 0 },
+		func(c *Config) { c.NumThemes = c.NumMolecules + 1 },
+		func(c *Config) { c.BackboneSize = -1 },
+		func(c *Config) { c.BackboneSize = c.NumMolecules },
+		func(c *Config) { c.BackboneProb = -0.1 },
+		func(c *Config) { c.BackboneProb = 1.1 },
+		func(c *Config) { c.MinProfile = 0 },
+		func(c *Config) { c.MaxProfile = 2 },
+		func(c *Config) { c.MaxProfile = c.NumMolecules + 1 },
+		func(c *Config) { c.ThemesPerCategory = 0 },
+		func(c *Config) { c.CategoryFocus = 0 },
+		func(c *Config) { c.CategoryFocus = 1.5 },
+	}
+	for i, mut := range mutations {
+		cfg := base
+		mut(&cfg)
+		if _, err := Build(cfg); err == nil {
+			t.Errorf("mutation %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Vegetable.String() != "Vegetable" {
+		t.Fatal("Vegetable name wrong")
+	}
+	if NutsAndSeeds.String() != "Nuts and Seeds" {
+		t.Fatal("Nuts and Seeds name wrong")
+	}
+	if got := Category(99).String(); got != "Category(99)" {
+		t.Fatalf("out-of-range String = %q", got)
+	}
+	if len(AllCategories()) != 21 {
+		t.Fatalf("paper specifies 21 categories, got %d", len(AllCategories()))
+	}
+}
+
+func TestParseCategoryRoundTrip(t *testing.T) {
+	for _, cat := range AllCategories() {
+		got, err := ParseCategory(cat.String())
+		if err != nil || got != cat {
+			t.Fatalf("ParseCategory(%q) = %v, %v", cat.String(), got, err)
+		}
+	}
+	if _, err := ParseCategory("Unknown"); err == nil {
+		t.Fatal("unknown category should error")
+	}
+}
+
+func TestMoleculeNamesDistinct(t *testing.T) {
+	c := buildDefault(t)
+	seen := make(map[string]int)
+	for i := 0; i < c.NumMolecules(); i++ {
+		m := c.Molecule(i)
+		if m.ID != i {
+			t.Fatalf("molecule %d has ID %d", i, m.ID)
+		}
+		if prev, dup := seen[m.Name]; dup {
+			t.Fatalf("molecules %d and %d share name %q", prev, i, m.Name)
+		}
+		seen[m.Name] = i
+		if len(m.Descriptors) == 0 {
+			t.Fatalf("molecule %d has no descriptors", i)
+		}
+	}
+}
+
+func TestSharedCompoundsSymmetric(t *testing.T) {
+	c := buildDefault(t)
+	f := func(a, b uint16) bool {
+		x := ID(int(a) % c.Len())
+		y := ID(int(b) % c.Len())
+		return c.SharedCompounds(x, y) == c.SharedCompounds(y, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedCompoundsBoundedByProfileSizes(t *testing.T) {
+	c := buildDefault(t)
+	f := func(a, b uint16) bool {
+		x := ID(int(a) % c.Len())
+		y := ID(int(b) % c.Len())
+		s := c.SharedCompounds(x, y)
+		return s <= c.Profile(x).Count() && s <= c.Profile(y).Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package flavor
+
+import (
+	"fmt"
+
+	"culinary/internal/rng"
+)
+
+// Molecule is one flavor compound in the synthetic molecule universe.
+// Real FlavorDB molecules carry PubChem identifiers and sensory
+// descriptors; the synthetic universe mirrors that shape.
+type Molecule struct {
+	// ID is the molecule's index in the universe [0, len(universe)).
+	ID int
+	// Name is a synthesized chemical-style name (e.g. "ethyl hexanoate").
+	Name string
+	// Theme is the latent flavor theme the molecule belongs to; profile
+	// generation draws category-correlated molecules by theme.
+	Theme int
+	// Descriptors are sensory labels such as "fruity" or "roasted".
+	Descriptors []string
+}
+
+// Chemical-style name fragments used to synthesize molecule names.
+var (
+	moleculePrefixes = []string{
+		"methyl", "ethyl", "propyl", "butyl", "pentyl", "hexyl",
+		"heptyl", "octyl", "nonyl", "decyl", "benzyl", "cinnamyl",
+		"geranyl", "linalyl", "citronellyl", "phenethyl", "allyl",
+		"isoamyl", "isobutyl", "furfuryl", "anisyl", "bornyl",
+	}
+	moleculeStems = []string{
+		"acetate", "propionate", "butyrate", "valerate", "hexanoate",
+		"octanoate", "benzoate", "cinnamate", "salicylate", "lactate",
+		"pyrazine", "thiazole", "oxazole", "furanone", "lactone",
+		"aldehyde", "ketone", "phenol", "thiol", "sulfide",
+		"terpineol", "ionone", "vanillin", "eugenol", "limonene",
+		"pinene", "myrcene", "linalool", "geraniol", "citral",
+	}
+	moleculeModifiers = []string{
+		"", "2-", "3-", "4-", "alpha-", "beta-", "gamma-", "delta-",
+		"cis-", "trans-", "iso-", "neo-",
+	}
+)
+
+// descriptor vocabulary grouped by latent theme family. Theme t uses the
+// family t % len(descriptorFamilies), so nearby themes have related but
+// distinct vocabularies.
+var descriptorFamilies = [][]string{
+	{"fruity", "apple", "berry", "tropical", "citrus"},
+	{"sweet", "caramellic", "honey", "vanilla", "sugary"},
+	{"green", "grassy", "herbal", "leafy", "vegetal"},
+	{"roasted", "nutty", "toasted", "coffee", "cocoa"},
+	{"spicy", "pungent", "warm", "peppery", "clove"},
+	{"sulfurous", "alliaceous", "onion", "garlic", "meaty"},
+	{"dairy", "buttery", "creamy", "cheesy", "milky"},
+	{"floral", "rose", "jasmine", "lavender", "violet"},
+	{"earthy", "mushroom", "musty", "woody", "mossy"},
+	{"fatty", "oily", "waxy", "tallow", "lard"},
+	{"marine", "fishy", "briny", "seaweed", "oceanic"},
+	{"sour", "acidic", "vinegar", "fermented", "tangy"},
+	{"smoky", "burnt", "phenolic", "tar", "charred"},
+	{"minty", "cooling", "camphor", "eucalyptus", "menthol"},
+	{"alcoholic", "winey", "fusel", "brandy", "solvent"},
+	{"bitter", "medicinal", "astringent", "metallic", "harsh"},
+}
+
+// synthesizeMoleculeName builds a deterministic chemical-style name for
+// molecule id. Distinct ids always map to distinct names because the id
+// is embedded when the fragment space would otherwise collide.
+func synthesizeMoleculeName(id int) string {
+	p := moleculePrefixes[id%len(moleculePrefixes)]
+	s := moleculeStems[(id/len(moleculePrefixes))%len(moleculeStems)]
+	m := moleculeModifiers[(id/(len(moleculePrefixes)*len(moleculeStems)))%len(moleculeModifiers)]
+	base := fmt.Sprintf("%s%s %s", m, p, s)
+	cycle := len(moleculePrefixes) * len(moleculeStems) * len(moleculeModifiers)
+	if id >= cycle {
+		return fmt.Sprintf("%s (%d)", base, id)
+	}
+	return base
+}
+
+// buildMoleculeUniverse creates n molecules spread over numThemes latent
+// themes. Theme sizes are equal up to rounding; descriptor labels come
+// from the theme's descriptor family.
+func buildMoleculeUniverse(n, numThemes int, src *rng.Source) []Molecule {
+	mols := make([]Molecule, n)
+	for i := 0; i < n; i++ {
+		theme := i % numThemes
+		fam := descriptorFamilies[theme%len(descriptorFamilies)]
+		nd := 1 + src.Intn(3)
+		if nd > len(fam) {
+			nd = len(fam)
+		}
+		descIdx := src.SampleWithoutReplacement(len(fam), nd)
+		descs := make([]string, nd)
+		for j, d := range descIdx {
+			descs[j] = fam[d]
+		}
+		mols[i] = Molecule{
+			ID:          i,
+			Name:        synthesizeMoleculeName(i),
+			Theme:       theme,
+			Descriptors: descs,
+		}
+	}
+	return mols
+}

@@ -1,0 +1,72 @@
+package flavor
+
+import (
+	"fmt"
+
+	"culinary/internal/bitset"
+	"culinary/internal/rng"
+)
+
+// Perturb returns a derived catalog in which every basic ingredient's
+// flavor profile independently loses each molecule with probability
+// dropout — the flavor-data perturbation of the robustness question in
+// §V ("How robust are the patterns to changes in ... flavor
+// profiles?"). Compound profiles are re-pooled from their perturbed
+// constituents. Profiles are never emptied: each retains at least one
+// molecule (the first member survives when dropout would remove all).
+//
+// The ingredient list, categories, synonyms and molecule universe are
+// shared with the original catalog; only profiles differ.
+func (c *Catalog) Perturb(dropout float64, seed uint64) (*Catalog, error) {
+	if dropout < 0 || dropout >= 1 {
+		return nil, fmt.Errorf("flavor: dropout %g outside [0,1)", dropout)
+	}
+	src := rng.New(seed)
+	out := &Catalog{
+		cfg:         c.cfg,
+		ingredients: c.ingredients,
+		byName:      c.byName,
+		synonyms:    c.synonyms,
+		molecules:   c.molecules,
+		byCategory:  c.byCategory,
+		profiles:    make([]*bitset.Set, len(c.profiles)),
+	}
+	for i := range c.ingredients {
+		ing := &c.ingredients[i]
+		if ing.Compound {
+			continue
+		}
+		if !ing.HasProfile {
+			out.profiles[i] = c.profiles[i]
+			continue
+		}
+		isrc := src.Split(uint64(i))
+		set := bitset.New(c.cfg.NumMolecules)
+		first := -1
+		c.profiles[i].ForEach(func(m int) bool {
+			if first < 0 {
+				first = m
+			}
+			if isrc.Float64() >= dropout {
+				set.Add(m)
+			}
+			return true
+		})
+		if set.IsEmpty() && first >= 0 {
+			set.Add(first)
+		}
+		out.profiles[i] = set
+	}
+	for i := range c.ingredients {
+		ing := &c.ingredients[i]
+		if !ing.Compound {
+			continue
+		}
+		set := bitset.New(c.cfg.NumMolecules)
+		for _, pid := range ing.Constituents {
+			set.UnionInPlace(out.profiles[pid])
+		}
+		out.profiles[i] = set
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package flavor
+
+import "sort"
+
+// DescriptorWeight is one sensory descriptor with its weight in a taste
+// profile.
+type DescriptorWeight struct {
+	Descriptor string
+	// Weight is the fraction of descriptor incidences (molecule ×
+	// descriptor, over the pooled profile) carried by this descriptor.
+	Weight float64
+}
+
+// TasteProfile enumerates the taste of a recipe — an answer to the
+// paper's §V question "Could it be possible to enumerate the taste of a
+// recipe?". It pools the flavor molecules of the given ingredients and
+// aggregates their sensory descriptors into a normalized weight vector,
+// sorted by weight (descending, ties lexical). Ingredients without
+// profiles contribute nothing. Returns nil when no molecules are
+// present.
+func (c *Catalog) TasteProfile(ids []ID) []DescriptorWeight {
+	counts := make(map[string]int)
+	total := 0
+	// Pool molecules across ingredients (set semantics: a molecule
+	// contributed by several ingredients counts once, as in compound
+	// ingredient profiles §III.C).
+	seen := make(map[int]struct{})
+	for _, id := range ids {
+		if id < 0 || int(id) >= c.Len() {
+			continue
+		}
+		c.profiles[id].ForEach(func(m int) bool {
+			if _, dup := seen[m]; !dup {
+				seen[m] = struct{}{}
+				for _, d := range c.molecules[m].Descriptors {
+					counts[d]++
+					total++
+				}
+			}
+			return true
+		})
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]DescriptorWeight, 0, len(counts))
+	for d, n := range counts {
+		out = append(out, DescriptorWeight{Descriptor: d, Weight: float64(n) / float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Descriptor < out[j].Descriptor
+	})
+	return out
+}
+
+// TasteDistance compares two taste profiles as the L1 distance between
+// their descriptor weight vectors (0 = identical, 2 = disjoint).
+func TasteDistance(a, b []DescriptorWeight) float64 {
+	wa := make(map[string]float64, len(a))
+	for _, d := range a {
+		wa[d.Descriptor] = d.Weight
+	}
+	var dist float64
+	seen := make(map[string]bool, len(b))
+	for _, d := range b {
+		seen[d.Descriptor] = true
+		dist += abs(wa[d.Descriptor] - d.Weight)
+	}
+	for _, d := range a {
+		if !seen[d.Descriptor] {
+			dist += d.Weight
+		}
+	}
+	return dist
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,197 @@
+package flavor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTasteProfileBasics(t *testing.T) {
+	c := buildDefault(t)
+	tomato, _ := c.Lookup("tomato")
+	basil, _ := c.Lookup("basil")
+	profile := c.TasteProfile([]ID{tomato, basil})
+	if len(profile) == 0 {
+		t.Fatal("empty taste profile")
+	}
+	var sum float64
+	for i, d := range profile {
+		if d.Weight <= 0 || d.Weight > 1 {
+			t.Fatalf("weight %v out of range", d.Weight)
+		}
+		if i > 0 && d.Weight > profile[i-1].Weight {
+			t.Fatal("profile not sorted by weight")
+		}
+		sum += d.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestTasteProfileEmptyInputs(t *testing.T) {
+	c := buildDefault(t)
+	if got := c.TasteProfile(nil); got != nil {
+		t.Fatal("nil ingredients should give nil profile")
+	}
+	gelatin, _ := c.Lookup("gelatin") // no profile
+	if got := c.TasteProfile([]ID{gelatin}); got != nil {
+		t.Fatal("profile-free ingredient should give nil profile")
+	}
+	// Out-of-range IDs are skipped, not panicking.
+	if got := c.TasteProfile([]ID{-5, ID(c.Len() + 10)}); got != nil {
+		t.Fatal("invalid ids should give nil profile")
+	}
+}
+
+func TestTasteProfilePoolsMoleculesOnce(t *testing.T) {
+	c := buildDefault(t)
+	milk, _ := c.Lookup("milk")
+	// Using the same ingredient twice must not change the profile: set
+	// semantics.
+	once := c.TasteProfile([]ID{milk})
+	twice := c.TasteProfile([]ID{milk, milk})
+	if len(once) != len(twice) {
+		t.Fatal("duplicate ingredient changed the profile")
+	}
+	for i := range once {
+		if once[i] != twice[i] {
+			t.Fatal("duplicate ingredient changed weights")
+		}
+	}
+}
+
+func TestTasteDistance(t *testing.T) {
+	c := buildDefault(t)
+	tomato, _ := c.Lookup("tomato")
+	basil, _ := c.Lookup("basil")
+	milk, _ := c.Lookup("milk")
+	pa := c.TasteProfile([]ID{tomato})
+	pb := c.TasteProfile([]ID{basil})
+	pm := c.TasteProfile([]ID{milk})
+	if d := TasteDistance(pa, pa); d != 0 {
+		t.Fatalf("self distance %v", d)
+	}
+	dab := TasteDistance(pa, pb)
+	dba := TasteDistance(pb, pa)
+	if math.Abs(dab-dba) > 1e-12 {
+		t.Fatalf("asymmetric: %v vs %v", dab, dba)
+	}
+	if dab < 0 || dab > 2 {
+		t.Fatalf("distance %v outside [0,2]", dab)
+	}
+	_ = pm
+}
+
+func TestTasteDistanceDisjoint(t *testing.T) {
+	a := []DescriptorWeight{{Descriptor: "x", Weight: 1}}
+	b := []DescriptorWeight{{Descriptor: "y", Weight: 1}}
+	if d := TasteDistance(a, b); math.Abs(d-2) > 1e-12 {
+		t.Fatalf("disjoint distance %v, want 2", d)
+	}
+	if d := TasteDistance(nil, nil); d != 0 {
+		t.Fatalf("empty distance %v", d)
+	}
+}
+
+func TestPerturbDropoutEffects(t *testing.T) {
+	c := buildDefault(t)
+	p, err := c.Perturb(0.3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != c.Len() {
+		t.Fatal("perturbed catalog changed size")
+	}
+	shrunk, grown := 0, 0
+	for i := 0; i < c.Len(); i++ {
+		id := ID(i)
+		ing := c.Ingredient(id)
+		before := c.Profile(id).Count()
+		after := p.Profile(id).Count()
+		if !ing.HasProfile {
+			if after != 0 {
+				t.Fatalf("%s gained a profile", ing.Name)
+			}
+			continue
+		}
+		if after > before {
+			grown++
+		}
+		if after < before {
+			shrunk++
+		}
+		if before > 0 && after == 0 {
+			t.Fatalf("%s profile emptied", ing.Name)
+		}
+		// Perturbed profile must be a subset of the original for basic
+		// ingredients.
+		if !ing.Compound && p.Profile(id).IntersectionCount(c.Profile(id)) != after {
+			t.Fatalf("%s gained molecules not in the original", ing.Name)
+		}
+	}
+	if grown > 0 {
+		t.Fatalf("%d profiles grew under dropout", grown)
+	}
+	if shrunk == 0 {
+		t.Fatal("dropout 0.3 shrank nothing")
+	}
+}
+
+func TestPerturbZeroDropoutIdentity(t *testing.T) {
+	c := buildDefault(t)
+	p, err := c.Perturb(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Len(); i++ {
+		if !p.Profile(ID(i)).Equal(c.Profile(ID(i))) {
+			t.Fatalf("dropout 0 changed profile %d", i)
+		}
+	}
+}
+
+func TestPerturbValidationAndDeterminism(t *testing.T) {
+	c := buildDefault(t)
+	if _, err := c.Perturb(-0.1, 1); err == nil {
+		t.Fatal("negative dropout accepted")
+	}
+	if _, err := c.Perturb(1, 1); err == nil {
+		t.Fatal("dropout 1 accepted")
+	}
+	a, _ := c.Perturb(0.2, 7)
+	b, _ := c.Perturb(0.2, 7)
+	for i := 0; i < c.Len(); i++ {
+		if !a.Profile(ID(i)).Equal(b.Profile(ID(i))) {
+			t.Fatal("perturb not deterministic")
+		}
+	}
+	d, _ := c.Perturb(0.2, 8)
+	same := 0
+	for i := 0; i < c.Len(); i++ {
+		if a.Profile(ID(i)).Equal(d.Profile(ID(i))) {
+			same++
+		}
+	}
+	if same == c.Len() {
+		t.Fatal("different seeds gave identical perturbations")
+	}
+}
+
+func TestPerturbSharedLookupsWork(t *testing.T) {
+	c := buildDefault(t)
+	p, err := c.Perturb(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lookup and category indexes are shared and still functional.
+	id, ok := p.Lookup("tomato")
+	if !ok {
+		t.Fatal("lookup broken on perturbed catalog")
+	}
+	if p.Ingredient(id).Name != "tomato" {
+		t.Fatal("ingredient metadata broken")
+	}
+	if len(p.ByCategory(Vegetable)) == 0 {
+		t.Fatal("category index broken")
+	}
+}

@@ -1,0 +1,114 @@
+package flavornet
+
+import (
+	"testing"
+
+	"culinary/internal/flavor"
+	"culinary/internal/pairing"
+)
+
+func communityNetwork(t *testing.T, minShared int) *Network {
+	t.Helper()
+	catalog, err := flavor.Build(flavor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(pairing.NewAnalyzer(catalog), minShared)
+}
+
+func TestCommunitiesPartitionNodes(t *testing.T) {
+	n := communityNetwork(t, 20)
+	comms := n.Communities(0)
+	if len(comms) == 0 {
+		t.Fatal("no communities")
+	}
+	seen := make(map[flavor.ID]bool)
+	total := 0
+	for i, c := range comms {
+		if c.Size() == 0 {
+			t.Errorf("community %d is empty", i)
+		}
+		for _, id := range c.Members {
+			if seen[id] {
+				t.Fatalf("ingredient %d in two communities", id)
+			}
+			seen[id] = true
+		}
+		total += c.Size()
+		// Sorted-by-size order.
+		if i > 0 && c.Size() > comms[i-1].Size() {
+			t.Error("communities not sorted by size")
+		}
+	}
+	if total != n.NumNodes() {
+		t.Errorf("partition covers %d of %d nodes", total, n.NumNodes())
+	}
+}
+
+func TestCommunitiesDeterministic(t *testing.T) {
+	n := communityNetwork(t, 20)
+	a := n.Communities(16)
+	b := n.Communities(16)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic community count")
+	}
+	for i := range a {
+		if len(a[i].Members) != len(b[i].Members) {
+			t.Fatalf("community %d size differs", i)
+		}
+		for j := range a[i].Members {
+			if a[i].Members[j] != b[i].Members[j] {
+				t.Fatalf("community %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCommunitiesFindStructureAtHighThreshold(t *testing.T) {
+	// At a strict shared-compound threshold the network decomposes into
+	// more than one community (theme structure becomes visible).
+	n := communityNetwork(t, 60)
+	comms := n.Communities(0)
+	if len(comms) < 2 {
+		t.Skipf("network too dense for multiple communities (%d)", len(comms))
+	}
+	q := n.Modularity(comms)
+	if q < 0 {
+		t.Errorf("modularity %g negative for detected partition", q)
+	}
+}
+
+func TestModularityBaselines(t *testing.T) {
+	n := communityNetwork(t, 20)
+	// The all-in-one partition has modularity exactly 0... minus the
+	// squared strength fraction of the single community (=1), so Q = 0.
+	all := Community{Members: n.Nodes()}
+	q := n.Modularity([]Community{all})
+	if q > 1e-9 || q < -1e-9 {
+		t.Errorf("single-community modularity = %g, want 0", q)
+	}
+	// Singleton partition is strictly worse than detected communities.
+	var singletons []Community
+	for _, id := range n.Nodes() {
+		singletons = append(singletons, Community{Members: []flavor.ID{id}})
+	}
+	qSingle := n.Modularity(singletons)
+	detected := n.Communities(0)
+	qDetected := n.Modularity(detected)
+	if qDetected < qSingle {
+		t.Errorf("detected partition Q=%g worse than singletons Q=%g", qDetected, qSingle)
+	}
+}
+
+func TestCommunitiesEmptyNetwork(t *testing.T) {
+	// A threshold beyond any pair's sharing yields a network with zero
+	// edges; every node is its own community.
+	n := communityNetwork(t, 1<<20)
+	comms := n.Communities(4)
+	if len(comms) != n.NumNodes() {
+		t.Errorf("edgeless network: %d communities, want %d", len(comms), n.NumNodes())
+	}
+	if q := n.Modularity(comms); q != 0 {
+		t.Errorf("edgeless modularity = %g", q)
+	}
+}

@@ -1,0 +1,136 @@
+package pairing
+
+import (
+	"sort"
+
+	"culinary/internal/flavor"
+	"culinary/internal/recipedb"
+)
+
+// Contribution records the effect of removing one ingredient from a
+// cuisine (§IV.C): the percentage change in the cuisine's mean flavor
+// sharing N̄s when every occurrence of the ingredient is deleted.
+type Contribution struct {
+	Ingredient flavor.ID
+	Name       string
+	// Freq is the ingredient's recipe count in the cuisine.
+	Freq int
+	// DeltaPct is 100 * (N̄s_without - N̄s_with) / N̄s_with. A negative
+	// value means the ingredient was pulling the cuisine's flavor
+	// sharing up (it contributes to positive food pairing); a positive
+	// value means it was pulling sharing down.
+	DeltaPct float64
+}
+
+// Contributions computes the leave-one-out contribution of every
+// ingredient used in the cuisine.
+//
+// The computation caches each recipe's raw pair sum and profiled member
+// list so that removing ingredient i touches only the recipes containing
+// i, making the full per-cuisine sweep O(Σ recipe sizes × mean size)
+// instead of O(#ingredients × corpus).
+func (a *Analyzer) Contributions(store *recipedb.Store, c *recipedb.Cuisine) []Contribution {
+	type recipeState struct {
+		sum  int64
+		prof []int
+	}
+	states := make([]recipeState, len(c.RecipeIDs))
+	// recipesOf[i] lists indices into states for recipes containing
+	// profiled ingredient i.
+	recipesOf := make(map[int][]int, len(c.UniqueIngredients))
+
+	var baseSum float64
+	baseN := 0
+	for k, rid := range c.RecipeIDs {
+		sum, prof := a.pairSum(store.Recipe(rid).Ingredients)
+		states[k] = recipeState{sum: sum, prof: prof}
+		if len(prof) >= 2 {
+			baseSum += score(sum, len(prof))
+			baseN++
+		}
+		for _, ing := range prof {
+			recipesOf[ing] = append(recipesOf[ing], k)
+		}
+	}
+	if baseN == 0 {
+		return nil
+	}
+	baseMean := baseSum / float64(baseN)
+
+	out := make([]Contribution, 0, len(c.UniqueIngredients))
+	for _, id := range c.UniqueIngredients {
+		ing := int(id)
+		affected := recipesOf[ing]
+		if len(affected) == 0 {
+			// Unprofiled ingredient: removal cannot change any score.
+			out = append(out, Contribution{
+				Ingredient: id,
+				Name:       a.catalog.Ingredient(id).Name,
+				Freq:       c.IngredientFreq[id],
+				DeltaPct:   0,
+			})
+			continue
+		}
+		newSum := baseSum
+		newN := baseN
+		for _, k := range affected {
+			st := &states[k]
+			n := len(st.prof)
+			if n >= 2 {
+				newSum -= score(st.sum, n)
+				newN--
+			}
+			// Pair sum without ingredient ing.
+			var drop int64
+			row := ing * a.n
+			for _, other := range st.prof {
+				if other != ing {
+					drop += int64(a.shared[row+other])
+				}
+			}
+			if n-1 >= 2 {
+				newSum += score(st.sum-drop, n-1)
+				newN++
+			}
+		}
+		var deltaPct float64
+		if newN > 0 && baseMean != 0 {
+			newMean := newSum / float64(newN)
+			deltaPct = 100 * (newMean - baseMean) / baseMean
+		}
+		out = append(out, Contribution{
+			Ingredient: id,
+			Name:       a.catalog.Ingredient(id).Name,
+			Freq:       c.IngredientFreq[id],
+			DeltaPct:   deltaPct,
+		})
+	}
+	return out
+}
+
+func score(sum int64, n int) float64 {
+	return 2 * float64(sum) / (float64(n) * float64(n-1))
+}
+
+// TopContributors returns the k ingredients contributing most to the
+// cuisine's observed pairing direction (Fig 5). For a positive-pairing
+// cuisine (sign > 0) these are the ingredients whose removal most
+// reduces N̄s (most negative DeltaPct); for negative pairing (sign < 0),
+// those whose removal most increases it.
+func TopContributors(contribs []Contribution, k int, sign int) []Contribution {
+	sorted := append([]Contribution(nil), contribs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i].DeltaPct, sorted[j].DeltaPct
+		if sign < 0 {
+			a, b = -a, -b
+		}
+		if a != b {
+			return a < b
+		}
+		return sorted[i].Ingredient < sorted[j].Ingredient
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}

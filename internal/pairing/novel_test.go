@@ -1,0 +1,100 @@
+package pairing
+
+import (
+	"testing"
+
+	"culinary/internal/flavor"
+	"culinary/internal/recipedb"
+)
+
+func TestNovelPairsBasics(t *testing.T) {
+	store, c := buildTestStore(t)
+	pairs := NovelPairs(testAnalyzer, store, c, +1, 5, 1, 0)
+	if len(pairs) == 0 {
+		t.Fatal("no novel pairs found")
+	}
+	for i, p := range pairs {
+		if p.CoOccurrences != 0 {
+			t.Fatalf("pair %d co-occurs %d times, want 0", i, p.CoOccurrences)
+		}
+		if p.A >= p.B {
+			t.Fatalf("pair %d not canonical", i)
+		}
+		if p.Shared != testAnalyzer.Shared(p.A, p.B) {
+			t.Fatalf("pair %d shared mismatch", i)
+		}
+		if p.SupportA < 1 || p.SupportB < 1 {
+			t.Fatalf("pair %d support below minSupport", i)
+		}
+		if i > 0 && p.Shared > pairs[i-1].Shared {
+			t.Fatal("positive sign should rank by descending overlap")
+		}
+	}
+}
+
+func TestNovelPairsNegativeSign(t *testing.T) {
+	store, c := buildTestStore(t)
+	pairs := NovelPairs(testAnalyzer, store, c, -1, 5, 1, 0)
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Shared < pairs[i-1].Shared {
+			t.Fatal("negative sign should rank by ascending overlap")
+		}
+	}
+}
+
+func TestNovelPairsExcludesCoOccurring(t *testing.T) {
+	store, c := buildTestStore(t)
+	// tomato+basil co-occur in the fixture; they must not appear with
+	// maxCoOccur 0.
+	tomato := lookup(t, "tomato")
+	basil := lookup(t, "basil")
+	pairs := NovelPairs(testAnalyzer, store, c, +1, 1000, 1, 0)
+	for _, p := range pairs {
+		if (p.A == tomato && p.B == basil) || (p.A == basil && p.B == tomato) {
+			t.Fatal("co-occurring pair proposed as novel")
+		}
+	}
+	// With a high co-occurrence allowance they may appear.
+	pairs = NovelPairs(testAnalyzer, store, c, +1, 1000, 1, 100)
+	found := false
+	for _, p := range pairs {
+		if (p.A == tomato && p.B == basil) || (p.A == basil && p.B == tomato) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("relaxed maxCoOccur should include existing pairs")
+	}
+}
+
+func TestNovelPairsMinSupport(t *testing.T) {
+	store, c := buildTestStore(t)
+	// With minSupport above every frequency nothing qualifies.
+	if pairs := NovelPairs(testAnalyzer, store, c, +1, 10, 1000, 0); len(pairs) != 0 {
+		t.Fatalf("impossible support returned %d pairs", len(pairs))
+	}
+	// k <= 0 returns nil.
+	if pairs := NovelPairs(testAnalyzer, store, c, +1, 0, 1, 0); pairs != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestNovelPairsSkipsUnprofiled(t *testing.T) {
+	s := recipedb.NewStore(testCatalog)
+	gelatin := lookup(t, "gelatin")
+	tomato := lookup(t, "tomato")
+	basil := lookup(t, "basil")
+	if _, err := s.Add("a", recipedb.Italy, recipedb.AllRecipes, []flavor.ID{gelatin, tomato}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add("b", recipedb.Italy, recipedb.AllRecipes, []flavor.ID{gelatin, basil}); err != nil {
+		t.Fatal(err)
+	}
+	c := s.BuildCuisine(recipedb.Italy)
+	pairs := NovelPairs(testAnalyzer, s, c, +1, 100, 1, 0)
+	for _, p := range pairs {
+		if p.A == gelatin || p.B == gelatin {
+			t.Fatal("profile-free ingredient proposed")
+		}
+	}
+}

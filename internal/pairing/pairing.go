@@ -1,0 +1,146 @@
+// Package pairing implements the paper's primary contribution: the
+// food-pairing analysis of §IV.B-C.
+//
+// The food pairing score of a recipe R with n_R ingredients is
+//
+//	Ns(R) = 2/(n_R (n_R - 1)) * Σ_{i<j ∈ R} |F(i) ∩ F(j)|
+//
+// where F(i) is the flavor profile of ingredient i. A cuisine's flavor
+// sharing N̄s is the mean Ns over its recipes. Each cuisine is compared
+// against four randomized controls that preserve its exact ingredient
+// set and recipe-size distribution (Random, Ingredient Frequency,
+// Ingredient Category, Frequency+Category), and significance is
+// expressed as a Z-score against the Random control. Ingredient
+// contribution is the percentage change in N̄s upon removal of an
+// ingredient from the cuisine.
+//
+// Ingredients without flavor profiles (the paper's four no-profile
+// additives) are excluded from the pair sums and from n_R; a recipe with
+// fewer than two profiled ingredients has no defined score and is
+// skipped by cuisine averages.
+package pairing
+
+import (
+	"fmt"
+
+	"culinary/internal/flavor"
+	"culinary/internal/recipedb"
+	"culinary/internal/stats"
+)
+
+// Analyzer computes food-pairing statistics against a fixed catalog. It
+// precomputes the ingredient-pair shared-compound matrix once; after
+// construction it is immutable and safe for concurrent use.
+type Analyzer struct {
+	catalog    *flavor.Catalog
+	shared     []int32 // row-major n×n shared-compound counts
+	n          int
+	hasProfile []bool
+}
+
+// NewAnalyzer builds an analyzer, precomputing the pairwise
+// shared-compound matrix (the dominant cost of naive pairing analysis;
+// see the cached-vs-uncached ablation bench).
+func NewAnalyzer(catalog *flavor.Catalog) *Analyzer {
+	n := catalog.Len()
+	a := &Analyzer{
+		catalog:    catalog,
+		shared:     make([]int32, n*n),
+		n:          n,
+		hasProfile: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		a.hasProfile[i] = catalog.Ingredient(flavor.ID(i)).HasProfile
+	}
+	for i := 0; i < n; i++ {
+		pi := catalog.Profile(flavor.ID(i))
+		for j := i + 1; j < n; j++ {
+			s := int32(pi.IntersectionCount(catalog.Profile(flavor.ID(j))))
+			a.shared[i*n+j] = s
+			a.shared[j*n+i] = s
+		}
+	}
+	return a
+}
+
+// Catalog returns the catalog the analyzer is bound to.
+func (a *Analyzer) Catalog() *flavor.Catalog { return a.catalog }
+
+// Shared returns |F(x) ∩ F(y)| from the precomputed matrix.
+func (a *Analyzer) Shared(x, y flavor.ID) int {
+	return int(a.shared[int(x)*a.n+int(y)])
+}
+
+// RecipeScore computes Ns(R) for a list of ingredient IDs. The boolean
+// result is false when fewer than two profiled ingredients are present,
+// in which case the score is undefined (returned as 0).
+func (a *Analyzer) RecipeScore(ids []flavor.ID) (float64, bool) {
+	// Gather profiled ingredients only.
+	prof := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if a.hasProfile[id] {
+			prof = append(prof, int(id))
+		}
+	}
+	n := len(prof)
+	if n < 2 {
+		return 0, false
+	}
+	var sum int64
+	for i := 0; i < n; i++ {
+		row := prof[i] * a.n
+		for j := i + 1; j < n; j++ {
+			sum += int64(a.shared[row+prof[j]])
+		}
+	}
+	return 2 * float64(sum) / (float64(n) * float64(n-1)), true
+}
+
+// pairSum returns the raw Σ|F(i)∩F(j)| and profiled count for a recipe,
+// used by the leave-one-out contribution computation.
+func (a *Analyzer) pairSum(ids []flavor.ID) (sum int64, profiled []int) {
+	prof := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if a.hasProfile[id] {
+			prof = append(prof, int(id))
+		}
+	}
+	for i := 0; i < len(prof); i++ {
+		row := prof[i] * a.n
+		for j := i + 1; j < len(prof); j++ {
+			sum += int64(a.shared[row+prof[j]])
+		}
+	}
+	return sum, prof
+}
+
+// CuisineScore computes the mean flavor sharing N̄s of the cuisine,
+// skipping recipes with undefined scores. The second result is the
+// number of scored recipes.
+func (a *Analyzer) CuisineScore(store *recipedb.Store, c *recipedb.Cuisine) (float64, int) {
+	var acc stats.Accumulator
+	for _, rid := range c.RecipeIDs {
+		if s, ok := a.RecipeScore(store.Recipe(rid).Ingredients); ok {
+			acc.Add(s)
+		}
+	}
+	return acc.Mean(), acc.N()
+}
+
+// Result bundles the observed cuisine score, a null model's moments, and
+// the Z-score of the deviation, for one (cuisine, model) cell of Fig 4.
+type Result struct {
+	Region   recipedb.Region
+	Model    Model
+	Observed float64 // N̄s of the real cuisine (or of a model cuisine in model-vs-random comparisons)
+	NullMean float64
+	NullStd  float64
+	NRandom  int
+	Z        float64
+}
+
+// String renders a compact summary for logs and CLI output.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: observed=%.4f null=%.4f±%.4f Z=%+.1f",
+		r.Region.Code(), r.Model, r.Observed, r.NullMean, r.NullStd, r.Z)
+}

@@ -1,0 +1,56 @@
+package pairing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"culinary/internal/flavor"
+)
+
+// ParseModel resolves a model name ("random", "frequency", "category",
+// "frequency+category"), case-insensitively.
+func ParseModel(name string) (Model, error) {
+	for i, n := range modelNames {
+		if strings.EqualFold(name, n) {
+			return Model(i), nil
+		}
+	}
+	return 0, fmt.Errorf("pairing: unknown model %q (have %s)",
+		name, strings.Join(modelNames[:], ", "))
+}
+
+// Partner is one ingredient ranked by shared flavor compounds with a
+// reference ingredient.
+type Partner struct {
+	Partner flavor.ID
+	Shared  int
+}
+
+// TopPartners returns the k ingredients sharing the most flavor
+// compounds with id — the flavor-pairing suggestions the paper's intro
+// motivates ("generating novel flavor pairings"). Profile-less
+// ingredients and id itself are excluded; ties break by ID.
+func (a *Analyzer) TopPartners(id flavor.ID, k int) []Partner {
+	if k <= 0 || int(id) < 0 || int(id) >= a.n || !a.hasProfile[id] {
+		return nil
+	}
+	out := make([]Partner, 0, a.n-1)
+	row := a.shared[int(id)*a.n : (int(id)+1)*a.n]
+	for j := 0; j < a.n; j++ {
+		if j == int(id) || !a.hasProfile[j] {
+			continue
+		}
+		out = append(out, Partner{Partner: flavor.ID(j), Shared: int(row[j])})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Shared != out[j].Shared {
+			return out[i].Shared > out[j].Shared
+		}
+		return out[i].Partner < out[j].Partner
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

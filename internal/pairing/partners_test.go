@@ -1,0 +1,94 @@
+package pairing
+
+import (
+	"testing"
+
+	"culinary/internal/flavor"
+)
+
+func partnersCatalog(t *testing.T) *flavor.Catalog {
+	t.Helper()
+	catalog, err := flavor.Build(flavor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return catalog
+}
+
+func TestParseModel(t *testing.T) {
+	cases := map[string]Model{
+		"random":             RandomModel,
+		"Random":             RandomModel,
+		"FREQUENCY":          FrequencyModel,
+		"category":           CategoryModel,
+		"frequency+category": FrequencyCategoryModel,
+	}
+	for name, want := range cases {
+		got, err := ParseModel(name)
+		if err != nil || got != want {
+			t.Errorf("ParseModel(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseModel("bogus"); err == nil {
+		t.Error("ParseModel(bogus) succeeded")
+	}
+}
+
+func TestTopPartnersRankingAndExclusions(t *testing.T) {
+	catalog := partnersCatalog(t)
+	a := NewAnalyzer(catalog)
+	id, ok := catalog.Lookup("tomato")
+	if !ok {
+		t.Fatal("no tomato")
+	}
+	top := a.TopPartners(id, 10)
+	if len(top) != 10 {
+		t.Fatalf("partners = %d", len(top))
+	}
+	prev := top[0].Shared
+	for _, p := range top {
+		if p.Partner == id {
+			t.Error("self included in partners")
+		}
+		if !catalog.Ingredient(p.Partner).HasProfile {
+			t.Errorf("profile-less partner %v", p.Partner)
+		}
+		if p.Shared > prev {
+			t.Error("partners not sorted by shared compounds")
+		}
+		if p.Shared != a.Shared(id, p.Partner) {
+			t.Errorf("partner %v shared %d != matrix %d", p.Partner, p.Shared, a.Shared(id, p.Partner))
+		}
+		prev = p.Shared
+	}
+	// The top partner must dominate every non-listed ingredient.
+	if top[0].Shared < top[len(top)-1].Shared {
+		t.Error("ordering inverted")
+	}
+}
+
+func TestTopPartnersEdgeCases(t *testing.T) {
+	catalog := partnersCatalog(t)
+	a := NewAnalyzer(catalog)
+	id, _ := catalog.Lookup("tomato")
+	if got := a.TopPartners(id, 0); got != nil {
+		t.Errorf("k=0 -> %v", got)
+	}
+	if got := a.TopPartners(flavor.ID(-1), 5); got != nil {
+		t.Errorf("bad id -> %v", got)
+	}
+	if got := a.TopPartners(flavor.ID(catalog.Len()+3), 5); got != nil {
+		t.Errorf("out-of-range id -> %v", got)
+	}
+	// No-profile entities have no partners.
+	if noProf, ok := catalog.Lookup("cooking spray"); ok {
+		if got := a.TopPartners(noProf, 5); got != nil {
+			t.Errorf("no-profile id -> %v", got)
+		}
+	}
+	// k larger than the catalog clamps.
+	all := a.TopPartners(id, catalog.Len()*2)
+	if len(all) == 0 || len(all) >= catalog.Len() {
+		t.Errorf("clamped partners = %d", len(all))
+	}
+}

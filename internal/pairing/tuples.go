@@ -1,0 +1,121 @@
+package pairing
+
+import (
+	"fmt"
+
+	"culinary/internal/flavor"
+	"culinary/internal/recipedb"
+	"culinary/internal/rng"
+	"culinary/internal/stats"
+)
+
+// TupleScore generalizes the pairwise food-pairing score to k-tuples,
+// one of the paper's explicit open questions ("What are the patterns at
+// higher order n-tuples ... triples and quadruples of ingredients?").
+// For a recipe R with n profiled ingredients,
+//
+//	Ns_k(R) = C(n,k)^-1 * Σ_{S ⊆ R, |S|=k} |∩_{i∈S} F(i)|
+//
+// Ns_2 coincides with RecipeScore. The boolean result is false when the
+// recipe has fewer than k profiled ingredients.
+func (a *Analyzer) TupleScore(ids []flavor.ID, k int) (float64, bool) {
+	if k < 2 {
+		return 0, false
+	}
+	if k == 2 {
+		return a.RecipeScore(ids)
+	}
+	prof := make([]flavor.ID, 0, len(ids))
+	for _, id := range ids {
+		if a.hasProfile[id] {
+			prof = append(prof, id)
+		}
+	}
+	n := len(prof)
+	if n < k {
+		return 0, false
+	}
+	catalog := a.catalog
+	var total float64
+	count := 0
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		// Intersection cardinality of the current k-subset.
+		inter := catalog.Profile(prof[idx[0]]).Clone()
+		for j := 1; j < k; j++ {
+			inter = inter.Intersect(catalog.Profile(prof[idx[j]]))
+			if inter.IsEmpty() {
+				break
+			}
+		}
+		total += float64(inter.Count())
+		count++
+		// Advance combination.
+		j := k - 1
+		for j >= 0 && idx[j] == n-k+j {
+			j--
+		}
+		if j < 0 {
+			break
+		}
+		idx[j]++
+		for l := j + 1; l < k; l++ {
+			idx[l] = idx[l-1] + 1
+		}
+	}
+	return total / float64(count), true
+}
+
+// TupleResult reports a cuisine's k-tuple sharing against the Random
+// control.
+type TupleResult struct {
+	Region   recipedb.Region
+	K        int
+	Observed float64
+	NullMean float64
+	NullStd  float64
+	NRandom  int
+	Z        float64
+}
+
+// CompareTuples runs the higher-order analogue of Compare for tuple
+// order k against the Random model with nRecipes null draws.
+func CompareTuples(a *Analyzer, store *recipedb.Store, c *recipedb.Cuisine, k, nRecipes int, src *rng.Source) (TupleResult, error) {
+	if k < 2 || k > 6 {
+		return TupleResult{}, fmt.Errorf("pairing: tuple order %d outside [2,6]", k)
+	}
+	var obs stats.Accumulator
+	for _, rid := range c.RecipeIDs {
+		if v, ok := a.TupleScore(store.Recipe(rid).Ingredients, k); ok {
+			obs.Add(v)
+		}
+	}
+	if obs.N() == 0 {
+		return TupleResult{}, fmt.Errorf("pairing: no recipes of size >= %d in %s", k, c.Region.Code())
+	}
+	sampler, err := NewNullSampler(a, store, c, RandomModel, src)
+	if err != nil {
+		return TupleResult{}, err
+	}
+	var null stats.Accumulator
+	for i := 0; i < nRecipes; i++ {
+		if v, ok := a.TupleScore(sampler.Draw(), k); ok {
+			null.Add(v)
+		}
+	}
+	if null.N() == 0 {
+		return TupleResult{}, fmt.Errorf("pairing: null produced no size >= %d recipes for %s", k, c.Region.Code())
+	}
+	return TupleResult{
+		Region:   c.Region,
+		K:        k,
+		Observed: obs.Mean(),
+		NullMean: null.Mean(),
+		NullStd:  null.PopStdDev(),
+		NRandom:  null.N(),
+		Z:        stats.ZScore(obs.Mean(), null.Mean(), null.PopStdDev(), null.N()),
+	}, nil
+}

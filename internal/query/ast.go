@@ -1,0 +1,139 @@
+package query
+
+import "strings"
+
+// Field enumerates the recipe attributes CQL exposes.
+type Field int
+
+// Recipe fields.
+const (
+	FieldID Field = iota
+	FieldName
+	FieldRegion
+	FieldSource
+	FieldSize
+	FieldScore
+)
+
+var fieldNames = [...]string{"id", "name", "region", "source", "size", "score"}
+
+// String returns the lowercase field name.
+func (f Field) String() string { return fieldNames[f] }
+
+// parseField resolves an identifier to a Field.
+func parseField(name string) (Field, bool) {
+	for i, fn := range fieldNames {
+		if strings.EqualFold(name, fn) {
+			return Field(i), true
+		}
+	}
+	return 0, false
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+// Aggregates.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+var aggNames = [...]string{"count", "sum", "avg", "min", "max"}
+
+// String returns the lowercase aggregate name.
+func (a AggFunc) String() string { return aggNames[a] }
+
+func parseAgg(name string) (AggFunc, bool) {
+	for i, an := range aggNames {
+		if strings.EqualFold(name, an) {
+			return AggFunc(i), true
+		}
+	}
+	return 0, false
+}
+
+// SelectItem is one output column: a plain field or an aggregate.
+type SelectItem struct {
+	// Agg is non-nil for aggregate columns.
+	Agg *AggFunc
+	// Star marks count(*) (Agg != nil) or a bare '*' expansion marker.
+	Star bool
+	// Field is the projected or aggregated field.
+	Field Field
+}
+
+// Label renders the column header ("region", "count(*)", "avg(size)").
+func (it SelectItem) Label() string {
+	if it.Agg == nil {
+		return it.Field.String()
+	}
+	arg := it.Field.String()
+	if it.Star {
+		arg = "*"
+	}
+	return it.Agg.String() + "(" + arg + ")"
+}
+
+// Expr is a boolean or scalar expression node.
+type Expr interface{ exprNode() }
+
+// BinaryExpr combines two boolean expressions with AND/OR.
+type BinaryExpr struct {
+	Op   string // "and" | "or"
+	L, R Expr
+}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct{ X Expr }
+
+// CompareExpr compares two operands ("=", "!=", "<", "<=", ">", ">=",
+// "like").
+type CompareExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// FieldExpr references a recipe field.
+type FieldExpr struct{ Field Field }
+
+// LiteralExpr is a constant.
+type LiteralExpr struct{ Val Value }
+
+// FuncExpr is has('x') (boolean) or category('x') (integer count).
+type FuncExpr struct {
+	Name string // "has" | "category"
+	Arg  string
+}
+
+// InExpr tests membership of an operand in a literal list, optionally
+// negated (x NOT IN (...)).
+type InExpr struct {
+	X      Expr
+	Values []Value
+	Negate bool
+}
+
+func (*BinaryExpr) exprNode()  {}
+func (*NotExpr) exprNode()     {}
+func (*CompareExpr) exprNode() {}
+func (*FieldExpr) exprNode()   {}
+func (*LiteralExpr) exprNode() {}
+func (*FuncExpr) exprNode()    {}
+func (*InExpr) exprNode()      {}
+
+// Query is a parsed CQL statement.
+type Query struct {
+	Items   []SelectItem
+	Where   Expr // nil when absent
+	GroupBy *Field
+	OrderBy string // column label; empty when absent
+	Desc    bool
+	Limit   int // -1 when absent
+	// Explain marks an EXPLAIN-prefixed statement: the engine reports
+	// the scan plan instead of executing.
+	Explain bool
+}

@@ -1,0 +1,657 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"culinary/internal/flavor"
+	"culinary/internal/pairing"
+	"culinary/internal/recipedb"
+	"culinary/internal/report"
+)
+
+// Semantic (post-parse) errors.
+var (
+	// ErrSemantic wraps binding/typing failures.
+	ErrSemantic = errors.New("query: semantic error")
+	// ErrNoScore is returned when a query uses 'score' on an engine
+	// built without a pairing analyzer.
+	ErrNoScore = errors.New("query: score requires a pairing analyzer")
+)
+
+// Engine executes parsed queries against a recipe corpus.
+type Engine struct {
+	store    *recipedb.Store
+	catalog  *flavor.Catalog
+	analyzer *pairing.Analyzer // optional; enables the 'score' field
+}
+
+// NewEngine builds an engine. analyzer may be nil, in which case queries
+// touching the 'score' field fail with ErrNoScore.
+func NewEngine(store *recipedb.Store, analyzer *pairing.Analyzer) *Engine {
+	return &Engine{store: store, catalog: store.Catalog(), analyzer: analyzer}
+}
+
+// Result is a materialized query result.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+	// Scanned is the number of recipes the executor visited; with the
+	// region-index optimization this is less than the corpus size.
+	Scanned int
+}
+
+// Table renders the result as an ASCII table.
+func (r *Result) Table(title string) *report.Table {
+	t := report.NewTable(title, r.Columns...)
+	for _, row := range r.Rows {
+		cells := make([]interface{}, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Run parses and executes a CQL statement.
+func (e *Engine) Run(input string) (*Result, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return e.Exec(q)
+}
+
+// compiledExpr is an expression with has()/category() arguments bound to
+// catalog IDs.
+type compiledExpr struct {
+	expr      Expr
+	hasIDs    map[string]flavor.ID
+	catIDs    map[string]flavor.Category
+	usesScore bool
+}
+
+// bind resolves function arguments and detects score usage so execution
+// never fails on a per-row basis for static reasons.
+func (e *Engine) bind(q *Query) (*compiledExpr, error) {
+	c := &compiledExpr{
+		expr:   q.Where,
+		hasIDs: make(map[string]flavor.ID),
+		catIDs: make(map[string]flavor.Category),
+	}
+	for _, it := range q.Items {
+		if it.Field == FieldScore && !it.Star {
+			c.usesScore = true
+		}
+	}
+	var walk func(Expr) error
+	walk = func(x Expr) error {
+		switch n := x.(type) {
+		case nil:
+			return nil
+		case *BinaryExpr:
+			if err := walk(n.L); err != nil {
+				return err
+			}
+			return walk(n.R)
+		case *NotExpr:
+			return walk(n.X)
+		case *CompareExpr:
+			if err := walk(n.L); err != nil {
+				return err
+			}
+			return walk(n.R)
+		case *FieldExpr:
+			if n.Field == FieldScore {
+				c.usesScore = true
+			}
+			return nil
+		case *InExpr:
+			return walk(n.X)
+		case *LiteralExpr:
+			return nil
+		case *FuncExpr:
+			switch n.Name {
+			case "has":
+				id, ok := e.catalog.Lookup(n.Arg)
+				if !ok {
+					return fmt.Errorf("%w: has(%q): unknown ingredient", ErrSemantic, n.Arg)
+				}
+				c.hasIDs[n.Arg] = id
+			case "category":
+				cat, err := flavor.ParseCategory(n.Arg)
+				if err != nil {
+					return fmt.Errorf("%w: category(%q): unknown category", ErrSemantic, n.Arg)
+				}
+				c.catIDs[n.Arg] = cat
+			default:
+				return fmt.Errorf("%w: unknown function %q", ErrSemantic, n.Name)
+			}
+			return nil
+		}
+		return fmt.Errorf("%w: unhandled expression node %T", ErrSemantic, x)
+	}
+	if err := walk(q.Where); err != nil {
+		return nil, err
+	}
+	if c.usesScore && e.analyzer == nil {
+		return nil, ErrNoScore
+	}
+	return c, nil
+}
+
+// scanPlan describes how the executor will enumerate candidate recipes.
+// The full WHERE clause is still evaluated per candidate — indexes only
+// narrow the scan.
+type scanPlan struct {
+	// region != recipedb.World pins the region index.
+	region recipedb.Region
+	// ingredient pins the ingredient inverted index when useIngredient
+	// is true.
+	ingredient    flavor.ID
+	useIngredient bool
+}
+
+// String renders the plan for EXPLAIN output.
+func (p scanPlan) describe(e *Engine) string {
+	switch {
+	case p.useIngredient && p.region != recipedb.World:
+		return fmt.Sprintf("ingredient index scan on %q (%d candidates) with region filter %s",
+			e.catalog.Ingredient(p.ingredient).Name, len(e.store.IngredientRecipes(p.ingredient)), p.region.Code())
+	case p.useIngredient:
+		return fmt.Sprintf("ingredient index scan on %q (%d candidates)",
+			e.catalog.Ingredient(p.ingredient).Name, len(e.store.IngredientRecipes(p.ingredient)))
+	case p.region != recipedb.World:
+		return fmt.Sprintf("region index scan on %s (%d candidates)", p.region.Code(), e.store.RegionLen(p.region))
+	default:
+		return fmt.Sprintf("full scan (%d recipes)", e.store.Len())
+	}
+}
+
+// planScan inspects the top-level AND chain for indexable conjuncts: a
+// region equality and/or bare has() calls. Among available indexes the
+// executor picks the most selective candidate list.
+func (e *Engine) planScan(x Expr, c *compiledExpr) scanPlan {
+	plan := scanPlan{region: recipedb.World}
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch n := x.(type) {
+		case *CompareExpr:
+			if n.Op != "=" {
+				return
+			}
+			fe, feOK := n.L.(*FieldExpr)
+			lit, litOK := n.R.(*LiteralExpr)
+			if !feOK || !litOK { // also accept 'CODE' = region
+				fe, feOK = n.R.(*FieldExpr)
+				lit, litOK = n.L.(*LiteralExpr)
+			}
+			if !feOK || !litOK || fe.Field != FieldRegion || lit.Val.Kind != KindString {
+				return
+			}
+			if r, err := recipedb.ParseRegion(strings.ToUpper(lit.Val.Str)); err == nil {
+				plan.region = r
+			}
+		case *FuncExpr:
+			// A bare has('x') conjunct implies membership: every match
+			// lies on the ingredient's posting list.
+			if n.Name != "has" {
+				return
+			}
+			id := c.hasIDs[n.Arg]
+			if !plan.useIngredient ||
+				len(e.store.IngredientRecipes(id)) < len(e.store.IngredientRecipes(plan.ingredient)) {
+				plan.ingredient, plan.useIngredient = id, true
+			}
+		case *BinaryExpr:
+			if n.Op != "and" {
+				return
+			}
+			walk(n.L)
+			walk(n.R)
+		}
+	}
+	walk(x)
+	// If both indexes apply, keep the ingredient index only when its
+	// posting list is smaller than the region bucket; region filtering
+	// still happens inside the WHERE evaluation either way.
+	if plan.useIngredient && plan.region != recipedb.World {
+		if e.store.RegionLen(plan.region) < len(e.store.IngredientRecipes(plan.ingredient)) {
+			plan.useIngredient = false
+		}
+	}
+	return plan
+}
+
+// fieldValue materializes one recipe field.
+func (e *Engine) fieldValue(rec *recipedb.Recipe, f Field) (Value, error) {
+	switch f {
+	case FieldID:
+		return intVal(int64(rec.ID)), nil
+	case FieldName:
+		return stringVal(rec.Name), nil
+	case FieldRegion:
+		return stringVal(rec.Region.Code()), nil
+	case FieldSource:
+		return stringVal(rec.Source.String()), nil
+	case FieldSize:
+		return intVal(int64(rec.Size())), nil
+	case FieldScore:
+		if e.analyzer == nil {
+			return Value{}, ErrNoScore
+		}
+		s, ok := e.analyzer.RecipeScore(rec.Ingredients)
+		if !ok {
+			return floatVal(0), nil
+		}
+		return floatVal(s), nil
+	}
+	return Value{}, fmt.Errorf("%w: unknown field %d", ErrSemantic, f)
+}
+
+// eval evaluates an expression for one recipe.
+func (e *Engine) eval(c *compiledExpr, x Expr, rec *recipedb.Recipe) (Value, error) {
+	switch n := x.(type) {
+	case *LiteralExpr:
+		return n.Val, nil
+	case *FieldExpr:
+		return e.fieldValue(rec, n.Field)
+	case *FuncExpr:
+		switch n.Name {
+		case "has":
+			return boolVal(rec.Contains(c.hasIDs[n.Arg])), nil
+		case "category":
+			cat := c.catIDs[n.Arg]
+			count := 0
+			for _, id := range rec.Ingredients {
+				if e.catalog.Ingredient(id).Category == cat {
+					count++
+				}
+			}
+			return intVal(int64(count)), nil
+		}
+		return Value{}, fmt.Errorf("%w: unknown function %q", ErrSemantic, n.Name)
+	case *CompareExpr:
+		l, err := e.eval(c, n.L, rec)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := e.eval(c, n.R, rec)
+		if err != nil {
+			return Value{}, err
+		}
+		ok, err := compare(n.Op, l, r)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: %v", ErrSemantic, err)
+		}
+		return boolVal(ok), nil
+	case *InExpr:
+		v, err := e.eval(c, n.X, rec)
+		if err != nil {
+			return Value{}, err
+		}
+		found := false
+		for _, lit := range n.Values {
+			ok, err := compare("=", v, lit)
+			if err != nil {
+				return Value{}, fmt.Errorf("%w: %v", ErrSemantic, err)
+			}
+			if ok {
+				found = true
+				break
+			}
+		}
+		return boolVal(found != n.Negate), nil
+	case *NotExpr:
+		v, err := e.eval(c, n.X, rec)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Kind != KindBool {
+			return Value{}, fmt.Errorf("%w: NOT needs a boolean", ErrSemantic)
+		}
+		return boolVal(!v.Bool), nil
+	case *BinaryExpr:
+		l, err := e.eval(c, n.L, rec)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Kind != KindBool {
+			return Value{}, fmt.Errorf("%w: %s needs boolean operands", ErrSemantic, strings.ToUpper(n.Op))
+		}
+		// Short-circuit.
+		if n.Op == "and" && !l.Bool {
+			return boolVal(false), nil
+		}
+		if n.Op == "or" && l.Bool {
+			return boolVal(true), nil
+		}
+		r, err := e.eval(c, n.R, rec)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Kind != KindBool {
+			return Value{}, fmt.Errorf("%w: %s needs boolean operands", ErrSemantic, strings.ToUpper(n.Op))
+		}
+		if n.Op == "and" {
+			return boolVal(l.Bool && r.Bool), nil
+		}
+		return boolVal(l.Bool || r.Bool), nil
+	}
+	return Value{}, fmt.Errorf("%w: unhandled node %T", ErrSemantic, x)
+}
+
+// matches applies the WHERE clause.
+func (e *Engine) matches(c *compiledExpr, rec *recipedb.Recipe) (bool, error) {
+	if c.expr == nil {
+		return true, nil
+	}
+	v, err := e.eval(c, c.expr, rec)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind != KindBool {
+		return false, fmt.Errorf("%w: WHERE clause is %s, not boolean", ErrSemantic, v.kindName())
+	}
+	return v.Bool, nil
+}
+
+// starFields is the '*' expansion (score excluded: it is derived and
+// comparatively expensive, so it must be requested explicitly).
+var starFields = []Field{FieldID, FieldName, FieldRegion, FieldSource, FieldSize}
+
+// expandItems resolves '*' markers and reports whether any aggregate is
+// present.
+func expandItems(items []SelectItem) (out []SelectItem, hasAgg, hasPlain bool, err error) {
+	for _, it := range items {
+		switch {
+		case it.Agg != nil:
+			hasAgg = true
+			out = append(out, it)
+		case it.Star:
+			hasPlain = true
+			for _, f := range starFields {
+				out = append(out, SelectItem{Field: f})
+			}
+		default:
+			hasPlain = true
+			out = append(out, it)
+		}
+	}
+	return out, hasAgg, hasPlain, nil
+}
+
+// Exec executes a parsed query.
+func (e *Engine) Exec(q *Query) (*Result, error) {
+	c, err := e.bind(q)
+	if err != nil {
+		return nil, err
+	}
+	items, hasAgg, hasPlain, err := expandItems(q.Items)
+	if err != nil {
+		return nil, err
+	}
+	if hasAgg && hasPlain && q.GroupBy == nil {
+		return nil, fmt.Errorf("%w: mixing aggregates with plain fields requires GROUP BY", ErrSemantic)
+	}
+	if q.GroupBy != nil {
+		for _, it := range items {
+			if it.Agg == nil && it.Field != *q.GroupBy {
+				return nil, fmt.Errorf("%w: column %s is neither aggregated nor the GROUP BY key", ErrSemantic, it.Label())
+			}
+		}
+	}
+
+	res := &Result{}
+	for _, it := range items {
+		res.Columns = append(res.Columns, it.Label())
+	}
+
+	plan := scanPlan{region: recipedb.World}
+	if q.Where != nil {
+		plan = e.planScan(q.Where, c)
+	}
+	if q.Explain {
+		res.Columns = []string{"plan"}
+		res.Rows = [][]Value{{stringVal(plan.describe(e))}}
+		return res, nil
+	}
+
+	var execErr error
+	switch {
+	case q.GroupBy != nil:
+		execErr = e.execGrouped(q, c, items, plan, res)
+	case hasAgg:
+		execErr = e.execAggregate(q, c, items, plan, res)
+	default:
+		execErr = e.execScan(q, c, items, plan, res)
+	}
+	if execErr != nil {
+		return nil, execErr
+	}
+
+	if q.OrderBy != "" {
+		col := -1
+		for i, label := range res.Columns {
+			if strings.EqualFold(label, q.OrderBy) {
+				col = i
+				break
+			}
+		}
+		if col < 0 {
+			return nil, fmt.Errorf("%w: ORDER BY column %q is not in the select list", ErrSemantic, q.OrderBy)
+		}
+		sort.SliceStable(res.Rows, func(i, j int) bool {
+			if q.Desc {
+				return less(res.Rows[j][col], res.Rows[i][col])
+			}
+			return less(res.Rows[i][col], res.Rows[j][col])
+		})
+	}
+	if q.Limit >= 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+// forEach visits candidate recipes, honoring the chosen index.
+func (e *Engine) forEach(plan scanPlan, res *Result, fn func(*recipedb.Recipe) error) error {
+	if plan.useIngredient {
+		for _, rid := range e.store.IngredientRecipes(plan.ingredient) {
+			rec := e.store.Recipe(rid)
+			if plan.region != recipedb.World && rec.Region != plan.region {
+				continue // region check is free; skip before counting
+			}
+			res.Scanned++
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var visitErr error
+	e.store.ForEachInRegion(plan.region, func(rec *recipedb.Recipe) {
+		if visitErr != nil {
+			return
+		}
+		res.Scanned++
+		visitErr = fn(rec)
+	})
+	return visitErr
+}
+
+// execScan streams plain projections.
+func (e *Engine) execScan(q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result) error {
+	// Fast path: with no ORDER BY the LIMIT can stop the scan early.
+	stopEarly := q.OrderBy == "" && q.Limit >= 0
+	return e.forEach(plan, res, func(rec *recipedb.Recipe) error {
+		if stopEarly && len(res.Rows) >= q.Limit {
+			return nil
+		}
+		ok, err := e.matches(c, rec)
+		if err != nil || !ok {
+			return err
+		}
+		row := make([]Value, len(items))
+		for i, it := range items {
+			v, err := e.fieldValue(rec, it.Field)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+		return nil
+	})
+}
+
+// aggState accumulates one aggregate column.
+type aggState struct {
+	count int
+	sum   float64
+	min   float64
+	max   float64
+}
+
+func (a *aggState) add(v float64) {
+	if a.count == 0 || v < a.min {
+		a.min = v
+	}
+	if a.count == 0 || v > a.max {
+		a.max = v
+	}
+	a.count++
+	a.sum += v
+}
+
+// final renders the aggregate output value.
+func (a *aggState) final(fn AggFunc, field Field) Value {
+	switch fn {
+	case AggCount:
+		return intVal(int64(a.count))
+	case AggSum:
+		if field == FieldScore {
+			return floatVal(a.sum)
+		}
+		return intVal(int64(a.sum))
+	case AggAvg:
+		if a.count == 0 {
+			return floatVal(0)
+		}
+		return floatVal(a.sum / float64(a.count))
+	case AggMin:
+		if a.count == 0 {
+			return floatVal(0)
+		}
+		if field == FieldScore {
+			return floatVal(a.min)
+		}
+		return intVal(int64(a.min))
+	case AggMax:
+		if a.count == 0 {
+			return floatVal(0)
+		}
+		if field == FieldScore {
+			return floatVal(a.max)
+		}
+		return intVal(int64(a.max))
+	}
+	return Value{}
+}
+
+// accumulate feeds one matching recipe into a row of aggregate states.
+func (e *Engine) accumulate(items []SelectItem, states []aggState, rec *recipedb.Recipe) error {
+	for i, it := range items {
+		if it.Agg == nil {
+			continue
+		}
+		if it.Star { // count(*)
+			states[i].add(1)
+			continue
+		}
+		v, err := e.fieldValue(rec, it.Field)
+		if err != nil {
+			return err
+		}
+		f, ok := v.asFloat()
+		if !ok {
+			// count(name) etc.: count non-numeric presence.
+			f = 1
+			if *it.Agg != AggCount {
+				return fmt.Errorf("%w: %s over non-numeric field %s", ErrSemantic, it.Agg, it.Field)
+			}
+		}
+		states[i].add(f)
+	}
+	return nil
+}
+
+// execAggregate computes a single aggregate row.
+func (e *Engine) execAggregate(q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result) error {
+	states := make([]aggState, len(items))
+	err := e.forEach(plan, res, func(rec *recipedb.Recipe) error {
+		ok, err := e.matches(c, rec)
+		if err != nil || !ok {
+			return err
+		}
+		return e.accumulate(items, states, rec)
+	})
+	if err != nil {
+		return err
+	}
+	row := make([]Value, len(items))
+	for i, it := range items {
+		row[i] = states[i].final(*it.Agg, it.Field)
+	}
+	res.Rows = append(res.Rows, row)
+	return nil
+}
+
+// execGrouped computes GROUP BY rows.
+func (e *Engine) execGrouped(q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result) error {
+	type group struct {
+		key    Value
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	err := e.forEach(plan, res, func(rec *recipedb.Recipe) error {
+		ok, err := e.matches(c, rec)
+		if err != nil || !ok {
+			return err
+		}
+		keyVal, err := e.fieldValue(rec, *q.GroupBy)
+		if err != nil {
+			return err
+		}
+		k := keyVal.String()
+		g, ok2 := groups[k]
+		if !ok2 {
+			g = &group{key: keyVal, states: make([]aggState, len(items))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		return e.accumulate(items, g.states, rec)
+	})
+	if err != nil {
+		return err
+	}
+	sort.Strings(order) // deterministic default order
+	for _, k := range order {
+		g := groups[k]
+		row := make([]Value, len(items))
+		for i, it := range items {
+			if it.Agg == nil {
+				row[i] = g.key
+				continue
+			}
+			row[i] = g.states[i].final(*it.Agg, it.Field)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return nil
+}

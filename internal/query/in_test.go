@@ -1,0 +1,57 @@
+package query
+
+import "testing"
+
+func TestInList(t *testing.T) {
+	f := newFixture(t)
+	res := f.mustRun(t, "SELECT name FROM recipes WHERE region IN ('ITA', 'JPN')")
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	res = f.mustRun(t, "SELECT name FROM recipes WHERE region NOT IN ('ITA', 'JPN')")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "chana masala" {
+		t.Fatalf("NOT IN rows = %v", res.Rows)
+	}
+	// Numeric IN lists.
+	res = f.mustRun(t, "SELECT name FROM recipes WHERE size IN (3, 9)")
+	if len(res.Rows) != 3 { // aglio (3), miso (3), chana (9)
+		t.Fatalf("size IN rows = %d, want 3", len(res.Rows))
+	}
+	// IN composes with other predicates.
+	res = f.mustRun(t, "SELECT name FROM recipes WHERE region IN ('ITA') AND has('basil')")
+	if len(res.Rows) != 2 {
+		t.Fatalf("composed rows = %d, want 2", len(res.Rows))
+	}
+	// Case-insensitive string membership, matching '=' semantics.
+	res = f.mustRun(t, "SELECT name FROM recipes WHERE region IN ('ita')")
+	if len(res.Rows) != 3 {
+		t.Fatalf("lowercase IN rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestInListPrefixNotStillWorks(t *testing.T) {
+	// Prefix NOT applied to a parenthesized IN keeps its meaning.
+	f := newFixture(t)
+	a := f.mustRun(t, "SELECT name FROM recipes WHERE NOT (region IN ('ITA'))")
+	b := f.mustRun(t, "SELECT name FROM recipes WHERE region NOT IN ('ITA')")
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("NOT (IN) %d rows != NOT IN %d rows", len(a.Rows), len(b.Rows))
+	}
+}
+
+func TestInListErrors(t *testing.T) {
+	f := newFixture(t)
+	cases := []string{
+		"SELECT name FROM recipes WHERE region IN ()",            // empty list
+		"SELECT name FROM recipes WHERE region IN ('ITA',)",      // trailing comma
+		"SELECT name FROM recipes WHERE region IN 'ITA'",         // missing parens
+		"SELECT name FROM recipes WHERE region IN ('ITA' 'JPN')", // missing comma
+		"SELECT name FROM recipes WHERE region IN (name)",        // non-literal
+		"SELECT name FROM recipes WHERE size IN ('three')",       // type mismatch at eval
+	}
+	for _, q := range cases {
+		if _, err := f.engine.Run(q); err == nil {
+			t.Errorf("Run(%q) succeeded, want error", q)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse compiles a CQL statement into a Query AST.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected %s after end of query", p.peek())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &SyntaxError{p.peek().pos, fmt.Sprintf(format, args...)}
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !keywordIs(p.peek(), kw) {
+		return p.errorf("expected %s, got %s", strings.ToUpper(kw), p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	explain := false
+	if keywordIs(p.peek(), "explain") {
+		p.next()
+		explain = true
+	}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1, Explain: explain}
+	items, err := p.parseSelectList()
+	if err != nil {
+		return nil, err
+	}
+	q.Items = items
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	table := p.next()
+	if table.kind != tokIdent || !strings.EqualFold(table.text, "recipes") {
+		return nil, &SyntaxError{table.pos, fmt.Sprintf("unknown table %s (only 'recipes' exists)", table)}
+	}
+
+	if keywordIs(p.peek(), "where") {
+		p.next()
+		expr, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = expr
+	}
+	if keywordIs(p.peek(), "group") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		tok := p.next()
+		f, ok := parseField(tok.text)
+		if tok.kind != tokIdent || !ok {
+			return nil, &SyntaxError{tok.pos, fmt.Sprintf("GROUP BY needs a field, got %s", tok)}
+		}
+		if f == FieldScore {
+			return nil, &SyntaxError{tok.pos, "cannot GROUP BY score (continuous)"}
+		}
+		q.GroupBy = &f
+	}
+	if keywordIs(p.peek(), "order") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		label, err := p.parseOrderKey()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = label
+		if keywordIs(p.peek(), "desc") {
+			p.next()
+			q.Desc = true
+		} else if keywordIs(p.peek(), "asc") {
+			p.next()
+		}
+	}
+	if keywordIs(p.peek(), "limit") {
+		p.next()
+		tok := p.next()
+		if tok.kind != tokInt {
+			return nil, &SyntaxError{tok.pos, fmt.Sprintf("LIMIT needs an integer, got %s", tok)}
+		}
+		n, err := strconv.Atoi(tok.text)
+		if err != nil || n < 0 {
+			return nil, &SyntaxError{tok.pos, fmt.Sprintf("bad LIMIT %q", tok.text)}
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+// parseOrderKey accepts either a field name or an aggregate call and
+// returns its column label.
+func (p *parser) parseOrderKey() (string, error) {
+	tok := p.next()
+	if tok.kind != tokIdent {
+		return "", &SyntaxError{tok.pos, fmt.Sprintf("ORDER BY needs a column, got %s", tok)}
+	}
+	if agg, ok := parseAgg(tok.text); ok && p.peek().kind == tokLParen {
+		item, err := p.parseAggCall(agg)
+		if err != nil {
+			return "", err
+		}
+		return item.Label(), nil
+	}
+	if _, ok := parseField(tok.text); !ok {
+		return "", &SyntaxError{tok.pos, fmt.Sprintf("unknown column %q", tok.text)}
+	}
+	return strings.ToLower(tok.text), nil
+}
+
+func (p *parser) parseSelectList() ([]SelectItem, error) {
+	var items []SelectItem
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if p.peek().kind != tokComma {
+			return items, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	tok := p.next()
+	switch {
+	case tok.kind == tokStar:
+		return SelectItem{Star: true}, nil
+	case tok.kind == tokIdent:
+		if agg, ok := parseAgg(tok.text); ok && p.peek().kind == tokLParen {
+			return p.parseAggCall(agg)
+		}
+		f, ok := parseField(tok.text)
+		if !ok {
+			return SelectItem{}, &SyntaxError{tok.pos, fmt.Sprintf("unknown field %q", tok.text)}
+		}
+		return SelectItem{Field: f}, nil
+	default:
+		return SelectItem{}, &SyntaxError{tok.pos, fmt.Sprintf("expected field or aggregate, got %s", tok)}
+	}
+}
+
+// parseAggCall parses the parenthesized argument of an aggregate whose
+// name has already been consumed.
+func (p *parser) parseAggCall(agg AggFunc) (SelectItem, error) {
+	if p.peek().kind != tokLParen {
+		return SelectItem{}, p.errorf("expected ( after %s", agg)
+	}
+	p.next()
+	item := SelectItem{Agg: &agg}
+	arg := p.next()
+	switch {
+	case arg.kind == tokStar:
+		if agg != AggCount {
+			return SelectItem{}, &SyntaxError{arg.pos, fmt.Sprintf("%s(*) is not defined; only count(*)", agg)}
+		}
+		item.Star = true
+	case arg.kind == tokIdent:
+		f, ok := parseField(arg.text)
+		if !ok {
+			return SelectItem{}, &SyntaxError{arg.pos, fmt.Sprintf("unknown field %q", arg.text)}
+		}
+		if agg != AggCount && f != FieldSize && f != FieldScore && f != FieldID {
+			return SelectItem{}, &SyntaxError{arg.pos, fmt.Sprintf("%s(%s) needs a numeric field", agg, f)}
+		}
+		item.Field = f
+	default:
+		return SelectItem{}, &SyntaxError{arg.pos, fmt.Sprintf("expected field or *, got %s", arg)}
+	}
+	if p.peek().kind != tokRParen {
+		return SelectItem{}, p.errorf("expected ) to close %s(", agg)
+	}
+	p.next()
+	return item, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for keywordIs(p.peek(), "or") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for keywordIs(p.peek(), "and") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if keywordIs(p.peek(), "not") {
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	if p.peek().kind == tokLParen {
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, p.errorf("expected )")
+		}
+		p.next()
+		return inner, nil
+	}
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	tok := p.peek()
+	var op string
+	switch {
+	case tok.kind == tokOp:
+		op = tok.text
+		p.next()
+	case keywordIs(tok, "like"):
+		op = "like"
+		p.next()
+	case keywordIs(tok, "in"):
+		p.next()
+		return p.parseInList(l, false)
+	case keywordIs(tok, "not") && keywordIs(p.toks[p.pos+1], "in"):
+		p.next()
+		p.next()
+		return p.parseInList(l, true)
+	default:
+		// Bare operand: must be boolean-valued (has(...)).
+		return l, nil
+	}
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &CompareExpr{Op: op, L: l, R: r}, nil
+}
+
+// parseInList parses the parenthesized literal list of an IN clause.
+func (p *parser) parseInList(x Expr, negate bool) (Expr, error) {
+	if p.peek().kind != tokLParen {
+		return nil, p.errorf("expected ( after IN")
+	}
+	p.next()
+	var values []Value
+	for {
+		tok := p.next()
+		switch tok.kind {
+		case tokString:
+			values = append(values, stringVal(tok.text))
+		case tokInt:
+			n, err := strconv.ParseInt(tok.text, 10, 64)
+			if err != nil {
+				return nil, &SyntaxError{tok.pos, fmt.Sprintf("bad integer %q", tok.text)}
+			}
+			values = append(values, intVal(n))
+		case tokFloat:
+			f, err := strconv.ParseFloat(tok.text, 64)
+			if err != nil {
+				return nil, &SyntaxError{tok.pos, fmt.Sprintf("bad float %q", tok.text)}
+			}
+			values = append(values, floatVal(f))
+		default:
+			return nil, &SyntaxError{tok.pos, fmt.Sprintf("IN list needs literals, got %s", tok)}
+		}
+		sep := p.next()
+		if sep.kind == tokRParen {
+			return &InExpr{X: x, Values: values, Negate: negate}, nil
+		}
+		if sep.kind != tokComma {
+			return nil, &SyntaxError{sep.pos, fmt.Sprintf("expected , or ) in IN list, got %s", sep)}
+		}
+	}
+}
+
+func (p *parser) parseOperand() (Expr, error) {
+	tok := p.next()
+	switch tok.kind {
+	case tokInt:
+		n, err := strconv.ParseInt(tok.text, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{tok.pos, fmt.Sprintf("bad integer %q", tok.text)}
+		}
+		return &LiteralExpr{Val: intVal(n)}, nil
+	case tokFloat:
+		f, err := strconv.ParseFloat(tok.text, 64)
+		if err != nil {
+			return nil, &SyntaxError{tok.pos, fmt.Sprintf("bad float %q", tok.text)}
+		}
+		return &LiteralExpr{Val: floatVal(f)}, nil
+	case tokString:
+		return &LiteralExpr{Val: stringVal(tok.text)}, nil
+	case tokIdent:
+		lower := strings.ToLower(tok.text)
+		if lower == "has" || lower == "category" {
+			if p.peek().kind != tokLParen {
+				return nil, p.errorf("expected ( after %s", lower)
+			}
+			p.next()
+			arg := p.next()
+			if arg.kind != tokString {
+				return nil, &SyntaxError{arg.pos, fmt.Sprintf("%s() needs a string argument, got %s", lower, arg)}
+			}
+			if p.peek().kind != tokRParen {
+				return nil, p.errorf("expected ) to close %s(", lower)
+			}
+			p.next()
+			return &FuncExpr{Name: lower, Arg: arg.text}, nil
+		}
+		if lower == "true" || lower == "false" {
+			return &LiteralExpr{Val: boolVal(lower == "true")}, nil
+		}
+		f, ok := parseField(tok.text)
+		if !ok {
+			return nil, &SyntaxError{tok.pos, fmt.Sprintf("unknown identifier %q", tok.text)}
+		}
+		return &FieldExpr{Field: f}, nil
+	default:
+		return nil, &SyntaxError{tok.pos, fmt.Sprintf("expected operand, got %s", tok)}
+	}
+}

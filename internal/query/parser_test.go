@@ -1,0 +1,182 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT count(*), name FROM recipes WHERE size >= 5 AND name LIKE 'pasta''s'")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	if kinds[len(kinds)-1] != tokEOF {
+		t.Error("missing EOF token")
+	}
+	joined := strings.Join(texts, " ")
+	if !strings.Contains(joined, "pasta's") {
+		t.Errorf("escaped quote not decoded: %q", joined)
+	}
+	if !strings.Contains(joined, ">=") {
+		t.Errorf("two-char operator split: %q", joined)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := map[string]string{
+		"a <> b": "!=",
+		"a != b": "!=",
+		"a <= b": "<=",
+		"a >= b": ">=",
+		"a < b":  "<",
+		"a > b":  ">",
+		"a = b":  "=",
+	}
+	for input, wantOp := range cases {
+		toks, err := lex(input)
+		if err != nil {
+			t.Fatalf("lex(%q): %v", input, err)
+		}
+		if toks[1].kind != tokOp || toks[1].text != wantOp {
+			t.Errorf("lex(%q) op = %q, want %q", input, toks[1].text, wantOp)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, input := range []string{"'unterminated", "a ! b", "1.2.3", "name @ 3"} {
+		if _, err := lex(input); err == nil {
+			t.Errorf("lex(%q) succeeded, want error", input)
+		}
+	}
+}
+
+func TestParseFullQuery(t *testing.T) {
+	q, err := Parse(`SELECT region, count(*), avg(size)
+		FROM recipes
+		WHERE (size >= 4 AND has('garlic')) OR category('Spice') > 2
+		GROUP BY region ORDER BY count(*) DESC LIMIT 5`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Items) != 3 {
+		t.Fatalf("items = %d, want 3", len(q.Items))
+	}
+	if q.Items[0].Agg != nil || q.Items[0].Field != FieldRegion {
+		t.Errorf("item 0 = %+v", q.Items[0])
+	}
+	if q.Items[1].Agg == nil || *q.Items[1].Agg != AggCount || !q.Items[1].Star {
+		t.Errorf("item 1 = %+v", q.Items[1])
+	}
+	if q.Items[2].Label() != "avg(size)" {
+		t.Errorf("item 2 label = %q", q.Items[2].Label())
+	}
+	if q.GroupBy == nil || *q.GroupBy != FieldRegion {
+		t.Error("missing GROUP BY region")
+	}
+	if q.OrderBy != "count(*)" || !q.Desc {
+		t.Errorf("order = %q desc=%v", q.OrderBy, q.Desc)
+	}
+	if q.Limit != 5 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+	or, ok := q.Where.(*BinaryExpr)
+	if !ok || or.Op != "or" {
+		t.Fatalf("where root = %T %+v", q.Where, q.Where)
+	}
+	and, ok := or.L.(*BinaryExpr)
+	if !ok || and.Op != "and" {
+		t.Fatalf("where left = %T", or.L)
+	}
+}
+
+func TestParsePrecedenceAndNot(t *testing.T) {
+	// NOT binds tighter than AND, AND tighter than OR.
+	q, err := Parse("SELECT id FROM recipes WHERE NOT has('salt') AND size > 3 OR size < 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := q.Where.(*BinaryExpr)
+	if !ok || or.Op != "or" {
+		t.Fatalf("root = %+v", q.Where)
+	}
+	and, ok := or.L.(*BinaryExpr)
+	if !ok || and.Op != "and" {
+		t.Fatalf("left = %T", or.L)
+	}
+	if _, ok := and.L.(*NotExpr); !ok {
+		t.Fatalf("not = %T", and.L)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("select NAME from RECIPES where SIZE = 9 limit 1"); err != nil {
+		t.Fatalf("lowercase keywords rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                      // empty
+		"SELECT",                                // truncated
+		"SELECT id",                             // missing FROM
+		"SELECT id FROM users",                  // unknown table
+		"SELECT bogus FROM recipes",             // unknown field
+		"SELECT id FROM recipes WHERE",          // missing expr
+		"SELECT id FROM recipes LIMIT -1",       // negative limit (lexes as op)
+		"SELECT id FROM recipes LIMIT x",        // non-integer limit
+		"SELECT id FROM recipes GROUP BY 3",     // group by literal
+		"SELECT id FROM recipes GROUP BY score", // continuous group key
+		"SELECT sum(*) FROM recipes",            // sum(*) undefined
+		"SELECT avg(name) FROM recipes",         // non-numeric avg
+		"SELECT id FROM recipes WHERE has(3)",   // has needs string
+		"SELECT id FROM recipes WHERE (size=1",  // unbalanced paren
+		"SELECT id FROM recipes ORDER BY bogus", // unknown order column
+		"SELECT id FROM recipes extra",          // trailing tokens
+	}
+	for _, input := range cases {
+		if _, err := Parse(input); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", input)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("Parse(%q) error %v is not a SyntaxError", input, err)
+			}
+		}
+	}
+}
+
+func TestParseStarItem(t *testing.T) {
+	q, err := Parse("SELECT * FROM recipes LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Items) != 1 || !q.Items[0].Star || q.Items[0].Agg != nil {
+		t.Errorf("items = %+v", q.Items)
+	}
+}
+
+func TestSelectItemLabels(t *testing.T) {
+	count := AggCount
+	avg := AggAvg
+	cases := []struct {
+		item SelectItem
+		want string
+	}{
+		{SelectItem{Field: FieldRegion}, "region"},
+		{SelectItem{Agg: &count, Star: true}, "count(*)"},
+		{SelectItem{Agg: &avg, Field: FieldSize}, "avg(size)"},
+	}
+	for _, c := range cases {
+		if got := c.item.Label(); got != c.want {
+			t.Errorf("Label() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"culinary/internal/flavor"
+	"culinary/internal/pairing"
+	"culinary/internal/recipedb"
+	"culinary/internal/synth"
+)
+
+// propEngine runs property tests against the 5%-scale synthetic corpus
+// so predicates see realistic value distributions.
+var propEngine = func() *Engine {
+	catalog, err := flavor.Build(flavor.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	analyzer := pairing.NewAnalyzer(catalog)
+	store, err := synth.Generate(analyzer, synth.TestConfig())
+	if err != nil {
+		panic(err)
+	}
+	return NewEngine(store, analyzer)
+}()
+
+// randomPredicate renders a deterministic size/region predicate from
+// fuzz inputs.
+func randomPredicate(sizeOp uint8, sizeVal uint8, withRegion bool, regionPick uint8) string {
+	ops := []string{"<", "<=", "=", ">=", ">", "!="}
+	pred := fmt.Sprintf("size %s %d", ops[int(sizeOp)%len(ops)], 3+int(sizeVal)%15)
+	if withRegion {
+		regions := recipedb.MajorRegions()
+		r := regions[int(regionPick)%len(regions)]
+		pred += fmt.Sprintf(" AND region = '%s'", r.Code())
+	}
+	return pred
+}
+
+// TestPropertyCountMatchesScan checks that count(*) equals the row count
+// of the equivalent projection for arbitrary predicates — the aggregate
+// and scan executors must agree.
+func TestPropertyCountMatchesScan(t *testing.T) {
+	check := func(sizeOp, sizeVal uint8, withRegion bool, regionPick uint8) bool {
+		pred := randomPredicate(sizeOp, sizeVal, withRegion, regionPick)
+		agg, err := propEngine.Run("SELECT count(*) FROM recipes WHERE " + pred)
+		if err != nil {
+			t.Logf("agg: %v", err)
+			return false
+		}
+		scan, err := propEngine.Run("SELECT id FROM recipes WHERE " + pred)
+		if err != nil {
+			t.Logf("scan: %v", err)
+			return false
+		}
+		if agg.Rows[0][0].Int != int64(len(scan.Rows)) {
+			t.Logf("pred %q: count=%d scan=%d", pred, agg.Rows[0][0].Int, len(scan.Rows))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyGroupCountsSumToTotal checks that GROUP BY partitions the
+// matched set: per-group counts sum to the ungrouped count.
+func TestPropertyGroupCountsSumToTotal(t *testing.T) {
+	check := func(sizeOp, sizeVal uint8) bool {
+		pred := randomPredicate(sizeOp, sizeVal, false, 0)
+		grouped, err := propEngine.Run("SELECT region, count(*) FROM recipes WHERE " + pred + " GROUP BY region")
+		if err != nil {
+			t.Logf("grouped: %v", err)
+			return false
+		}
+		total, err := propEngine.Run("SELECT count(*) FROM recipes WHERE " + pred)
+		if err != nil {
+			t.Logf("total: %v", err)
+			return false
+		}
+		var sum int64
+		for _, row := range grouped.Rows {
+			sum += row[1].Int
+		}
+		if sum != total.Rows[0][0].Int {
+			t.Logf("pred %q: groups sum %d, total %d", pred, sum, total.Rows[0][0].Int)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyOrderBySorted checks ORDER BY output is monotone and that
+// LIMIT is a prefix of the unlimited ordering.
+func TestPropertyOrderBySorted(t *testing.T) {
+	check := func(desc bool, limit uint8) bool {
+		dir := "ASC"
+		if desc {
+			dir = "DESC"
+		}
+		full, err := propEngine.Run("SELECT id, size FROM recipes ORDER BY size " + dir)
+		if err != nil {
+			t.Logf("full: %v", err)
+			return false
+		}
+		for i := 1; i < len(full.Rows); i++ {
+			a, b := full.Rows[i-1][1].Int, full.Rows[i][1].Int
+			if !desc && a > b || desc && a < b {
+				t.Logf("row %d out of order: %d then %d (%s)", i, a, b, dir)
+				return false
+			}
+		}
+		k := int(limit)%20 + 1
+		lim, err := propEngine.Run(fmt.Sprintf("SELECT id, size FROM recipes ORDER BY size %s LIMIT %d", dir, k))
+		if err != nil {
+			t.Logf("lim: %v", err)
+			return false
+		}
+		want := k
+		if want > len(full.Rows) {
+			want = len(full.Rows)
+		}
+		if len(lim.Rows) != want {
+			t.Logf("limit %d returned %d rows", k, len(lim.Rows))
+			return false
+		}
+		for i := range lim.Rows {
+			// Stable sort makes the limited result an exact prefix.
+			if lim.Rows[i][0].Int != full.Rows[i][0].Int {
+				t.Logf("limit row %d: id %d != full id %d", i, lim.Rows[i][0].Int, full.Rows[i][0].Int)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRegionIndexEquivalence checks the region-index fast path
+// returns exactly the rows of a full scan filtered in Go.
+func TestPropertyRegionIndexEquivalence(t *testing.T) {
+	check := func(regionPick uint8) bool {
+		regions := recipedb.MajorRegions()
+		r := regions[int(regionPick)%len(regions)]
+		indexed, err := propEngine.Run(fmt.Sprintf("SELECT id FROM recipes WHERE region = '%s'", r.Code()))
+		if err != nil {
+			t.Logf("indexed: %v", err)
+			return false
+		}
+		// NOT (region != X) defeats the planner, forcing a full scan.
+		scanned, err := propEngine.Run(fmt.Sprintf("SELECT id FROM recipes WHERE NOT (region != '%s')", r.Code()))
+		if err != nil {
+			t.Logf("scanned: %v", err)
+			return false
+		}
+		if len(indexed.Rows) != len(scanned.Rows) {
+			t.Logf("region %s: indexed %d rows, scanned %d", r.Code(), len(indexed.Rows), len(scanned.Rows))
+			return false
+		}
+		for i := range indexed.Rows {
+			if indexed.Rows[i][0].Int != scanned.Rows[i][0].Int {
+				t.Logf("row %d differs", i)
+				return false
+			}
+		}
+		// And the fast path must actually scan fewer recipes.
+		return indexed.Scanned <= scanned.Scanned
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 22}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package query implements CQL, a small SQL-like query language over the
+// recipe corpus. It exists because the paper's artifact is an online
+// *database* of world cuisines; a downstream user of this library needs
+// ad-hoc slicing ("how many Italian recipes with at least two spices use
+// garlic?") without writing Go. The engine supports filtering on recipe
+// fields, ingredient membership, category counts and pairing scores,
+// grouping with aggregates, ordering and limits, with a region-index
+// scan optimization for region-equality predicates.
+//
+// Grammar (case-insensitive keywords):
+//
+//	query   := SELECT items FROM ident [WHERE expr]
+//	           [GROUP BY field] [ORDER BY ident [ASC|DESC]] [LIMIT int]
+//	items   := item {',' item}
+//	item    := '*' | field | agg '(' (field | '*') ')'
+//	agg     := COUNT | SUM | AVG | MIN | MAX
+//	expr    := or
+//	or      := and {OR and}
+//	and     := not {AND not}
+//	not     := [NOT] cmp
+//	cmp     := operand [op operand] | '(' expr ')'
+//	op      := '=' | '!=' | '<' | '<=' | '>' | '>=' | LIKE
+//	operand := field | literal | func '(' string ')'
+//	func    := HAS | CATEGORY
+//	field   := ID | NAME | REGION | SOURCE | SIZE | SCORE
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokInt
+	tokFloat
+	tokComma
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp // comparison operators
+)
+
+// token is one lexeme with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.text
+	}
+}
+
+// ErrSyntax prefixes all lexical and parse failures.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("query: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// lex splits input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, &SyntaxError{i, "unexpected '!'"}
+			}
+		case c == '<':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "<=", i})
+				i += 2
+			} else if i+1 < n && input[i+1] == '>' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, &SyntaxError{i, "unterminated string literal"}
+				}
+				if input[j] == quote {
+					// Doubled quote escapes itself ('it''s').
+					if j+1 < n && input[j+1] == quote {
+						sb.WriteByte(quote)
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			isFloat := false
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				if input[j] == '.' {
+					if isFloat {
+						return nil, &SyntaxError{j, "malformed number"}
+					}
+					isFloat = true
+				}
+				j++
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, &SyntaxError{i, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// keywordIs reports whether tok is the given keyword, case-insensitively.
+func keywordIs(tok token, kw string) bool {
+	return tok.kind == tokIdent && strings.EqualFold(tok.text, kw)
+}

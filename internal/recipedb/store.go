@@ -1,0 +1,265 @@
+package recipedb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"culinary/internal/flavor"
+	"culinary/internal/stats"
+)
+
+// Recipe is one traditional recipe reduced, as in §III.A, to an
+// unordered list of catalog ingredient IDs plus provenance metadata.
+type Recipe struct {
+	// ID is the recipe's dense index within its Store.
+	ID int
+	// Name is the recipe title.
+	Name string
+	// Region is the geo-cultural region the recipe is annotated with.
+	Region Region
+	// Source records which recipe site the recipe came from.
+	Source Source
+	// Ingredients are catalog IDs; duplicates are not permitted.
+	Ingredients []flavor.ID
+}
+
+// Size returns the number of ingredients in the recipe.
+func (r *Recipe) Size() int { return len(r.Ingredients) }
+
+// Contains reports whether the recipe uses the ingredient.
+func (r *Recipe) Contains(id flavor.ID) bool {
+	for _, ing := range r.Ingredients {
+		if ing == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrValidation wraps recipe validation failures.
+var ErrValidation = errors.New("recipedb: invalid recipe")
+
+// Store is an in-memory recipe corpus with region indexes. Append-only:
+// build it once, then query concurrently.
+type Store struct {
+	catalog      *flavor.Catalog
+	recipes      []Recipe
+	byRegion     map[Region][]int
+	byIngredient map[flavor.ID][]int
+}
+
+// NewStore creates an empty store bound to an ingredient catalog.
+func NewStore(catalog *flavor.Catalog) *Store {
+	return &Store{
+		catalog:      catalog,
+		byRegion:     make(map[Region][]int),
+		byIngredient: make(map[flavor.ID][]int),
+	}
+}
+
+// Catalog returns the ingredient catalog the store is bound to.
+func (s *Store) Catalog() *flavor.Catalog { return s.catalog }
+
+// Add validates and appends a recipe, returning its assigned ID.
+// Validation enforces: a known region and source, at least two
+// ingredients (a pairing analysis needs pairs), no duplicate
+// ingredients, and every ingredient ID within the catalog.
+func (s *Store) Add(name string, region Region, source Source, ingredients []flavor.ID) (int, error) {
+	if !region.Valid() || region == World {
+		return 0, fmt.Errorf("%w: bad region %d", ErrValidation, region)
+	}
+	if !source.Valid() {
+		return 0, fmt.Errorf("%w: bad source %d", ErrValidation, source)
+	}
+	if len(ingredients) < 2 {
+		return 0, fmt.Errorf("%w: recipe %q has %d ingredients, need >= 2", ErrValidation, name, len(ingredients))
+	}
+	seen := make(map[flavor.ID]struct{}, len(ingredients))
+	for _, id := range ingredients {
+		if id < 0 || int(id) >= s.catalog.Len() {
+			return 0, fmt.Errorf("%w: recipe %q ingredient %d outside catalog", ErrValidation, name, id)
+		}
+		if _, dup := seen[id]; dup {
+			return 0, fmt.Errorf("%w: recipe %q repeats ingredient %q", ErrValidation, name, s.catalog.Ingredient(id).Name)
+		}
+		seen[id] = struct{}{}
+	}
+	rid := len(s.recipes)
+	ings := append([]flavor.ID(nil), ingredients...)
+	s.recipes = append(s.recipes, Recipe{
+		ID: rid, Name: name, Region: region, Source: source, Ingredients: ings,
+	})
+	s.byRegion[region] = append(s.byRegion[region], rid)
+	for _, id := range ings {
+		s.byIngredient[id] = append(s.byIngredient[id], rid)
+	}
+	return rid, nil
+}
+
+// IngredientRecipes returns the IDs of recipes containing the
+// ingredient, in insertion (ascending-ID) order. The slice is shared;
+// do not mutate.
+func (s *Store) IngredientRecipes(id flavor.ID) []int {
+	return s.byIngredient[id]
+}
+
+// Len returns the total number of recipes.
+func (s *Store) Len() int { return len(s.recipes) }
+
+// Recipe returns the recipe with the given ID.
+func (s *Store) Recipe(id int) *Recipe { return &s.recipes[id] }
+
+// RegionLen returns the number of recipes in the region; World counts
+// every recipe.
+func (s *Store) RegionLen(r Region) int {
+	if r == World {
+		return len(s.recipes)
+	}
+	return len(s.byRegion[r])
+}
+
+// Regions returns the regions present in the store, sorted.
+func (s *Store) Regions() []Region {
+	out := make([]Region, 0, len(s.byRegion))
+	for r := range s.byRegion {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEachInRegion calls fn for every recipe in the region (every recipe
+// when r == World). Iteration order is insertion order.
+func (s *Store) ForEachInRegion(r Region, fn func(*Recipe)) {
+	if r == World {
+		for i := range s.recipes {
+			fn(&s.recipes[i])
+		}
+		return
+	}
+	for _, id := range s.byRegion[r] {
+		fn(&s.recipes[id])
+	}
+}
+
+// RegionRecipes returns the recipe IDs of a region. The slice is shared;
+// do not mutate. World returns nil (iterate instead).
+func (s *Store) RegionRecipes(r Region) []int {
+	if r == World {
+		return nil
+	}
+	return s.byRegion[r]
+}
+
+// Cuisine is the per-region analytical view used by the pairing package
+// and the experiment drivers: the recipes of one region plus cached
+// statistics.
+type Cuisine struct {
+	Region Region
+	// RecipeIDs indexes into the parent store.
+	RecipeIDs []int
+	// Sizes[i] is the ingredient count of recipe RecipeIDs[i].
+	Sizes []int
+	// IngredientFreq maps each used ingredient to its recipe count.
+	IngredientFreq map[flavor.ID]int
+	// UniqueIngredients is the sorted set of ingredients used.
+	UniqueIngredients []flavor.ID
+}
+
+// BuildCuisine assembles the analytical view of a region; World pools
+// every recipe.
+func (s *Store) BuildCuisine(r Region) *Cuisine {
+	c := &Cuisine{
+		Region:         r,
+		IngredientFreq: make(map[flavor.ID]int),
+	}
+	s.ForEachInRegion(r, func(rec *Recipe) {
+		c.RecipeIDs = append(c.RecipeIDs, rec.ID)
+		c.Sizes = append(c.Sizes, rec.Size())
+		for _, id := range rec.Ingredients {
+			c.IngredientFreq[id]++
+		}
+	})
+	c.UniqueIngredients = make([]flavor.ID, 0, len(c.IngredientFreq))
+	for id := range c.IngredientFreq {
+		c.UniqueIngredients = append(c.UniqueIngredients, id)
+	}
+	sort.Slice(c.UniqueIngredients, func(i, j int) bool {
+		return c.UniqueIngredients[i] < c.UniqueIngredients[j]
+	})
+	return c
+}
+
+// NumRecipes returns the cuisine's recipe count.
+func (c *Cuisine) NumRecipes() int { return len(c.RecipeIDs) }
+
+// NumUniqueIngredients returns the count of distinct ingredients used.
+func (c *Cuisine) NumUniqueIngredients() int { return len(c.UniqueIngredients) }
+
+// SizeHistogram returns the recipe-size distribution (Fig 3a input).
+func (c *Cuisine) SizeHistogram() *stats.Histogram {
+	h := stats.NewHistogram()
+	for _, sz := range c.Sizes {
+		h.Add(sz)
+	}
+	return h
+}
+
+// FrequencyVector returns ingredient use counts aligned with
+// UniqueIngredients order.
+func (c *Cuisine) FrequencyVector() []int {
+	out := make([]int, len(c.UniqueIngredients))
+	for i, id := range c.UniqueIngredients {
+		out[i] = c.IngredientFreq[id]
+	}
+	return out
+}
+
+// TopIngredients returns the k most frequently used ingredients in
+// descending frequency order (ties break by ID for determinism).
+func (c *Cuisine) TopIngredients(k int) []flavor.ID {
+	ids := append([]flavor.ID(nil), c.UniqueIngredients...)
+	sort.Slice(ids, func(i, j int) bool {
+		fi, fj := c.IngredientFreq[ids[i]], c.IngredientFreq[ids[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return ids[i] < ids[j]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+// CategoryUsage computes, for each of the 21 categories, the fraction of
+// ingredient slots (recipe-ingredient incidences) in the cuisine that
+// fall in the category — the rows of the Fig 2 heatmap.
+func (s *Store) CategoryUsage(r Region) []float64 {
+	counts := make([]int, flavor.NumCategories)
+	total := 0
+	s.ForEachInRegion(r, func(rec *Recipe) {
+		for _, id := range rec.Ingredients {
+			counts[s.catalog.Ingredient(id).Category]++
+			total++
+		}
+	})
+	out := make([]float64, flavor.NumCategories)
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// SourceCounts tallies recipes per source across the whole store.
+func (s *Store) SourceCounts() map[Source]int {
+	out := make(map[Source]int, NumSources)
+	for i := range s.recipes {
+		out[s.recipes[i].Source]++
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+// Package report renders experiment outputs as aligned ASCII tables,
+// text heatmaps and bar charts (the repository's stand-ins for the
+// paper's figures), and CSV for downstream plotting.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes the table (headers + rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// Heatmap renders a matrix of values as a text heatmap with row/column
+// labels, shading cells by value using a density ramp — the stand-in for
+// Fig 2.
+type Heatmap struct {
+	Title     string
+	RowLabels []string
+	ColLabels []string
+	Values    [][]float64
+}
+
+// shades from lightest to darkest.
+var shades = []string{" ", ".", ":", "-", "=", "+", "*", "#", "%", "@"}
+
+// Render writes the heatmap. Values are normalized per matrix.
+func (h *Heatmap) Render(w io.Writer) error {
+	if len(h.Values) == 0 {
+		_, err := fmt.Fprintln(w, h.Title, "(empty)")
+		return err
+	}
+	var max float64
+	for _, row := range h.Values {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	rowW := 0
+	for _, l := range h.RowLabels {
+		if len(l) > rowW {
+			rowW = len(l)
+		}
+	}
+	if h.Title != "" {
+		fmt.Fprintf(w, "%s\n", h.Title)
+	}
+	// Column header, vertical initials (first 4 chars).
+	fmt.Fprintf(w, "%s  ", strings.Repeat(" ", rowW))
+	for _, c := range h.ColLabels {
+		if len(c) > 4 {
+			c = c[:4]
+		}
+		fmt.Fprintf(w, "%-5s", c)
+	}
+	fmt.Fprintln(w)
+	for i, row := range h.Values {
+		label := ""
+		if i < len(h.RowLabels) {
+			label = h.RowLabels[i]
+		}
+		fmt.Fprintf(w, "%s  ", pad(label, rowW))
+		for _, v := range row {
+			idx := 0
+			if max > 0 {
+				idx = int(v / max * float64(len(shades)-1))
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			fmt.Fprintf(w, "%-5s", strings.Repeat(shades[idx], 3))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "scale: '%s' = 0 .. '%s' = %.3f\n", shades[0], shades[len(shades)-1], max)
+	return nil
+}
+
+// String renders the heatmap to a string.
+func (h *Heatmap) String() string {
+	var b strings.Builder
+	_ = h.Render(&b)
+	return b.String()
+}
+
+// BarChart renders labeled signed values as horizontal bars around a
+// zero axis — the stand-in for Fig 4's Z-score chart.
+type BarChart struct {
+	Title string
+	// Labels and Values are parallel.
+	Labels []string
+	Values []float64
+	// Width is the half-width of the bar area in characters (default 30).
+	Width int
+}
+
+// Render writes the chart.
+func (b *BarChart) Render(w io.Writer) error {
+	width := b.Width
+	if width <= 0 {
+		width = 30
+	}
+	var max float64
+	for _, v := range b.Values {
+		if a := abs(v); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, l := range b.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	if b.Title != "" {
+		fmt.Fprintf(w, "%s\n", b.Title)
+	}
+	for i, v := range b.Values {
+		label := ""
+		if i < len(b.Labels) {
+			label = b.Labels[i]
+		}
+		n := int(abs(v) / max * float64(width))
+		var left, right string
+		if v < 0 {
+			left = strings.Repeat(" ", width-n) + strings.Repeat("#", n)
+			right = strings.Repeat(" ", width)
+		} else {
+			left = strings.Repeat(" ", width)
+			right = strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+		}
+		fmt.Fprintf(w, "%s  %s|%s  %+.1f\n", pad(label, labelW), left, right, v)
+	}
+	return nil
+}
+
+// String renders the chart to a string.
+func (b *BarChart) String() string {
+	var sb strings.Builder
+	_ = b.Render(&sb)
+	return sb.String()
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

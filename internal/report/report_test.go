@@ -1,0 +1,109 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Table 1. Test", "Region", "Recipes", "Mean")
+	tbl.AddRow("Italy", 7504, 9.123456)
+	tbl.AddRow("Korea", 301, 8.0)
+	out := tbl.String()
+	if !strings.Contains(out, "Table 1. Test") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "Italy") || !strings.Contains(out, "7504") {
+		t.Fatalf("row content missing:\n%s", out)
+	}
+	if !strings.Contains(out, "9.123") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and row share the offset of column 2.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "Recipes") > len(row) {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("x", 1)
+	tbl.AddRow("y,z", 2) // embedded comma must be quoted
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "a,b") || !strings.Contains(got, "\"y,z\",2") {
+		t.Fatalf("CSV = %q", got)
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := &Heatmap{
+		Title:     "Fig 2",
+		RowLabels: []string{"ITA", "FRA"},
+		ColLabels: []string{"Vegetable", "Dairy"},
+		Values:    [][]float64{{0.5, 0.1}, {0.2, 0.6}},
+	}
+	out := h.String()
+	if !strings.Contains(out, "Fig 2") || !strings.Contains(out, "ITA") {
+		t.Fatalf("heatmap missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "Vege") {
+		t.Fatalf("column labels should be truncated to 4 chars:\n%s", out)
+	}
+	if !strings.Contains(out, "@") {
+		t.Fatalf("max cell should use the darkest shade:\n%s", out)
+	}
+	if !strings.Contains(out, "scale:") {
+		t.Fatal("scale legend missing")
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	h := &Heatmap{Title: "empty"}
+	if out := h.String(); !strings.Contains(out, "empty") {
+		t.Fatalf("empty heatmap: %q", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	b := &BarChart{
+		Title:  "Fig 4",
+		Labels: []string{"ITA", "SCND"},
+		Values: []float64{40, -20},
+		Width:  10,
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines:\n%s", out)
+	}
+	ita, scnd := lines[1], lines[2]
+	// Positive bar right of axis, negative left.
+	if !strings.Contains(ita, "|##########") {
+		t.Fatalf("ITA should be a full right bar:\n%s", out)
+	}
+	if !strings.Contains(scnd, "#####|") {
+		t.Fatalf("SCND should be a half left bar:\n%s", out)
+	}
+	if !strings.Contains(ita, "+40.0") || !strings.Contains(scnd, "-20.0") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	b := &BarChart{Labels: []string{"x"}, Values: []float64{0}}
+	out := b.String()
+	if !strings.Contains(out, "+0.0") {
+		t.Fatalf("zero chart:\n%s", out)
+	}
+}

@@ -1,0 +1,267 @@
+// Package search provides full-text search over the recipe corpus: an
+// inverted index with TF-IDF ranking, boolean modes and fuzzy term
+// expansion. The paper's online CulinaryDB front end offers recipe
+// search; this package is the equivalent capability for the Go library
+// and the HTTP server.
+package search
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"culinary/internal/recipedb"
+	"culinary/internal/textproc"
+)
+
+// Mode selects how multiple query terms combine.
+type Mode int
+
+// Query modes.
+const (
+	// ModeAny ranks documents matching at least one term (OR).
+	ModeAny Mode = iota
+	// ModeAll keeps only documents matching every term (AND).
+	ModeAll
+)
+
+// posting is one document's entry in a term's posting list.
+type posting struct {
+	doc int // recipe ID
+	tf  int // term frequency within the document
+}
+
+// Index is an immutable inverted index over recipe names and ingredient
+// names. Build it once; all query methods are safe for concurrent use.
+type Index struct {
+	store    *recipedb.Store
+	postings map[string][]posting
+	docLen   []int // tokens per document
+	nDocs    int
+	terms    []string // sorted vocabulary, for fuzzy expansion
+}
+
+// Build indexes every recipe in the store. Document text is the recipe
+// name plus all ingredient names; tokens are normalized and singularized
+// the same way the aliasing pipeline normalizes phrases, so "Tomatoes"
+// matches recipes using "tomato".
+func Build(store *recipedb.Store) *Index {
+	idx := &Index{
+		store:    store,
+		postings: make(map[string][]posting),
+		docLen:   make([]int, store.Len()),
+		nDocs:    store.Len(),
+	}
+	catalog := store.Catalog()
+	for docID := 0; docID < store.Len(); docID++ {
+		rec := store.Recipe(docID)
+		counts := make(map[string]int)
+		add := func(text string) {
+			for _, tok := range tokenize(text) {
+				counts[tok]++
+				idx.docLen[docID]++
+			}
+		}
+		add(rec.Name)
+		for _, ing := range rec.Ingredients {
+			add(catalog.Ingredient(ing).Name)
+		}
+		for term, tf := range counts {
+			idx.postings[term] = append(idx.postings[term], posting{doc: docID, tf: tf})
+		}
+	}
+	idx.terms = make([]string, 0, len(idx.postings))
+	for term := range idx.postings {
+		idx.terms = append(idx.terms, term)
+	}
+	sort.Strings(idx.terms)
+	return idx
+}
+
+// tokenize normalizes free text into index terms.
+func tokenize(text string) []string {
+	toks := textproc.Tokenize(textproc.Normalize(text))
+	out := toks[:0]
+	for _, tok := range toks {
+		if len(tok) < 2 || textproc.IsQuantity(tok) {
+			continue
+		}
+		out = append(out, textproc.Singularize(tok))
+	}
+	return out
+}
+
+// Vocabulary returns the number of distinct terms.
+func (idx *Index) Vocabulary() int { return len(idx.postings) }
+
+// DocCount returns the number of indexed recipes.
+func (idx *Index) DocCount() int { return idx.nDocs }
+
+// Hit is one ranked search result.
+type Hit struct {
+	// RecipeID indexes the store the index was built from.
+	RecipeID int
+	// Score is the accumulated TF-IDF relevance (higher is better).
+	Score float64
+	// Matched is how many distinct query terms the document matched.
+	Matched int
+}
+
+// Options tunes a search.
+type Options struct {
+	// Mode combines terms with OR (ModeAny, default) or AND (ModeAll).
+	Mode Mode
+	// Limit caps the number of hits; <= 0 means 10.
+	Limit int
+	// Region restricts hits to one region when HasRegion is true;
+	// otherwise the whole corpus is searched. (An explicit flag because
+	// the zero Region value is a real region, not a wildcard.)
+	Region    recipedb.Region
+	HasRegion bool
+	// Fuzzy expands query terms within one edit when the exact term is
+	// absent from the vocabulary ("tomatoe" → "tomato").
+	Fuzzy bool
+}
+
+// Search tokenizes the query and returns ranked hits. Ties break by
+// recipe ID for determinism.
+func (idx *Index) Search(query string, opts Options) []Hit {
+	limit := opts.Limit
+	if limit <= 0 {
+		limit = 10
+	}
+	terms := tokenize(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	// Deduplicate query terms.
+	seen := make(map[string]struct{}, len(terms))
+	uniq := terms[:0]
+	for _, term := range terms {
+		if _, dup := seen[term]; dup {
+			continue
+		}
+		seen[term] = struct{}{}
+		uniq = append(uniq, term)
+	}
+	terms = uniq
+
+	type accum struct {
+		score   float64
+		matched int
+	}
+	scores := make(map[int]*accum)
+	for _, term := range terms {
+		plist := idx.postings[term]
+		if len(plist) == 0 && opts.Fuzzy {
+			plist = idx.fuzzyPostings(term)
+		}
+		if len(plist) == 0 {
+			continue
+		}
+		idf := math.Log(float64(idx.nDocs+1) / float64(len(plist)+1))
+		for _, p := range plist {
+			a := scores[p.doc]
+			if a == nil {
+				a = &accum{}
+				scores[p.doc] = a
+			}
+			tf := float64(p.tf) / float64(idx.docLen[p.doc])
+			a.score += tf * idf
+			a.matched++
+		}
+	}
+
+	hits := make([]Hit, 0, len(scores))
+	for doc, a := range scores {
+		if opts.Mode == ModeAll && a.matched < len(terms) {
+			continue
+		}
+		if opts.HasRegion && opts.Region != recipedb.World && idx.store.Recipe(doc).Region != opts.Region {
+			continue
+		}
+		hits = append(hits, Hit{RecipeID: doc, Score: a.score, Matched: a.matched})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].RecipeID < hits[j].RecipeID
+	})
+	if len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+// fuzzyPostings merges the posting lists of vocabulary terms within one
+// edit of term. A shared first letter is required, which keeps the
+// candidate scan cheap and avoids absurd matches.
+func (idx *Index) fuzzyPostings(term string) []posting {
+	if len(term) == 0 {
+		return nil
+	}
+	first := term[:1]
+	start := sort.SearchStrings(idx.terms, first)
+	var merged []posting
+	for i := start; i < len(idx.terms); i++ {
+		cand := idx.terms[i]
+		if !strings.HasPrefix(cand, first) {
+			break
+		}
+		if len(cand)-len(term) > 1 || len(term)-len(cand) > 1 {
+			continue
+		}
+		if textproc.WithinEditBudget(term, cand, 1) {
+			merged = append(merged, idx.postings[cand]...)
+		}
+	}
+	if len(merged) == 0 {
+		return nil
+	}
+	// Re-sort and merge duplicate documents (a doc may match several
+	// fuzzy variants).
+	sort.Slice(merged, func(i, j int) bool { return merged[i].doc < merged[j].doc })
+	out := merged[:0]
+	for _, p := range merged {
+		if n := len(out); n > 0 && out[n-1].doc == p.doc {
+			out[n-1].tf += p.tf
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TermStats describes one vocabulary term for diagnostics.
+type TermStats struct {
+	Term string
+	// Docs is the document frequency.
+	Docs int
+	// TotalTF is the summed term frequency.
+	TotalTF int
+}
+
+// TopTerms returns the k most document-frequent terms — a quick look at
+// what dominates the corpus vocabulary (typically the staple
+// ingredients, mirroring Fig 3b's popularity ranking).
+func (idx *Index) TopTerms(k int) []TermStats {
+	stats := make([]TermStats, 0, len(idx.postings))
+	for term, plist := range idx.postings {
+		total := 0
+		for _, p := range plist {
+			total += p.tf
+		}
+		stats = append(stats, TermStats{Term: term, Docs: len(plist), TotalTF: total})
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Docs != stats[j].Docs {
+			return stats[i].Docs > stats[j].Docs
+		}
+		return stats[i].Term < stats[j].Term
+	})
+	if k < len(stats) {
+		stats = stats[:k]
+	}
+	return stats
+}

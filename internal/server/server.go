@@ -1,0 +1,559 @@
+// Package server exposes the culinary database over HTTP — the
+// equivalent of the paper's public CulinaryDB/FlavorDB web front ends
+// (http://cosylab.iiitd.edu.in/culinarydb), implemented with net/http
+// only. The API serves region statistics, recipes, ingredient flavor
+// data, pairing analyses, full-text search, CQL queries and cuisine
+// classification as JSON.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"culinary/internal/classify"
+	"culinary/internal/flavor"
+	"culinary/internal/pairing"
+	"culinary/internal/query"
+	"culinary/internal/recipedb"
+	"culinary/internal/recommend"
+	"culinary/internal/rng"
+	"culinary/internal/search"
+)
+
+// Config assembles the dependencies of a Server.
+type Config struct {
+	Store    *recipedb.Store
+	Analyzer *pairing.Analyzer
+	// NullRecipes is the default null-model sample size for the
+	// pairing endpoint; requests may lower (never raise) it. Defaults
+	// to 2000.
+	NullRecipes int
+	// Seed drives the pairing endpoint's null draws.
+	Seed uint64
+	// Logger receives request logs; nil disables logging.
+	Logger *log.Logger
+}
+
+// Server routes API requests to the analysis stack. Construction builds
+// the search index and trains the classifier on the whole corpus, so
+// creating a Server is not free; reuse one instance.
+type Server struct {
+	cfg         Config
+	catalog     *flavor.Catalog
+	index       *search.Index
+	engine      *query.Engine
+	classifier  *classify.Classifier
+	recommender *recommend.Recommender
+	mux         *http.ServeMux
+}
+
+// New builds a Server and its derived indexes.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil || cfg.Analyzer == nil {
+		return nil, errors.New("server: Config needs Store and Analyzer")
+	}
+	if cfg.NullRecipes <= 0 {
+		cfg.NullRecipes = 2000
+	}
+	s := &Server{
+		cfg:         cfg,
+		catalog:     cfg.Store.Catalog(),
+		index:       search.Build(cfg.Store),
+		engine:      query.NewEngine(cfg.Store, cfg.Analyzer),
+		recommender: recommend.New(cfg.Analyzer, cfg.Store),
+	}
+	all := make([]int, cfg.Store.Len())
+	for i := range all {
+		all[i] = i
+	}
+	s.classifier = classify.New()
+	if err := s.classifier.Train(cfg.Store, all); err != nil {
+		return nil, fmt.Errorf("server: training classifier: %w", err)
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// routes registers every endpoint.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	s.mux.HandleFunc("GET /api/regions", s.handleRegions)
+	s.mux.HandleFunc("GET /api/regions/{code}", s.handleRegion)
+	s.mux.HandleFunc("GET /api/regions/{code}/pairing", s.handlePairing)
+	s.mux.HandleFunc("GET /api/recipes", s.handleRecipes)
+	s.mux.HandleFunc("GET /api/recipes/{id}", s.handleRecipe)
+	s.mux.HandleFunc("GET /api/ingredients/{name}", s.handleIngredient)
+	s.mux.HandleFunc("GET /api/ingredients/{name}/pairings", s.handleIngredientPairings)
+	s.mux.HandleFunc("GET /api/search", s.handleSearch)
+	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/classify", s.handleClassify)
+	s.mux.HandleFunc("POST /api/complete", s.handleComplete)
+	s.mux.HandleFunc("GET /api/ingredients/{name}/substitutes", s.handleSubstitute)
+	s.mux.HandleFunc("POST /api/taste", s.handleTaste)
+}
+
+// Handler returns the root handler with logging and panic recovery.
+func (s *Server) Handler() http.Handler {
+	return s.recoverWrap(s.logWrap(s.mux))
+}
+
+// logWrap logs one line per request when a logger is configured.
+func (s *Server) logWrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("%s %s", r.Method, r.URL.Path)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// recoverWrap converts handler panics into 500 responses so one bad
+// request cannot take the server down.
+func (s *Server) recoverWrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if s.cfg.Logger != nil {
+					s.cfg.Logger.Printf("panic serving %s: %v", r.URL.Path, rec)
+				}
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{
+		"status":      "ok",
+		"recipes":     s.cfg.Store.Len(),
+		"ingredients": s.catalog.Len(),
+		"molecules":   s.catalog.NumMolecules(),
+		"vocabulary":  s.index.Vocabulary(),
+	})
+}
+
+// regionSummary is one row of GET /api/regions.
+type regionSummary struct {
+	Code        string `json:"code"`
+	Name        string `json:"name"`
+	Recipes     int    `json:"recipes"`
+	Ingredients int    `json:"ingredients"`
+}
+
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	var out []regionSummary
+	for _, region := range recipedb.MajorRegions() {
+		c := s.cfg.Store.BuildCuisine(region)
+		out = append(out, regionSummary{
+			Code:        region.Code(),
+			Name:        region.Name(),
+			Recipes:     c.NumRecipes(),
+			Ingredients: c.NumUniqueIngredients(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// parseRegion resolves the {code} path segment.
+func parseRegionParam(r *http.Request) (recipedb.Region, error) {
+	return recipedb.ParseRegion(strings.ToUpper(r.PathValue("code")))
+}
+
+func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
+	region, err := parseRegionParam(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	c := s.cfg.Store.BuildCuisine(region)
+	top := c.TopIngredients(10)
+	topNames := make([]string, len(top))
+	for i, id := range top {
+		topNames[i] = s.catalog.Ingredient(id).Name
+	}
+	usage := s.cfg.Store.CategoryUsage(region)
+	categories := make(map[string]float64, len(usage))
+	for cat, frac := range usage {
+		if frac > 0 {
+			categories[flavor.Category(cat).String()] = frac
+		}
+	}
+	writeJSON(w, map[string]interface{}{
+		"code":           region.Code(),
+		"name":           region.Name(),
+		"recipes":        c.NumRecipes(),
+		"ingredients":    c.NumUniqueIngredients(),
+		"meanRecipeSize": c.SizeHistogram().Mean(),
+		"topIngredients": topNames,
+		"categoryUsage":  categories,
+	})
+}
+
+func (s *Server) handlePairing(w http.ResponseWriter, r *http.Request) {
+	region, err := parseRegionParam(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	n := s.cfg.NullRecipes
+	if raw := r.URL.Query().Get("null"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 100 {
+			writeError(w, http.StatusBadRequest, "null must be an integer >= 100")
+			return
+		}
+		if v < n {
+			n = v
+		}
+	}
+	model := pairing.RandomModel
+	if raw := r.URL.Query().Get("model"); raw != "" {
+		m, err := pairing.ParseModel(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		model = m
+	}
+	c := s.cfg.Store.BuildCuisine(region)
+	res, err := pairing.Compare(s.cfg.Analyzer, s.cfg.Store, c, model, n, rng.New(s.cfg.Seed).Split(uint64(region)))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"region":   region.Code(),
+		"model":    model.String(),
+		"observed": res.Observed,
+		"nullMean": res.NullMean,
+		"nullStd":  res.NullStd,
+		"nRandom":  res.NRandom,
+		"z":        res.Z,
+		"pairing":  pairingDirection(res.Z),
+	})
+}
+
+// pairingDirection names the sign of a Z-score the way the paper does.
+func pairingDirection(z float64) string {
+	switch {
+	case z > 0:
+		return "uniform (positive)"
+	case z < 0:
+		return "contrasting (negative)"
+	default:
+		return "indistinguishable"
+	}
+}
+
+// recipeJSON is the wire form of one recipe.
+type recipeJSON struct {
+	ID          int      `json:"id"`
+	Name        string   `json:"name"`
+	Region      string   `json:"region"`
+	Source      string   `json:"source"`
+	Ingredients []string `json:"ingredients"`
+}
+
+func (s *Server) recipeJSON(rec *recipedb.Recipe) recipeJSON {
+	names := make([]string, len(rec.Ingredients))
+	for i, id := range rec.Ingredients {
+		names[i] = s.catalog.Ingredient(id).Name
+	}
+	return recipeJSON{
+		ID:          rec.ID,
+		Name:        rec.Name,
+		Region:      rec.Region.Code(),
+		Source:      rec.Source.String(),
+		Ingredients: names,
+	}
+}
+
+func (s *Server) handleRecipes(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 20
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > 500 {
+			writeError(w, http.StatusBadRequest, "limit must be in [1,500]")
+			return
+		}
+		limit = v
+	}
+	offset := 0
+	if raw := q.Get("offset"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "offset must be >= 0")
+			return
+		}
+		offset = v
+	}
+	region := recipedb.World
+	if raw := q.Get("region"); raw != "" {
+		reg, err := recipedb.ParseRegion(strings.ToUpper(raw))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		region = reg
+	}
+	var out []recipeJSON
+	skipped := 0
+	s.cfg.Store.ForEachInRegion(region, func(rec *recipedb.Recipe) {
+		if skipped < offset {
+			skipped++
+			return
+		}
+		if len(out) < limit {
+			out = append(out, s.recipeJSON(rec))
+		}
+	})
+	writeJSON(w, map[string]interface{}{
+		"total":   s.cfg.Store.RegionLen(region),
+		"offset":  offset,
+		"recipes": out,
+	})
+}
+
+func (s *Server) handleRecipe(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= s.cfg.Store.Len() {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no recipe %q", r.PathValue("id")))
+		return
+	}
+	rec := s.cfg.Store.Recipe(id)
+	body := s.recipeJSON(rec)
+	resp := map[string]interface{}{
+		"recipe": body,
+	}
+	if score, ok := s.cfg.Analyzer.RecipeScore(rec.Ingredients); ok {
+		resp["pairingScore"] = score
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleIngredient(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	id, ok := s.catalog.Lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no ingredient %q", name))
+		return
+	}
+	ing := s.catalog.Ingredient(id)
+	resp := map[string]interface{}{
+		"id":         int(ing.ID),
+		"name":       ing.Name,
+		"category":   ing.Category.String(),
+		"compound":   ing.Compound,
+		"hasProfile": ing.HasProfile,
+	}
+	if ing.HasProfile {
+		resp["profileSize"] = s.catalog.Profile(id).Count()
+	}
+	if len(ing.Constituents) > 0 {
+		names := make([]string, len(ing.Constituents))
+		for i, cid := range ing.Constituents {
+			names[i] = s.catalog.Ingredient(cid).Name
+		}
+		resp["constituents"] = names
+	}
+	writeJSON(w, resp)
+}
+
+// pairingEntry is one row of the ingredient-pairings response.
+type pairingEntry struct {
+	Name     string `json:"name"`
+	Category string `json:"category"`
+	Shared   int    `json:"sharedCompounds"`
+}
+
+func (s *Server) handleIngredientPairings(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	id, ok := s.catalog.Lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no ingredient %q", name))
+		return
+	}
+	if !s.catalog.Ingredient(id).HasProfile {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("ingredient %q carries no flavor profile", name))
+		return
+	}
+	limit := 10
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > 100 {
+			writeError(w, http.StatusBadRequest, "limit must be in [1,100]")
+			return
+		}
+		limit = v
+	}
+	top := s.cfg.Analyzer.TopPartners(id, limit)
+	out := make([]pairingEntry, len(top))
+	for i, p := range top {
+		ing := s.catalog.Ingredient(p.Partner)
+		out[i] = pairingEntry{Name: ing.Name, Category: ing.Category.String(), Shared: p.Shared}
+	}
+	writeJSON(w, map[string]interface{}{
+		"ingredient": name,
+		"pairings":   out,
+	})
+}
+
+// searchHit is the wire form of one search result.
+type searchHit struct {
+	Recipe recipeJSON `json:"recipe"`
+	Score  float64    `json:"score"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	text := q.Get("q")
+	if strings.TrimSpace(text) == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	opts := search.Options{Fuzzy: q.Get("fuzzy") == "1" || strings.EqualFold(q.Get("fuzzy"), "true")}
+	if strings.EqualFold(q.Get("mode"), "all") {
+		opts.Mode = search.ModeAll
+	}
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > 100 {
+			writeError(w, http.StatusBadRequest, "limit must be in [1,100]")
+			return
+		}
+		opts.Limit = v
+	}
+	if raw := q.Get("region"); raw != "" {
+		region, err := recipedb.ParseRegion(strings.ToUpper(raw))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		opts.Region, opts.HasRegion = region, true
+	}
+	hits := s.index.Search(text, opts)
+	out := make([]searchHit, len(hits))
+	for i, h := range hits {
+		out[i] = searchHit{Recipe: s.recipeJSON(s.cfg.Store.Recipe(h.RecipeID)), Score: h.Score}
+	}
+	writeJSON(w, map[string]interface{}{
+		"query": text,
+		"hits":  out,
+	})
+}
+
+// queryRequest is the POST /api/query body.
+type queryRequest struct {
+	Q string `json:"q"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "body must be JSON {\"q\": \"SELECT ...\"}")
+		return
+	}
+	if strings.TrimSpace(req.Q) == "" {
+		writeError(w, http.StatusBadRequest, "empty query")
+		return
+	}
+	res, err := s.engine.Run(req.Q)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	rows := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		rows[i] = cells
+	}
+	writeJSON(w, map[string]interface{}{
+		"columns": res.Columns,
+		"rows":    rows,
+		"scanned": res.Scanned,
+	})
+}
+
+// classifyRequest is the POST /api/classify body.
+type classifyRequest struct {
+	Ingredients []string `json:"ingredients"`
+}
+
+// classifyResponseEntry is one class posterior.
+type classifyResponseEntry struct {
+	Region      string  `json:"region"`
+	Name        string  `json:"name"`
+	Probability float64 `json:"probability"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req classifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "body must be JSON {\"ingredients\": [...]}")
+		return
+	}
+	if len(req.Ingredients) == 0 {
+		writeError(w, http.StatusBadRequest, "ingredients list is empty")
+		return
+	}
+	ids, unknown, err := s.resolveIngredients(req.Ingredients)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	preds, err := s.classifier.Predict(ids)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if len(preds) > 5 {
+		preds = preds[:5]
+	}
+	out := make([]classifyResponseEntry, len(preds))
+	for i, p := range preds {
+		out[i] = classifyResponseEntry{
+			Region:      p.Region.Code(),
+			Name:        p.Region.Name(),
+			Probability: p.Probability,
+		}
+	}
+	resp := map[string]interface{}{
+		"predictions": out,
+	}
+	if len(unknown) > 0 {
+		resp["unknownIngredients"] = unknown
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"errors"
+	"sort"
+
+	"culinary/internal/rng"
+)
+
+// BootstrapResult summarizes a nonparametric bootstrap of a statistic.
+type BootstrapResult struct {
+	// Point is the statistic evaluated on the original sample.
+	Point float64
+	// Mean is the mean of the bootstrap replicates.
+	Mean float64
+	// StdErr is the standard deviation of the replicates.
+	StdErr float64
+	// Lo and Hi bound the central percentile confidence interval.
+	Lo, Hi float64
+	// Replicates is the number of bootstrap resamples performed.
+	Replicates int
+}
+
+// Bootstrap resamples xs with replacement `replicates` times, applies
+// stat to each resample, and returns a percentile confidence interval at
+// the given confidence level (e.g. 0.95). It is used by the robustness
+// extension experiment to test whether a cuisine's food-pairing sign
+// survives recipe resampling.
+func Bootstrap(xs []float64, replicates int, confidence float64, src *rng.Source, stat func([]float64) float64) (BootstrapResult, error) {
+	if len(xs) == 0 {
+		return BootstrapResult{}, ErrEmpty
+	}
+	if replicates < 2 {
+		return BootstrapResult{}, errors.New("stats: need at least 2 bootstrap replicates")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return BootstrapResult{}, errors.New("stats: confidence must be in (0,1)")
+	}
+	res := BootstrapResult{
+		Point:      stat(xs),
+		Replicates: replicates,
+	}
+	reps := make([]float64, replicates)
+	buf := make([]float64, len(xs))
+	var acc Accumulator
+	for r := 0; r < replicates; r++ {
+		for i := range buf {
+			buf[i] = xs[src.Intn(len(xs))]
+		}
+		v := stat(buf)
+		reps[r] = v
+		acc.Add(v)
+	}
+	res.Mean = acc.Mean()
+	res.StdErr = acc.StdDev()
+	sort.Float64s(reps)
+	alpha := (1 - confidence) / 2
+	loIdx := int(alpha * float64(replicates))
+	hiIdx := int((1 - alpha) * float64(replicates))
+	if hiIdx >= replicates {
+		hiIdx = replicates - 1
+	}
+	res.Lo = reps[loIdx]
+	res.Hi = reps[hiIdx]
+	return res, nil
+}
+
+// MeanStat is a convenience statistic for Bootstrap: the sample mean.
+func MeanStat(xs []float64) float64 {
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	return acc.Mean()
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"culinary/internal/rng"
+)
+
+func TestBootstrapMean(t *testing.T) {
+	src := rng.New(7)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = src.NormFloat64()*2 + 10
+	}
+	res, err := Bootstrap(xs, 1000, 0.95, rng.New(11), MeanStat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Point-10) > 0.5 {
+		t.Fatalf("point estimate %v far from 10", res.Point)
+	}
+	if res.Lo > res.Point || res.Hi < res.Point {
+		t.Fatalf("CI [%v, %v] does not bracket point %v", res.Lo, res.Hi, res.Point)
+	}
+	// Theoretical standard error of the mean: 2/sqrt(500) = 0.089.
+	if math.Abs(res.StdErr-0.089) > 0.03 {
+		t.Fatalf("bootstrap stderr %v far from 0.089", res.StdErr)
+	}
+	if res.Replicates != 1000 {
+		t.Fatalf("Replicates = %d", res.Replicates)
+	}
+}
+
+func TestBootstrapDeterminism(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a, err := Bootstrap(xs, 200, 0.9, rng.New(5), MeanStat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bootstrap(xs, 200, 0.9, rng.New(5), MeanStat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("bootstrap not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	if _, err := Bootstrap(nil, 100, 0.95, rng.New(1), MeanStat); err != ErrEmpty {
+		t.Fatal("empty sample should return ErrEmpty")
+	}
+	xs := []float64{1, 2}
+	if _, err := Bootstrap(xs, 1, 0.95, rng.New(1), MeanStat); err == nil {
+		t.Fatal("replicates < 2 should error")
+	}
+	if _, err := Bootstrap(xs, 10, 0, rng.New(1), MeanStat); err == nil {
+		t.Fatal("confidence 0 should error")
+	}
+	if _, err := Bootstrap(xs, 10, 1, rng.New(1), MeanStat); err == nil {
+		t.Fatal("confidence 1 should error")
+	}
+}
+
+func TestBootstrapCoverage(t *testing.T) {
+	// Rough coverage check: the 90% CI for the mean of a known
+	// distribution should contain the true mean most of the time.
+	const trials = 60
+	contained := 0
+	master := rng.New(99)
+	for trial := 0; trial < trials; trial++ {
+		gen := master.Split(uint64(trial))
+		xs := make([]float64, 200)
+		for i := range xs {
+			xs[i] = gen.NormFloat64() + 5
+		}
+		res, err := Bootstrap(xs, 400, 0.9, gen.Split(1), MeanStat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Lo <= 5 && 5 <= res.Hi {
+			contained++
+		}
+	}
+	// Expect ~54 of 60; allow generous slack.
+	if contained < 45 {
+		t.Fatalf("90%% CI contained true mean only %d/%d times", contained, trials)
+	}
+}

@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// Compact rewrites all live records into fresh segments and deletes the
+// old files, reclaiming space held by superseded records and tombstones.
+// The store remains usable throughout; writes issued while compaction
+// holds the lock simply wait (compaction is a stop-the-world pass — the
+// corpus workload is build-once/read-many, so pause time is acceptable
+// and documented in the bench harness).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+
+	oldSegments := s.segments
+	oldKeydir := s.keydir
+
+	// Stage new segments under temporary state so a failure mid-compact
+	// leaves the original files untouched.
+	next := s.active.id + 1
+	newSegments := make(map[uint64]*segment)
+	newKeydir := make(map[string]keyLoc, len(oldKeydir))
+
+	var cur *segment
+	newSegment := func() error {
+		path := segmentPath(s.dir, next)
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return fmt.Errorf("storage: compact creating segment: %w", err)
+		}
+		cur = &segment{id: next, path: path, f: f}
+		newSegments[next] = cur
+		next++
+		return nil
+	}
+	fail := func(err error) error {
+		for _, seg := range newSegments {
+			seg.f.Close()
+			os.Remove(seg.path)
+		}
+		return err
+	}
+	if err := newSegment(); err != nil {
+		return fail(err)
+	}
+
+	var buf []byte
+	for key, loc := range oldKeydir {
+		src := oldSegments[loc.segID]
+		raw := make([]byte, loc.length)
+		if _, err := src.f.ReadAt(raw, loc.offset); err != nil {
+			return fail(fmt.Errorf("storage: compact reading %q: %w", key, err))
+		}
+		buf = raw
+		off := cur.size
+		if _, err := cur.f.WriteAt(buf, off); err != nil {
+			return fail(fmt.Errorf("storage: compact writing %q: %w", key, err))
+		}
+		cur.size += int64(len(buf))
+		newKeydir[key] = keyLoc{segID: cur.id, offset: off, length: loc.length, valLen: loc.valLen}
+		if cur.size >= s.opts.MaxSegmentBytes {
+			if err := cur.f.Sync(); err != nil {
+				return fail(fmt.Errorf("storage: compact sync: %w", err))
+			}
+			if err := newSegment(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := cur.f.Sync(); err != nil {
+		return fail(fmt.Errorf("storage: compact sync: %w", err))
+	}
+
+	// Commit: swap in the new state, then remove the old files.
+	s.segments = newSegments
+	s.keydir = newKeydir
+	s.active = cur
+	s.deadBytes = 0
+	for _, seg := range oldSegments {
+		seg.f.Close()
+		os.Remove(seg.path)
+	}
+	return nil
+}
+
+// NeedsCompaction reports whether dead bytes exceed both the configured
+// floor and half the live bytes — a pragmatic trigger for tools.
+func (s *Store) NeedsCompaction() bool {
+	st := s.Stats()
+	return st.DeadBytes > s.opts.CompactionFloorBytes && st.DeadBytes > st.LiveBytes/2
+}

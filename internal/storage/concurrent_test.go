@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadersSingleWriter exercises the documented concurrency
+// contract under the race detector: one writer streams puts and deletes
+// while readers hammer Get/Has/Keys/Stats.
+func TestConcurrentReadersSingleWriter(t *testing.T) {
+	s := openTemp(t, Options{MaxSegmentBytes: 4096})
+	// Seed some stable keys readers can always find.
+	for i := 0; i < 50; i++ {
+		if err := s.Put(fmt.Sprintf("stable%02d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readErrs := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("stable%02d", (i+r)%50)
+				if _, err := s.Get(key); err != nil {
+					readErrs <- fmt.Errorf("Get(%s): %w", key, err)
+					return
+				}
+				s.Has("volatile")
+				if s.Len() < 50 {
+					readErrs <- errors.New("stable keys disappeared")
+					return
+				}
+				_ = s.Stats()
+			}
+		}(r)
+	}
+	for i := 0; i < 500; i++ {
+		if err := s.Put("volatile", []byte(fmt.Sprintf("gen%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 {
+			if err := s.Delete("volatile"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(readErrs)
+	for err := range readErrs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentWriters verifies that parallel writers to distinct keys
+// serialize safely and nothing is lost.
+func TestConcurrentWriters(t *testing.T) {
+	s := openTemp(t, Options{MaxSegmentBytes: 2048})
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 100
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("w%d-k%03d", w, i)
+				if err := s.Put(key, []byte(key)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", s.Len(), writers*perWriter)
+	}
+	// Spot-check values landed intact.
+	for w := 0; w < writers; w++ {
+		key := fmt.Sprintf("w%d-k%03d", w, perWriter-1)
+		v, err := s.Get(key)
+		if err != nil || string(v) != key {
+			t.Errorf("Get(%s) = %q, %v", key, v, err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// segmentExt is the on-disk suffix of data segments. Segment file names
+// are zero-padded sequence numbers ("000001.seg") so lexical order is
+// creation order.
+const segmentExt = ".seg"
+
+// segment is one immutable (or, for the newest, append-only) data file.
+type segment struct {
+	id   uint64
+	path string
+	f    *os.File // opened read-only for sealed segments, read-write for active
+	size int64
+}
+
+// segmentPath renders the file path for a segment ID.
+func segmentPath(dir string, id uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d%s", id, segmentExt))
+}
+
+// parseSegmentID extracts the ID from a segment file name, reporting
+// whether the name is a well-formed segment name.
+func parseSegmentID(name string) (uint64, bool) {
+	if !strings.HasSuffix(name, segmentExt) {
+		return 0, false
+	}
+	base := strings.TrimSuffix(name, segmentExt)
+	if len(base) != 8 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// listSegments returns the segment IDs present in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading dir: %w", err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := parseSegmentID(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// scanSegment replays one segment file, invoking fn for every decoded
+// record with its offset and on-disk length. When repairTail is true
+// (only ever the newest segment), a corrupt tail is truncated away —
+// the recovery path after a crash mid-append; otherwise corruption is an
+// error.
+func scanSegment(path string, repairTail bool, fn func(rec record, off, length int64) error) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("storage: opening segment: %w", err)
+	}
+	defer f.Close()
+
+	rr := newRecordReader(f)
+	for {
+		off := rr.offset()
+		rec, err := rr.next()
+		if err == io.EOF {
+			return off, nil
+		}
+		if err != nil {
+			if repairTail {
+				// Torn final write: discard everything from the bad
+				// record onward and resume appending there.
+				if terr := os.Truncate(path, off); terr != nil {
+					return 0, fmt.Errorf("storage: truncating torn tail: %w", terr)
+				}
+				return off, nil
+			}
+			return 0, fmt.Errorf("storage: segment %s at offset %d: %w", filepath.Base(path), off, err)
+		}
+		if err := fn(rec, off, rr.offset()-off); err != nil {
+			return 0, err
+		}
+	}
+}

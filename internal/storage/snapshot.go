@@ -1,0 +1,181 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"culinary/internal/flavor"
+	"culinary/internal/recipedb"
+)
+
+// Snapshot layout. The corpus is stored one key per recipe plus two
+// metadata keys, so tools can read, patch or delete individual recipes
+// without rewriting the corpus.
+const (
+	formatKey     = "meta/format"
+	flavorCfgKey  = "meta/flavor-config"
+	recipePrefix  = "recipe/"
+	formatVersion = "culinarydb-snapshot/1"
+)
+
+// ErrSnapshot wraps snapshot encoding/decoding failures.
+var ErrSnapshot = errors.New("storage: bad snapshot")
+
+// recipeKey renders the key for one recipe ID.
+func recipeKey(id int) string { return fmt.Sprintf("%s%08d", recipePrefix, id) }
+
+// encodeRecipe serializes one recipe:
+//
+//	region  uvarint
+//	source  uvarint
+//	name    uvarint length + bytes
+//	nIngr   uvarint
+//	ids     nIngr plain uvarints, original order preserved
+func encodeRecipe(r *recipedb.Recipe) []byte {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	putUvarint(uint64(r.Region))
+	putUvarint(uint64(r.Source))
+	putUvarint(uint64(len(r.Name)))
+	buf = append(buf, r.Name...)
+	putUvarint(uint64(len(r.Ingredients)))
+	for _, id := range r.Ingredients {
+		putUvarint(uint64(id))
+	}
+	return buf
+}
+
+// decodeRecipe parses an encoded recipe body.
+func decodeRecipe(data []byte) (name string, region recipedb.Region, source recipedb.Source, ids []flavor.ID, err error) {
+	r := bytes.NewReader(data)
+	read := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = binary.ReadUvarint(r)
+		return v
+	}
+	region = recipedb.Region(read())
+	source = recipedb.Source(read())
+	nameLen := read()
+	if err != nil {
+		return "", 0, 0, nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	if nameLen > uint64(r.Len()) {
+		return "", 0, 0, nil, fmt.Errorf("%w: name length %d exceeds remaining %d", ErrSnapshot, nameLen, r.Len())
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, rerr := r.Read(nameBuf); rerr != nil {
+		return "", 0, 0, nil, fmt.Errorf("%w: %v", ErrSnapshot, rerr)
+	}
+	name = string(nameBuf)
+	n := read()
+	if err != nil {
+		return "", 0, 0, nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	if n > uint64(r.Len()) { // each ID takes >= 1 byte
+		return "", 0, 0, nil, fmt.Errorf("%w: ingredient count %d exceeds remaining bytes", ErrSnapshot, n)
+	}
+	ids = make([]flavor.ID, n)
+	for i := range ids {
+		ids[i] = flavor.ID(read())
+	}
+	if err != nil {
+		return "", 0, 0, nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	if r.Len() != 0 {
+		return "", 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshot, r.Len())
+	}
+	return name, region, source, ids, nil
+}
+
+// SaveCorpus writes the full recipe corpus and the catalog configuration
+// into db, replacing any prior snapshot.
+func SaveCorpus(db *Store, corpus *recipedb.Store) error {
+	cfg, err := json.Marshal(corpus.Catalog().Config())
+	if err != nil {
+		return fmt.Errorf("storage: marshaling flavor config: %w", err)
+	}
+	if err := db.Put(formatKey, []byte(formatVersion)); err != nil {
+		return err
+	}
+	if err := db.Put(flavorCfgKey, cfg); err != nil {
+		return err
+	}
+	// Drop recipes from any previous, larger snapshot.
+	for _, key := range db.KeysWithPrefix(recipePrefix) {
+		var id int
+		if _, err := fmt.Sscanf(key, recipePrefix+"%d", &id); err == nil && id < corpus.Len() {
+			continue
+		}
+		if err := db.Delete(key); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < corpus.Len(); i++ {
+		r := corpus.Recipe(i)
+		if err := db.Put(recipeKey(i), encodeRecipe(r)); err != nil {
+			return fmt.Errorf("storage: saving recipe %d: %w", i, err)
+		}
+	}
+	return db.Sync()
+}
+
+// LoadCatalogConfig reads back the flavor configuration a snapshot was
+// built against, so callers can rebuild the identical catalog.
+func LoadCatalogConfig(db *Store) (flavor.Config, error) {
+	raw, err := db.Get(flavorCfgKey)
+	if err != nil {
+		return flavor.Config{}, fmt.Errorf("storage: snapshot has no flavor config: %w", err)
+	}
+	var cfg flavor.Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return flavor.Config{}, fmt.Errorf("%w: flavor config: %v", ErrSnapshot, err)
+	}
+	return cfg, nil
+}
+
+// LoadCorpus reads a snapshot back into an in-memory recipe store bound
+// to catalog. The catalog must have been built with the same
+// configuration the snapshot records (checked), because ingredient IDs
+// are dense catalog indices.
+func LoadCorpus(db *Store, catalog *flavor.Catalog) (*recipedb.Store, error) {
+	format, err := db.Get(formatKey)
+	if err != nil {
+		return nil, fmt.Errorf("storage: not a corpus snapshot: %w", err)
+	}
+	if string(format) != formatVersion {
+		return nil, fmt.Errorf("%w: format %q, want %q", ErrSnapshot, format, formatVersion)
+	}
+	cfg, err := LoadCatalogConfig(db)
+	if err != nil {
+		return nil, err
+	}
+	if cfg != catalog.Config() {
+		return nil, fmt.Errorf("%w: snapshot catalog config differs from supplied catalog", ErrSnapshot)
+	}
+	corpus := recipedb.NewStore(catalog)
+	keys := db.KeysWithPrefix(recipePrefix)
+	for _, key := range keys { // sorted, so IDs load in order
+		raw, err := db.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		name, region, source, ids, err := decodeRecipe(raw)
+		if err != nil {
+			return nil, fmt.Errorf("storage: recipe %s: %w", key, err)
+		}
+		if _, err := corpus.Add(name, region, source, ids); err != nil {
+			return nil, fmt.Errorf("storage: recipe %s: %w", key, err)
+		}
+	}
+	return corpus, nil
+}

@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"culinary/internal/flavor"
+	"culinary/internal/recipedb"
+)
+
+// testCatalog builds a small deterministic catalog shared by snapshot
+// tests.
+func testCatalog(t *testing.T) *flavor.Catalog {
+	t.Helper()
+	cfg := flavor.DefaultConfig()
+	catalog, err := flavor.Build(cfg)
+	if err != nil {
+		t.Fatalf("building catalog: %v", err)
+	}
+	return catalog
+}
+
+// testCorpus assembles a tiny corpus by hand.
+func testCorpus(t *testing.T, catalog *flavor.Catalog) *recipedb.Store {
+	t.Helper()
+	corpus := recipedb.NewStore(catalog)
+	names := catalog.Names()
+	mustAdd := func(name string, region recipedb.Region, n int, offset int) {
+		ids := make([]flavor.ID, n)
+		for i := range ids {
+			id, ok := catalog.Lookup(names[(offset+i*7)%len(names)])
+			if !ok {
+				t.Fatalf("lookup %q failed", names[(offset+i*7)%len(names)])
+			}
+			ids[i] = id
+		}
+		if _, err := corpus.Add(name, region, recipedb.AllRecipes, ids); err != nil {
+			t.Fatalf("Add(%q): %v", name, err)
+		}
+	}
+	mustAdd("pasta al pomodoro", recipedb.Italy, 5, 0)
+	mustAdd("miso soup", recipedb.Japan, 4, 40)
+	mustAdd("butter chicken", recipedb.IndianSubcontinent, 9, 90)
+	mustAdd("tacos al pastor", recipedb.Mexico, 7, 140)
+	return corpus
+}
+
+func TestRecipeEncodeDecodeRoundTrip(t *testing.T) {
+	catalog := testCatalog(t)
+	corpus := testCorpus(t, catalog)
+	for i := 0; i < corpus.Len(); i++ {
+		r := corpus.Recipe(i)
+		name, region, source, ids, err := decodeRecipe(encodeRecipe(r))
+		if err != nil {
+			t.Fatalf("decode recipe %d: %v", i, err)
+		}
+		if name != r.Name || region != r.Region || source != r.Source {
+			t.Errorf("recipe %d header mismatch: %q/%v/%v", i, name, region, source)
+		}
+		if len(ids) != len(r.Ingredients) {
+			t.Fatalf("recipe %d ids %d, want %d", i, len(ids), len(r.Ingredients))
+		}
+		for j := range ids {
+			if ids[j] != r.Ingredients[j] {
+				t.Errorf("recipe %d id[%d] = %d, want %d", i, j, ids[j], r.Ingredients[j])
+			}
+		}
+	}
+}
+
+func TestDecodeRecipeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0xFF},
+		{1, 1, 200}, // name length far beyond remaining bytes
+		{1, 1, 1, 'x', 250},
+	}
+	for i, data := range cases {
+		if _, _, _, _, err := decodeRecipe(data); !errors.Is(err, ErrSnapshot) {
+			t.Errorf("case %d: err = %v, want ErrSnapshot", i, err)
+		}
+	}
+	// Trailing bytes after a valid body must be rejected.
+	catalog := testCatalog(t)
+	corpus := testCorpus(t, catalog)
+	good := encodeRecipe(corpus.Recipe(0))
+	if _, _, _, _, err := decodeRecipe(append(good, 0)); !errors.Is(err, ErrSnapshot) {
+		t.Errorf("trailing byte: err = %v, want ErrSnapshot", err)
+	}
+}
+
+func TestSaveLoadCorpus(t *testing.T) {
+	catalog := testCatalog(t)
+	corpus := testCorpus(t, catalog)
+
+	db := openTemp(t, Options{})
+	if err := SaveCorpus(db, corpus); err != nil {
+		t.Fatalf("SaveCorpus: %v", err)
+	}
+	loaded, err := LoadCorpus(db, catalog)
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	if loaded.Len() != corpus.Len() {
+		t.Fatalf("loaded %d recipes, want %d", loaded.Len(), corpus.Len())
+	}
+	for i := 0; i < corpus.Len(); i++ {
+		a, b := corpus.Recipe(i), loaded.Recipe(i)
+		if a.Name != b.Name || a.Region != b.Region || a.Source != b.Source || a.Size() != b.Size() {
+			t.Errorf("recipe %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestSaveCorpusShrinksPriorSnapshot(t *testing.T) {
+	catalog := testCatalog(t)
+	corpus := testCorpus(t, catalog)
+	db := openTemp(t, Options{})
+	if err := SaveCorpus(db, corpus); err != nil {
+		t.Fatal(err)
+	}
+
+	// Save a smaller corpus over it: stale recipe keys must disappear.
+	small := recipedb.NewStore(catalog)
+	r := corpus.Recipe(0)
+	if _, err := small.Add(r.Name, r.Region, r.Source, r.Ingredients); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCorpus(db, small); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCorpus(db, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Errorf("loaded %d recipes, want 1 (stale keys must be deleted)", loaded.Len())
+	}
+}
+
+func TestLoadCorpusCatalogMismatch(t *testing.T) {
+	catalog := testCatalog(t)
+	corpus := testCorpus(t, catalog)
+	db := openTemp(t, Options{})
+	if err := SaveCorpus(db, corpus); err != nil {
+		t.Fatal(err)
+	}
+
+	otherCfg := flavor.DefaultConfig()
+	otherCfg.Seed++
+	other, err := flavor.Build(otherCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(db, other); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("LoadCorpus with mismatched catalog = %v, want ErrSnapshot", err)
+	}
+}
+
+func TestLoadCorpusRequiresSnapshot(t *testing.T) {
+	catalog := testCatalog(t)
+	db := openTemp(t, Options{})
+	if _, err := LoadCorpus(db, catalog); err == nil {
+		t.Fatal("LoadCorpus on empty store succeeded")
+	}
+	// A wrong format marker is also rejected.
+	if err := db.Put(formatKey, []byte("bogus/9")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(db, catalog); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("err = %v, want ErrSnapshot", err)
+	}
+}
+
+func TestSnapshotSurvivesReopenAndCompact(t *testing.T) {
+	catalog := testCatalog(t)
+	corpus := testCorpus(t, catalog)
+	dir := t.TempDir()
+	db, err := Open(dir, Options{MaxSegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCorpus(db, corpus); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCorpus(db, corpus); err != nil { // double save creates dead bytes
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	loaded, err := LoadCorpus(db2, catalog)
+	if err != nil {
+		t.Fatalf("LoadCorpus after reopen+compact: %v", err)
+	}
+	if loaded.Len() != corpus.Len() {
+		t.Errorf("loaded %d, want %d", loaded.Len(), corpus.Len())
+	}
+}

@@ -1,0 +1,349 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Store errors.
+var (
+	// ErrNotFound is returned by Get for absent keys.
+	ErrNotFound = errors.New("storage: key not found")
+	// ErrClosed is returned by operations on a closed store.
+	ErrClosed = errors.New("storage: store is closed")
+)
+
+// Options configures a Store. The zero value is usable; fields default
+// as documented.
+type Options struct {
+	// MaxSegmentBytes rotates the active segment once it exceeds this
+	// size. Defaults to 8 MiB.
+	MaxSegmentBytes int64
+	// SyncEveryPut fsyncs after each Put/Delete. Durable but slow;
+	// defaults to false (sync on Close/Sync only).
+	SyncEveryPut bool
+	// CompactionFloorBytes is the minimum dead-byte volume before
+	// NeedsCompaction reports true. Defaults to 1 MiB.
+	CompactionFloorBytes int64
+}
+
+func (o *Options) applyDefaults() {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 8 << 20
+	}
+	if o.CompactionFloorBytes <= 0 {
+		o.CompactionFloorBytes = 1 << 20
+	}
+}
+
+// keyLoc locates the live value of a key.
+type keyLoc struct {
+	segID  uint64
+	offset int64
+	length int64 // framed length on disk
+	valLen int   // decoded value length (cheap Len/stat answers)
+}
+
+// Store is the log-structured key-value store. All methods are safe for
+// concurrent use; writes serialize on an internal mutex while reads only
+// take it briefly to resolve locations.
+type Store struct {
+	mu     sync.RWMutex
+	dir    string
+	opts   Options
+	keydir map[string]keyLoc
+	// segments maps sealed and active segment IDs to open handles.
+	segments map[uint64]*segment
+	active   *segment
+	closed   bool
+	// deadBytes estimates space held by superseded records, the
+	// compaction trigger statistic.
+	deadBytes int64
+	writeBuf  []byte
+}
+
+// Open opens (creating if necessary) a store rooted at dir, replaying
+// all segments to rebuild the key directory. A torn tail on the newest
+// segment is truncated away; corruption anywhere else fails Open.
+func Open(dir string, opts Options) (*Store, error) {
+	opts.applyDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating dir: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		keydir:   make(map[string]keyLoc),
+		segments: make(map[uint64]*segment),
+	}
+	ids, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range ids {
+		last := i == len(ids)-1
+		path := segmentPath(dir, id)
+		size, err := scanSegment(path, last, func(rec record, off, length int64) error {
+			s.replay(rec, id, off, length)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			return nil, fmt.Errorf("storage: opening segment: %w", err)
+		}
+		seg := &segment{id: id, path: path, f: f, size: size}
+		s.segments[id] = seg
+		if last {
+			s.active = seg
+		}
+	}
+	if s.active == nil {
+		if err := s.rotateLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// replay applies one recovered record to the key directory.
+func (s *Store) replay(rec record, segID uint64, off, length int64) {
+	key := string(rec.key)
+	if prev, ok := s.keydir[key]; ok {
+		s.deadBytes += prev.length
+	}
+	if rec.tombstone {
+		delete(s.keydir, key)
+		s.deadBytes += length // the tombstone itself is reclaimable
+		return
+	}
+	s.keydir[key] = keyLoc{segID: segID, offset: off, length: length, valLen: len(rec.value)}
+}
+
+// rotateLocked seals the active segment and starts a fresh one. Caller
+// holds mu.
+func (s *Store) rotateLocked() error {
+	var next uint64 = 1
+	if s.active != nil {
+		next = s.active.id + 1
+		if err := s.active.f.Sync(); err != nil {
+			return fmt.Errorf("storage: syncing sealed segment: %w", err)
+		}
+	}
+	path := segmentPath(s.dir, next)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: creating segment: %w", err)
+	}
+	seg := &segment{id: next, path: path, f: f}
+	s.segments[next] = seg
+	s.active = seg
+	return nil
+}
+
+// Put stores value under key, overwriting any previous value.
+func (s *Store) Put(key string, value []byte) error {
+	return s.append(record{key: []byte(key), value: value})
+}
+
+// Delete removes key. Deleting an absent key is a no-op (a tombstone is
+// still logged so the deletion survives restarts during compaction).
+func (s *Store) Delete(key string) error {
+	s.mu.RLock()
+	_, present := s.keydir[key]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if !present {
+		return nil
+	}
+	return s.append(record{key: []byte(key), tombstone: true})
+}
+
+// append frames and writes one record, updating the key directory.
+func (s *Store) append(rec record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	buf, err := appendRecord(s.writeBuf[:0], rec)
+	if err != nil {
+		return err
+	}
+	s.writeBuf = buf[:0]
+	off := s.active.size
+	if _, err := s.active.f.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("storage: appending record: %w", err)
+	}
+	s.active.size += int64(len(buf))
+	if s.opts.SyncEveryPut {
+		if err := s.active.f.Sync(); err != nil {
+			return fmt.Errorf("storage: fsync: %w", err)
+		}
+	}
+	s.replay(rec, s.active.id, off, int64(len(buf)))
+	if s.active.size >= s.opts.MaxSegmentBytes {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	loc, ok := s.keydir[key]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	seg := s.segments[loc.segID]
+	s.mu.RUnlock()
+
+	buf := make([]byte, loc.length)
+	if _, err := seg.f.ReadAt(buf, loc.offset); err != nil {
+		return nil, fmt.Errorf("storage: reading %q: %w", key, err)
+	}
+	rr := newRecordReader(bytes.NewReader(buf))
+	rec, err := rr.next()
+	if err != nil {
+		return nil, fmt.Errorf("storage: decoding %q: %w", key, err)
+	}
+	if string(rec.key) != key {
+		return nil, fmt.Errorf("%w: keydir points at record for %q, want %q", ErrCorrupt, rec.key, key)
+	}
+	return rec.value, nil
+}
+
+// Has reports whether key is present.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.keydir[key]
+	return ok
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.keydir)
+}
+
+// Keys returns all live keys, sorted. Intended for tools and tests; the
+// result is O(n) fresh memory.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.keydir))
+	for k := range s.keydir {
+		out = append(out, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// KeysWithPrefix returns live keys beginning with prefix, sorted.
+func (s *Store) KeysWithPrefix(prefix string) []string {
+	s.mu.RLock()
+	var out []string
+	for k := range s.keydir {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Fold calls fn for every live key/value pair in sorted key order,
+// stopping at the first error.
+func (s *Store) Fold(fn func(key string, value []byte) error) error {
+	for _, k := range s.Keys() {
+		v, err := s.Get(k)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // deleted between Keys and Get
+			}
+			return err
+		}
+		if err := fn(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.active.f.Sync()
+}
+
+// Stats reports store-level statistics.
+type Stats struct {
+	// Keys is the live key count.
+	Keys int
+	// Segments is the number of data files.
+	Segments int
+	// LiveBytes is the total framed size of live records.
+	LiveBytes int64
+	// DeadBytes estimates reclaimable space (superseded records and
+	// tombstones).
+	DeadBytes int64
+}
+
+// Stats returns current statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var live int64
+	for _, loc := range s.keydir {
+		live += loc.length
+	}
+	return Stats{
+		Keys:      len(s.keydir),
+		Segments:  len(s.segments),
+		LiveBytes: live,
+		DeadBytes: s.deadBytes,
+	}
+}
+
+// Close syncs and closes every segment. The store is unusable afterward.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	if s.active != nil {
+		if err := s.active.f.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, seg := range s.segments {
+		if err := seg.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

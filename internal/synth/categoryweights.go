@@ -1,0 +1,80 @@
+package synth
+
+import (
+	"culinary/internal/flavor"
+	"culinary/internal/recipedb"
+)
+
+// baseCategoryWeight encodes the aggregate (WORLD) category preference
+// the paper reports for Fig 2: "Vegetable, Spice, Dairy, Herb, Plant,
+// Meat and Fruit categories are used most frequently".
+var baseCategoryWeight = [flavor.NumCategories]float64{
+	flavor.Vegetable:         1.60,
+	flavor.Spice:             1.30,
+	flavor.Dairy:             1.20,
+	flavor.Herb:              1.10,
+	flavor.Plant:             1.10,
+	flavor.Meat:              1.00,
+	flavor.Fruit:             0.95,
+	flavor.Cereal:            0.80,
+	flavor.Bakery:            0.60,
+	flavor.NutsAndSeeds:      0.50,
+	flavor.Legume:            0.50,
+	flavor.Additive:          0.45,
+	flavor.Dish:              0.45,
+	flavor.Fish:              0.40,
+	flavor.Beverage:          0.40,
+	flavor.BeverageAlcoholic: 0.35,
+	flavor.Seafood:           0.30,
+	flavor.Maize:             0.30,
+	flavor.Fungus:            0.30,
+	flavor.EssentialOil:      0.10,
+	flavor.Flower:            0.10,
+}
+
+// regionCategoryBoost multiplies base weights for the regional
+// signatures the paper highlights: France, British Isles and
+// Scandinavia use dairy more prominently than vegetables; the Indian
+// Subcontinent, Africa, the Middle East and the Caribbean are
+// spice-forward. Additional boosts encode well-known regional staples
+// so the heatmap has realistic texture.
+var regionCategoryBoost = map[recipedb.Region]map[flavor.Category]float64{
+	recipedb.France:             {flavor.Dairy: 1.9, flavor.BeverageAlcoholic: 1.4, flavor.Bakery: 1.3},
+	recipedb.BritishIsles:       {flavor.Dairy: 1.8, flavor.Bakery: 1.4, flavor.Meat: 1.2},
+	recipedb.Scandinavia:        {flavor.Dairy: 1.85, flavor.Fish: 2.0, flavor.Bakery: 1.2},
+	recipedb.IndianSubcontinent: {flavor.Spice: 1.9, flavor.Legume: 1.8, flavor.Dairy: 1.2},
+	recipedb.Africa:             {flavor.Spice: 1.8, flavor.Legume: 1.3, flavor.Maize: 1.5},
+	recipedb.MiddleEast:         {flavor.Spice: 1.75, flavor.NutsAndSeeds: 1.5, flavor.Legume: 1.4},
+	recipedb.Caribbean:          {flavor.Spice: 1.7, flavor.Fruit: 1.4, flavor.Seafood: 1.4},
+	recipedb.Japan:              {flavor.Fish: 2.6, flavor.Seafood: 2.0, flavor.Plant: 1.3},
+	recipedb.Korea:              {flavor.Vegetable: 1.3, flavor.Plant: 1.35, flavor.Dish: 1.5},
+	recipedb.China:              {flavor.Vegetable: 1.25, flavor.Plant: 1.3, flavor.Seafood: 1.3},
+	recipedb.SouthEastAsia:      {flavor.Spice: 1.4, flavor.Fish: 1.5, flavor.Fruit: 1.2},
+	recipedb.Thailand:           {flavor.Spice: 1.45, flavor.Herb: 1.4, flavor.Fish: 1.4},
+	recipedb.Mexico:             {flavor.Maize: 3.0, flavor.Spice: 1.4, flavor.Legume: 1.4},
+	recipedb.Italy:              {flavor.Herb: 1.45, flavor.Cereal: 1.6, flavor.Dairy: 1.25},
+	recipedb.Greece:             {flavor.Herb: 1.35, flavor.Plant: 1.35, flavor.Dairy: 1.2},
+	recipedb.Spain:              {flavor.Seafood: 1.6, flavor.Plant: 1.3, flavor.Meat: 1.2},
+	recipedb.USA:                {flavor.Bakery: 1.35, flavor.Dairy: 1.3, flavor.Meat: 1.15},
+	recipedb.DACH:               {flavor.Meat: 1.5, flavor.Dairy: 1.35, flavor.Bakery: 1.3},
+	recipedb.EasternEurope:      {flavor.Meat: 1.4, flavor.Dairy: 1.3, flavor.Vegetable: 1.1},
+	recipedb.Canada:             {flavor.Dairy: 1.25, flavor.Bakery: 1.2, flavor.Plant: 1.15},
+	recipedb.AustraliaNZ:        {flavor.Meat: 1.25, flavor.Dairy: 1.2, flavor.Fruit: 1.15},
+	recipedb.SouthAmerica:       {flavor.Maize: 1.8, flavor.Meat: 1.3, flavor.Legume: 1.3},
+	recipedb.Portugal:           {flavor.Fish: 1.9, flavor.Seafood: 1.5},
+	recipedb.Belgium:            {flavor.Dairy: 1.4, flavor.Bakery: 1.4},
+	recipedb.CentralAmerica:     {flavor.Maize: 2.2, flavor.Legume: 1.4},
+	recipedb.Netherlands:        {flavor.Dairy: 1.6, flavor.Bakery: 1.3},
+}
+
+// CategoryWeight returns the sampling weight of a category for a region:
+// the world baseline times any regional boost.
+func CategoryWeight(r recipedb.Region, cat flavor.Category) float64 {
+	w := baseCategoryWeight[cat]
+	if boost, ok := regionCategoryBoost[r]; ok {
+		if m, ok := boost[cat]; ok {
+			w *= m
+		}
+	}
+	return w
+}

@@ -1,0 +1,196 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"culinary/internal/flavor"
+	"culinary/internal/rng"
+)
+
+// LabeledPhrase is a synthesized noisy ingredient phrase together with
+// the catalog entity it renders — ground truth for evaluating the
+// aliasing pipeline of §IV.A.
+type LabeledPhrase struct {
+	Phrase string
+	Truth  flavor.ID
+}
+
+// PhraseConfig controls phrase synthesis noise levels.
+type PhraseConfig struct {
+	Seed uint64
+	// QuantityProb prepends an amount + unit ("2 cups").
+	QuantityProb float64
+	// PrepProb appends a preparation clause (", finely chopped").
+	PrepProb float64
+	// AdjectiveProb inserts a state adjective ("fresh").
+	AdjectiveProb float64
+	// PluralProb pluralizes the ingredient's final word.
+	PluralProb float64
+	// TypoProb introduces a single-character typo in the name.
+	TypoProb float64
+	// SynonymProb renders a registered synonym instead of the canonical
+	// name when one exists.
+	SynonymProb float64
+}
+
+// DefaultPhraseConfig mirrors the noise profile of scraped recipe sites.
+func DefaultPhraseConfig() PhraseConfig {
+	return PhraseConfig{
+		Seed:          99,
+		QuantityProb:  0.85,
+		PrepProb:      0.55,
+		AdjectiveProb: 0.35,
+		PluralProb:    0.30,
+		TypoProb:      0.04,
+		SynonymProb:   0.20,
+	}
+}
+
+var (
+	quantities = []string{
+		"1", "2", "3", "4", "1/2", "1/4", "3/4", "1 1/2", "2 1/2", "6", "8", "12",
+	}
+	units = []string{
+		"cup", "cups", "tablespoon", "tablespoons", "teaspoon",
+		"teaspoons", "ounces", "pound", "pounds", "grams", "ml",
+		"cloves", "sprigs", "slices", "pieces", "cans", "bunches",
+	}
+	prepClauses = []string{
+		"finely chopped", "roughly chopped", "diced", "minced",
+		"thinly sliced", "grated", "peeled and seeded", "crushed",
+		"roasted and slit", "cut into strips", "at room temperature",
+		"drained and rinsed", "trimmed", "halved", "lightly beaten",
+		"melted", "softened", "to taste", "for garnish", "divided",
+		"or more to taste", "plus extra for serving",
+	}
+	adjectives = []string{
+		"fresh", "large", "small", "medium", "ripe", "whole", "dried",
+		"organic", "extra", "raw", "chilled", "frozen", "canned",
+	}
+)
+
+// synonymsFor returns registered synonyms that resolve to id.
+func synonymsFor(catalog *flavor.Catalog, id flavor.ID) []string {
+	var out []string
+	for _, s := range catalog.SynonymNames() {
+		if sid, ok := catalog.Lookup(s); ok && sid == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PhraseSynthesizer renders catalog ingredients into noisy phrases.
+type PhraseSynthesizer struct {
+	catalog *flavor.Catalog
+	cfg     PhraseConfig
+	src     *rng.Source
+	syns    map[flavor.ID][]string
+}
+
+// NewPhraseSynthesizer builds a synthesizer over the catalog.
+func NewPhraseSynthesizer(catalog *flavor.Catalog, cfg PhraseConfig) *PhraseSynthesizer {
+	ps := &PhraseSynthesizer{
+		catalog: catalog,
+		cfg:     cfg,
+		src:     rng.New(cfg.Seed),
+		syns:    make(map[flavor.ID][]string),
+	}
+	for _, s := range catalog.SynonymNames() {
+		if id, ok := catalog.Lookup(s); ok {
+			ps.syns[id] = append(ps.syns[id], s)
+		}
+	}
+	return ps
+}
+
+// Render produces one noisy phrase for the ingredient.
+func (ps *PhraseSynthesizer) Render(id flavor.ID) LabeledPhrase {
+	name := ps.catalog.Ingredient(id).Name
+	if syns := ps.syns[id]; len(syns) > 0 && ps.src.Float64() < ps.cfg.SynonymProb {
+		name = syns[ps.src.Intn(len(syns))]
+	}
+	if ps.src.Float64() < ps.cfg.PluralProb {
+		name = pluralizeLast(name)
+	}
+	if ps.src.Float64() < ps.cfg.TypoProb {
+		name = ps.typo(name)
+	}
+	var b strings.Builder
+	if ps.src.Float64() < ps.cfg.QuantityProb {
+		fmt.Fprintf(&b, "%s %s ", quantities[ps.src.Intn(len(quantities))], units[ps.src.Intn(len(units))])
+	}
+	if ps.src.Float64() < ps.cfg.AdjectiveProb {
+		b.WriteString(adjectives[ps.src.Intn(len(adjectives))])
+		b.WriteByte(' ')
+	}
+	b.WriteString(name)
+	if ps.src.Float64() < ps.cfg.PrepProb {
+		b.WriteString(", ")
+		b.WriteString(prepClauses[ps.src.Intn(len(prepClauses))])
+	}
+	return LabeledPhrase{Phrase: b.String(), Truth: id}
+}
+
+// RenderBatch produces n labeled phrases over ingredients drawn
+// uniformly from the catalog's profiled basic ingredients.
+func (ps *PhraseSynthesizer) RenderBatch(n int) []LabeledPhrase {
+	var pool []flavor.ID
+	for i := 0; i < ps.catalog.Len(); i++ {
+		ing := ps.catalog.Ingredient(flavor.ID(i))
+		if !ing.Compound {
+			pool = append(pool, ing.ID)
+		}
+	}
+	out := make([]LabeledPhrase, n)
+	for i := range out {
+		out[i] = ps.Render(pool[ps.src.Intn(len(pool))])
+	}
+	return out
+}
+
+// pluralizeLast naively pluralizes the final word of a name; the
+// aliasing pipeline's singularizer must undo it.
+func pluralizeLast(name string) string {
+	words := strings.Fields(name)
+	last := words[len(words)-1]
+	switch {
+	case strings.HasSuffix(last, "y") && len(last) > 1 && !isVowel(last[len(last)-2]):
+		last = last[:len(last)-1] + "ies"
+	case strings.HasSuffix(last, "o"):
+		last += "es"
+	case strings.HasSuffix(last, "s"), strings.HasSuffix(last, "x"),
+		strings.HasSuffix(last, "ch"), strings.HasSuffix(last, "sh"):
+		last += "es"
+	default:
+		last += "s"
+	}
+	words[len(words)-1] = last
+	return strings.Join(words, " ")
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// typo applies one random character substitution to a letter of name.
+func (ps *PhraseSynthesizer) typo(name string) string {
+	runes := []rune(name)
+	// pick a letter position
+	for attempt := 0; attempt < 10; attempt++ {
+		i := ps.src.Intn(len(runes))
+		if runes[i] >= 'a' && runes[i] <= 'z' {
+			replacement := rune('a' + ps.src.Intn(26))
+			if replacement != runes[i] {
+				runes[i] = replacement
+				return string(runes)
+			}
+		}
+	}
+	return name
+}

@@ -1,0 +1,120 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"culinary/internal/flavor"
+)
+
+func TestPhraseSynthesizerDeterministic(t *testing.T) {
+	a := NewPhraseSynthesizer(testCatalog, DefaultPhraseConfig())
+	b := NewPhraseSynthesizer(testCatalog, DefaultPhraseConfig())
+	ba := a.RenderBatch(100)
+	bb := b.RenderBatch(100)
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Fatalf("phrase %d differs: %q vs %q", i, ba[i].Phrase, bb[i].Phrase)
+		}
+	}
+}
+
+func TestRenderCarriesTruth(t *testing.T) {
+	ps := NewPhraseSynthesizer(testCatalog, DefaultPhraseConfig())
+	id, _ := testCatalog.Lookup("tomato")
+	for i := 0; i < 50; i++ {
+		lp := ps.Render(id)
+		if lp.Truth != id {
+			t.Fatalf("truth label wrong: %+v", lp)
+		}
+		if lp.Phrase == "" {
+			t.Fatal("empty phrase")
+		}
+	}
+}
+
+func TestRenderNoiseVariety(t *testing.T) {
+	ps := NewPhraseSynthesizer(testCatalog, DefaultPhraseConfig())
+	id, _ := testCatalog.Lookup("tomato")
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[ps.Render(id).Phrase] = true
+	}
+	if len(seen) < 20 {
+		t.Fatalf("only %d distinct phrases out of 200 renders", len(seen))
+	}
+}
+
+func TestZeroNoiseRendersCanonicalName(t *testing.T) {
+	cfg := PhraseConfig{Seed: 1} // all probabilities zero
+	ps := NewPhraseSynthesizer(testCatalog, cfg)
+	id, _ := testCatalog.Lookup("basil")
+	lp := ps.Render(id)
+	if lp.Phrase != "basil" {
+		t.Fatalf("zero-noise phrase = %q", lp.Phrase)
+	}
+}
+
+func TestPluralizeLast(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"tomato", "tomatoes"},
+		{"cherry", "cherries"},
+		{"radish", "radishes"},
+		{"green bean", "green beans"},
+		{"box", "boxes"},
+		{"bay leaf", "bay leafs"}, // naive pluralizer; singularizer still recovers "leaf"
+		{"egg", "eggs"},
+	}
+	for _, tc := range cases {
+		if got := pluralizeLast(tc.in); got != tc.want {
+			t.Errorf("pluralizeLast(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRenderBatchCoversManyIngredients(t *testing.T) {
+	ps := NewPhraseSynthesizer(testCatalog, DefaultPhraseConfig())
+	batch := ps.RenderBatch(1000)
+	if len(batch) != 1000 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	distinct := map[flavor.ID]bool{}
+	for _, lp := range batch {
+		distinct[lp.Truth] = true
+		if testCatalog.Ingredient(lp.Truth).Compound {
+			t.Fatalf("batch rendered compound ingredient %q", testCatalog.Ingredient(lp.Truth).Name)
+		}
+	}
+	if len(distinct) < 200 {
+		t.Fatalf("batch covers only %d distinct ingredients", len(distinct))
+	}
+}
+
+func TestTypoChangesOneCharacter(t *testing.T) {
+	cfg := DefaultPhraseConfig()
+	cfg.TypoProb = 1
+	cfg.QuantityProb, cfg.PrepProb, cfg.AdjectiveProb, cfg.PluralProb, cfg.SynonymProb = 0, 0, 0, 0, 0
+	ps := NewPhraseSynthesizer(testCatalog, cfg)
+	id, _ := testCatalog.Lookup("saffron")
+	diffTotal := 0
+	for i := 0; i < 20; i++ {
+		lp := ps.Render(id)
+		if len(lp.Phrase) != len("saffron") {
+			t.Fatalf("typo changed length: %q", lp.Phrase)
+		}
+		diff := 0
+		for j := range lp.Phrase {
+			if lp.Phrase[j] != "saffron"[j] {
+				diff++
+			}
+		}
+		if diff > 1 {
+			t.Fatalf("typo changed %d characters: %q", diff, lp.Phrase)
+		}
+		diffTotal += diff
+	}
+	if diffTotal == 0 {
+		t.Fatal("TypoProb=1 produced no typos")
+	}
+	_ = strings.ToLower("")
+}

@@ -1,0 +1,76 @@
+package textproc
+
+// Levenshtein returns the edit distance between a and b: the minimum
+// number of single-character insertions, deletions and substitutions
+// transforming a into b. The aliasing protocol uses it to absorb
+// spelling variations ("whiskey"/"whisky") that the synonym table does
+// not enumerate.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(
+				prev[j]+1,      // deletion
+				curr[j-1]+1,    // insertion
+				prev[j-1]+cost, // substitution
+			)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Similarity returns 1 - dist/maxLen in [0, 1]; 1 means identical.
+func Similarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// WithinEditBudget reports whether Levenshtein(a,b) <= budget without
+// always computing the full distance: it exits early on a length-gap
+// check. For the aliasing matcher the budget is small (1 or 2), so the
+// length filter rejects most candidates instantly.
+func WithinEditBudget(a, b string, budget int) bool {
+	la, lb := len([]rune(a)), len([]rune(b))
+	gap := la - lb
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > budget {
+		return false
+	}
+	return Levenshtein(a, b) <= budget
+}

@@ -1,0 +1,151 @@
+package textproc
+
+import "strings"
+
+// Singularize converts an English plural noun to its singular form using
+// irregular tables followed by suffix rules, mirroring the behaviour of
+// the Python 'inflect' package for the vocabulary that occurs in
+// ingredient phrases. Words recognized as already singular are returned
+// unchanged.
+func Singularize(w string) string {
+	if w == "" {
+		return w
+	}
+	if s, ok := irregularPlurals[w]; ok {
+		return s
+	}
+	if uncountable[w] {
+		return w
+	}
+	// Suffix rules, most specific first.
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 3:
+		// berries -> berry; but "series" handled as uncountable above.
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ves") && len(w) > 3:
+		// halves -> half, leaves -> leaf; knives -> knife handled by table.
+		return w[:len(w)-3] + "f"
+	case strings.HasSuffix(w, "oes") && len(w) > 3:
+		// tomatoes -> tomato, potatoes -> potato.
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ses") && len(w) > 3:
+		// molasses is uncountable (table); glasses -> glass.
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "xes") && len(w) > 3:
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "zes") && len(w) > 3:
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ches") && len(w) > 4:
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "shes") && len(w) > 4:
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ss"):
+		// cress, watercress: already singular.
+		return w
+	case strings.HasSuffix(w, "us"):
+		// asparagus, citrus, hummus: already singular.
+		return w
+	case strings.HasSuffix(w, "is"):
+		// anis/anise endings: already singular.
+		return w
+	case strings.HasSuffix(w, "s") && len(w) > 2:
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+// SingularizeTokens singularizes every token, returning a fresh slice.
+func SingularizeTokens(tokens []string) []string {
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		out[i] = Singularize(t)
+	}
+	return out
+}
+
+// irregularPlurals maps irregular plural forms to singulars for the
+// culinary vocabulary.
+var irregularPlurals = map[string]string{
+	"children":     "child",
+	"feet":         "foot",
+	"geese":        "goose",
+	"knives":       "knife",
+	"leaves":       "leaf",
+	"loaves":       "loaf",
+	"men":          "man",
+	"mice":         "mouse",
+	"women":        "woman",
+	"teeth":        "tooth",
+	"halves":       "half",
+	"calves":       "calf",
+	"wolves":       "wolf",
+	"shelves":      "shelf",
+	"potatoes":     "potato",
+	"tomatoes":     "tomato",
+	"mangoes":      "mango",
+	"mangos":       "mango",
+	"avocados":     "avocado",
+	"pistachios":   "pistachio",
+	"radishes":     "radish",
+	"anchovies":    "anchovy",
+	"cherries":     "cherry",
+	"berries":      "berry",
+	"chilies":      "chili",
+	"chillies":     "chilli",
+	"chiles":       "chile",
+	"octopi":       "octopus",
+	"octopuses":    "octopus",
+	"fungi":        "fungus",
+	"cacti":        "cactus",
+	"gateaux":      "gateau",
+	"eggs":         "egg",
+	"olives":       "olive",  // do not apply -ves rule
+	"chives":       "chive",  // do not apply -ves rule
+	"endives":      "endive", // do not apply -ves rule
+	"beverages":    "beverage",
+	"sausages":     "sausage",
+	"oranges":      "orange",
+	"cabbages":     "cabbage",
+	"grapes":       "grape",
+	"dates":        "date",
+	"limes":        "lime",
+	"prunes":       "prune",
+	"apples":       "apple",
+	"noodles":      "noodle",
+	"pancakes":     "pancake",
+	"cakes":        "cake",
+	"artichokes":   "artichoke",
+	"pomegranates": "pomegranate",
+	"clementines":  "clementine",
+	"nectarines":   "nectarine",
+	"sardines":     "sardine",
+	"tangerines":   "tangerine",
+	"courgettes":   "courgette",
+	"aubergines":   "aubergine",
+}
+
+// uncountable lists mass nouns and words whose surface form ends in s
+// but is singular; they are returned unchanged.
+var uncountable = map[string]bool{
+	"molasses":   true,
+	"asparagus":  true,
+	"hummus":     true,
+	"couscous":   true,
+	"watercress": true,
+	"cress":      true,
+	"swiss":      true,
+	"citrus":     true,
+	"rice":       true,
+	"series":     true,
+	"species":    true,
+	"sugar":      true,
+	"flour":      true,
+	"butter":     true,
+	"milk":       true,
+	"water":      true,
+	"honey":      true,
+	"bass":       true,
+	"grits":      true,
+	"schnapps":   true,
+	"brandy":     true,
+}

@@ -1,0 +1,152 @@
+package textproc
+
+// StopwordSet is a set of tokens removed during phrase processing.
+type StopwordSet struct {
+	words map[string]struct{}
+}
+
+// NewStopwordSet builds a set from the given word lists.
+func NewStopwordSet(lists ...[]string) *StopwordSet {
+	s := &StopwordSet{words: make(map[string]struct{})}
+	for _, list := range lists {
+		for _, w := range list {
+			s.words[w] = struct{}{}
+		}
+	}
+	return s
+}
+
+// Contains reports whether tok is a stopword.
+func (s *StopwordSet) Contains(tok string) bool {
+	_, ok := s.words[tok]
+	return ok
+}
+
+// Len returns the number of stopwords in the set.
+func (s *StopwordSet) Len() int { return len(s.words) }
+
+// Add inserts additional stopwords (used by curation workflows).
+func (s *StopwordSet) Add(words ...string) {
+	for _, w := range words {
+		s.words[w] = struct{}{}
+	}
+}
+
+// EnglishStopwords is the general English function-word list (the subset
+// of NLTK's list that occurs in ingredient phrases).
+var EnglishStopwords = []string{
+	"a", "an", "the", "and", "or", "of", "for", "to", "in", "on",
+	"at", "as", "with", "without", "into", "from", "by", "about",
+	"if", "then", "than", "such", "each", "per", "plus", "more",
+	"very", "some", "any", "all", "few", "other", "own", "same",
+	"so", "too", "not", "no", "nor", "only", "but", "is", "are",
+	"was", "be", "been", "it", "its", "this", "that", "these",
+	"those", "you", "your", "i", "we", "they", "them", "their",
+	"can", "will", "just", "should", "may", "might", "until",
+	"while", "when", "where", "how", "what", "which", "who",
+	"also", "both", "between", "during", "before", "after",
+	"above", "below", "up", "down", "out", "off", "over", "under",
+	"again", "once", "here", "there", "well", "needed", "need",
+	"desired", "optional", "taste", "preferably", "preferred",
+	"approximately", "divided", "plus", "extra", "additional",
+	"garnish", "serving", "serve", "accompaniment", "use", "used",
+	"using", "like", "even", "best", "good", "store", "bought",
+	"homemade", "favorite", "favourite", "brand", "quality",
+}
+
+// CulinaryStopwords are preparation and measurement words that never
+// name ingredients: the "culinary stopwords" of §IV.A. The list covers
+// units, container words, preparation verbs/participles, temperature and
+// size descriptors, and state adjectives.
+var CulinaryStopwords = []string{
+	// units and measures
+	"cup", "cups", "tablespoon", "tablespoons", "tbsp", "teaspoon",
+	"teaspoons", "tsp", "ounce", "ounces", "oz", "pound", "pounds",
+	"lb", "lbs", "gram", "grams", "g", "kg", "kilogram", "kilograms",
+	"ml", "milliliter", "milliliters", "liter", "liters", "litre",
+	"litres", "quart", "quarts", "pint", "pints", "gallon", "gallons",
+	"inch", "inches", "cm", "centimeter", "centimeters", "dash",
+	"pinch", "pinches", "handful", "splash", "drop", "drops", "stick",
+	"sticks", "sprig", "sprigs", "bunch", "bunches", "head", "heads",
+	"clove", "cloves", "stalk", "stalks", "rib", "ribs", "slice",
+	"slices", "piece", "pieces", "strip", "strips", "chunk", "chunks",
+	"cube", "cubes", "wedge", "wedges", "knob", "pat", "pats",
+	"fluid", "fl", "size", "sized", "medium", "large", "small",
+	"jumbo", "mini", "baby", "x",
+	// containers and packaging
+	"can", "cans", "canned", "jar", "jars", "package", "packages",
+	"packet", "packets", "box", "boxes", "bag", "bags", "bottle",
+	"bottles", "container", "containers", "carton", "cartons",
+	"envelope", "envelopes", "tin", "tins", "tub", "tubs",
+	// preparation verbs and participles
+	"chopped", "diced", "minced", "sliced", "grated", "shredded",
+	"peeled", "seeded", "cored", "trimmed", "halved", "quartered",
+	"crushed", "ground", "beaten", "whisked", "sifted", "melted",
+	"softened", "chilled", "cooled", "warmed", "heated", "cooked",
+	"uncooked", "prepared", "drained", "rinsed", "washed", "dried",
+	"soaked", "thawed", "frozen", "defrosted", "toasted",
+	"blanched", "steamed", "boiled", "grilled", "broiled", "baked",
+	"roasted",
+	"fried", "sauteed", "caramelized", "browned", "crumbled",
+	"flaked", "julienned", "cubed", "torn", "packed", "lightly",
+	"loosely", "firmly", "finely", "coarsely", "roughly", "thinly",
+	"thickly", "freshly", "stemmed", "deveined", "shelled", "pitted",
+	"hulled", "husked", "scrubbed", "slit", "scored", "butterflied",
+	"pounded", "tenderized", "marinated", "seasoned", "unseasoned",
+	"split", "snipped", "crumbed", "zested", "juiced", "squeezed",
+	"pureed", "mashed", "whipped", "folded", "separated", "reserved",
+	"removed", "discarded", "leftover", "remaining", "cut",
+	// state and quality adjectives
+	"fresh", "dried", "raw", "ripe", "unripe", "overripe", "firm",
+	"soft", "hard", "tender", "lean", "fatty", "boneless", "bone",
+	"skinless", "skin", "seedless", "unsalted", "salted", "sweetened",
+	"unsweetened", "lowfat", "nonfat", "reduced", "light", "lite",
+	"heavy", "thick", "thin", "mild", "hot", "cold", "warm", "cool",
+	"room", "temperature", "instant", "quick", "rapid", "active",
+	"dry", "wet", "whole", "half", "halves", "third", "quarter",
+	"coarse", "fine", "extra", "virgin", "pure", "natural", "organic",
+	"free", "range", "wild", "farmed", "smoked", "cured", "aged",
+	"mature", "young", "new", "old", "fashioned", "style", "type",
+	"variety", "assorted", "mixed", "plain", "regular", "standard",
+	"premium", "gourmet", "rustic", "country", "traditional",
+	// fractional words
+	"one", "two", "three", "four", "five", "six", "seven", "eight",
+	"nine", "ten", "dozen", "couple", "several",
+}
+
+// GenericFoodWords are tokens too generic to identify an ingredient on
+// their own; §III.B removed "29 generic and noisy entities" from the raw
+// FlavorDB list. These words survive stopword removal (they can appear
+// inside multi-word names like "bell pepper") but are rejected when they
+// are the entire residual phrase.
+var GenericFoodWords = []string{
+	"food", "ingredient", "ingredients", "meat", "fish", "fruit",
+	"vegetable", "vegetables", "spice", "spices", "herb", "herbs",
+	"seasoning", "seasonings", "liquid", "water", "juice", "sauce",
+	"dressing", "stock", "broth", "mix", "blend", "powder", "paste",
+	"syrup", "oil", "fat", "flour", "leaves", "leaf", "seed",
+	"seeds", "nut", "nuts", "berry", "berries", "bean", "beans",
+	"pepper", "wine", "cheese", "bread", "cream", "milk",
+}
+
+// DefaultStopwords returns the standard stopword set used by the
+// aliasing pipeline: English function words plus culinary stopwords.
+func DefaultStopwords() *StopwordSet {
+	return NewStopwordSet(EnglishStopwords, CulinaryStopwords)
+}
+
+// genericSet supports O(1) generic-word checks.
+var genericSet = func() map[string]struct{} {
+	m := make(map[string]struct{}, len(GenericFoodWords))
+	for _, w := range GenericFoodWords {
+		m[w] = struct{}{}
+	}
+	return m
+}()
+
+// IsGenericFoodWord reports whether w alone is too generic to count as
+// an ingredient match.
+func IsGenericFoodWord(w string) bool {
+	_, ok := genericSet[w]
+	return ok
+}

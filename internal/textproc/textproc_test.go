@@ -1,0 +1,299 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"2 Jalapeno Peppers, roasted and slit", "2 jalapeno peppers roasted and slit"},
+		{"  EXTRA-VIRGIN  olive oil!! ", "extra virgin olive oil"},
+		{"za'atar", "za'atar"},
+		{"", ""},
+		{"...", ""},
+		{"1/2 cup milk", "1 2 cup milk"},
+		{"salt & pepper", "salt pepper"},
+		{"crème fraîche", "crème fraîche"},
+	}
+	for _, tc := range cases {
+		if got := Normalize(tc.in); got != tc.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("2 large Eggs, beaten")
+	want := []string{"2", "large", "eggs", "beaten"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	if Tokenize("") != nil {
+		t.Fatal("empty input should give nil tokens")
+	}
+	if Tokenize("!!!") != nil {
+		t.Fatal("punctuation-only input should give nil tokens")
+	}
+	// standalone apostrophes trimmed
+	got = Tokenize("' hello '")
+	if !reflect.DeepEqual(got, []string{"hello"}) {
+		t.Fatalf("apostrophe trim: %v", got)
+	}
+}
+
+func TestIsQuantity(t *testing.T) {
+	for _, q := range []string{"2", "350", "1.5", "1/2", "12"} {
+		if !IsQuantity(q) {
+			t.Errorf("IsQuantity(%q) = false", q)
+		}
+	}
+	for _, q := range []string{"", "cup", "2x", "half", "a1"} {
+		if IsQuantity(q) {
+			t.Errorf("IsQuantity(%q) = true", q)
+		}
+	}
+}
+
+func TestStripTokens(t *testing.T) {
+	stop := DefaultStopwords()
+	toks := Tokenize("2 cups freshly chopped cilantro leaves")
+	got := StripTokens(toks, stop)
+	want := []string{"cilantro", "leaves"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("StripTokens = %v, want %v", got, want)
+	}
+	// nil stopword set only strips quantities
+	got = StripTokens([]string{"2", "milk"}, nil)
+	if !reflect.DeepEqual(got, []string{"milk"}) {
+		t.Fatalf("nil stopwords: %v", got)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	toks := []string{"a", "b", "c"}
+	got := NGrams(toks, 1, 2)
+	want := []string{"a", "b", "c", "a b", "b c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NGrams = %v, want %v", got, want)
+	}
+	// maxN beyond length clamps
+	got = NGrams(toks, 3, 6)
+	if !reflect.DeepEqual(got, []string{"a b c"}) {
+		t.Fatalf("clamped NGrams = %v", got)
+	}
+	if NGrams(nil, 1, 6) != nil {
+		t.Fatal("nil tokens should give nil ngrams")
+	}
+	// minN < 1 treated as 1
+	got = NGrams([]string{"x"}, 0, 1)
+	if !reflect.DeepEqual(got, []string{"x"}) {
+		t.Fatalf("minN clamp = %v", got)
+	}
+}
+
+func TestNGramCount(t *testing.T) {
+	// For n tokens and full 1..n range, count = n(n+1)/2.
+	toks := strings.Fields("one two three four five six")
+	got := NGrams(toks, 1, 6)
+	if len(got) != 21 {
+		t.Fatalf("6-token full ngram count = %d, want 21", len(got))
+	}
+}
+
+func TestSingularize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"tomatoes", "tomato"},
+		{"potatoes", "potato"},
+		{"berries", "berry"},
+		{"cherries", "cherry"},
+		{"leaves", "leaf"},
+		{"halves", "half"},
+		{"olives", "olive"},
+		{"chives", "chive"},
+		{"eggs", "egg"},
+		{"peppers", "pepper"},
+		{"onions", "onion"},
+		{"radishes", "radish"},
+		{"boxes", "box"},
+		{"glasses", "glass"},
+		{"asparagus", "asparagus"},
+		{"couscous", "couscous"},
+		{"molasses", "molasses"},
+		{"watercress", "watercress"},
+		{"hummus", "hummus"},
+		{"rice", "rice"},
+		{"anchovies", "anchovy"},
+		{"chilies", "chili"},
+		{"milk", "milk"},
+		{"", ""},
+		{"octopi", "octopus"},
+		{"fungi", "fungus"},
+		{"grits", "grits"},
+		{"mangoes", "mango"},
+		{"peaches", "peach"},
+		{"squashes", "squash"},
+	}
+	for _, tc := range cases {
+		if got := Singularize(tc.in); got != tc.want {
+			t.Errorf("Singularize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSingularizeTokens(t *testing.T) {
+	got := SingularizeTokens([]string{"tomatoes", "and", "onions"})
+	want := []string{"tomato", "and", "onion"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SingularizeTokens = %v", got)
+	}
+}
+
+func TestSingularizeIdempotent(t *testing.T) {
+	// Property: singularizing twice equals singularizing once for all
+	// words exercised by the catalog vocabulary and test corpus.
+	words := []string{
+		"tomatoes", "berries", "leaves", "eggs", "onions", "radishes",
+		"asparagus", "rice", "cherries", "potato", "onion", "leaf",
+		"glass", "peach", "box",
+	}
+	for _, w := range words {
+		once := Singularize(w)
+		twice := Singularize(once)
+		if once != twice {
+			t.Errorf("Singularize not idempotent on %q: %q then %q", w, once, twice)
+		}
+	}
+}
+
+func TestStopwordSet(t *testing.T) {
+	s := NewStopwordSet([]string{"a", "b"}, []string{"c"})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Contains("a") || !s.Contains("c") || s.Contains("d") {
+		t.Fatal("Contains wrong")
+	}
+	s.Add("d")
+	if !s.Contains("d") {
+		t.Fatal("Add failed")
+	}
+}
+
+func TestDefaultStopwordsCoverCulinaryTerms(t *testing.T) {
+	s := DefaultStopwords()
+	for _, w := range []string{"chopped", "cup", "tablespoon", "fresh", "diced", "the", "of", "minced", "cans"} {
+		if !s.Contains(w) {
+			t.Errorf("default stopwords missing %q", w)
+		}
+	}
+	for _, w := range []string{"cilantro", "milk", "jalapeno", "saffron"} {
+		if s.Contains(w) {
+			t.Errorf("default stopwords wrongly contain %q", w)
+		}
+	}
+}
+
+func TestIsGenericFoodWord(t *testing.T) {
+	if !IsGenericFoodWord("food") || !IsGenericFoodWord("juice") {
+		t.Fatal("generic words not detected")
+	}
+	if IsGenericFoodWord("cilantro") {
+		t.Fatal("cilantro flagged generic")
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"whiskey", "whisky", 1},
+		{"chili", "chile", 1},
+		{"chili", "chilli", 1},
+		{"flavor", "flavour", 1},
+		{"same", "same", 0},
+	}
+	for _, tc := range cases {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	// Symmetry and identity-of-indiscernibles on short random strings.
+	f := func(a, b string) bool {
+		if len(a) > 12 {
+			a = a[:12]
+		}
+		if len(b) > 12 {
+			b = b[:12]
+		}
+		d1 := Levenshtein(a, b)
+		d2 := Levenshtein(b, a)
+		if d1 != d2 {
+			return false
+		}
+		if (d1 == 0) != (a == b) {
+			return false
+		}
+		return d1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 8 {
+			a = a[:8]
+		}
+		if len(b) > 8 {
+			b = b[:8]
+		}
+		if len(c) > 8 {
+			c = c[:8]
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if got := Similarity("", ""); got != 1 {
+		t.Fatalf("Similarity of empties = %v", got)
+	}
+	if got := Similarity("abc", "abc"); got != 1 {
+		t.Fatalf("identical Similarity = %v", got)
+	}
+	if got := Similarity("abc", "xyz"); got != 0 {
+		t.Fatalf("disjoint Similarity = %v", got)
+	}
+	got := Similarity("whiskey", "whisky")
+	if got < 0.85 || got >= 1 {
+		t.Fatalf("whiskey/whisky Similarity = %v", got)
+	}
+}
+
+func TestWithinEditBudget(t *testing.T) {
+	if !WithinEditBudget("whiskey", "whisky", 1) {
+		t.Fatal("whiskey/whisky should be within budget 1")
+	}
+	if WithinEditBudget("whiskey", "whisky", 0) {
+		t.Fatal("budget 0 should reject")
+	}
+	// Length gap pre-filter.
+	if WithinEditBudget("ab", "abcdef", 2) {
+		t.Fatal("length gap 4 should fail budget 2")
+	}
+}

@@ -1,0 +1,112 @@
+// Package textproc implements the text-processing substrate behind the
+// ingredient aliasing protocol of §IV.A: lower-casing, punctuation and
+// special-character removal, stopword filtering (general English plus
+// culinary stopwords), singularization of plural forms, n-gram
+// construction up to 6-grams, and edit-distance fuzzy matching. The
+// original study used Python's NLTK and inflect packages; this package
+// reimplements the required functionality from scratch.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize lower-cases s, replaces punctuation and special characters
+// with spaces, collapses runs of whitespace, and trims. Digits are kept:
+// quantity removal is a stopword-level concern (see IsQuantity).
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	prevSpace := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+			prevSpace = false
+		case r == '\'':
+			// Keep apostrophes inside words ("za'atar"); they are
+			// stripped by Tokenize when standalone.
+			b.WriteRune(r)
+			prevSpace = false
+		default:
+			if !prevSpace {
+				b.WriteByte(' ')
+				prevSpace = true
+			}
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Tokenize splits a normalized or raw phrase into word tokens. It
+// normalizes first, so callers may pass raw text.
+func Tokenize(s string) []string {
+	norm := Normalize(s)
+	if norm == "" {
+		return nil
+	}
+	fields := strings.Fields(norm)
+	out := fields[:0]
+	for _, f := range fields {
+		f = strings.Trim(f, "'")
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// IsQuantity reports whether a token is numeric (possibly a fraction
+// written as "1/2" before normalization splits it, or a decimal run).
+// Tokens like "2" and "350" in ingredient phrases are quantities or oven
+// temperatures, never ingredient words.
+func IsQuantity(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	digits := 0
+	for _, r := range tok {
+		if unicode.IsDigit(r) {
+			digits++
+		} else if r != '.' && r != '/' {
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// StripTokens removes quantities and stopwords from a token sequence,
+// returning a fresh slice.
+func StripTokens(tokens []string, stop *StopwordSet) []string {
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if IsQuantity(t) {
+			continue
+		}
+		if stop != nil && stop.Contains(t) {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// NGrams returns all contiguous n-grams of tokens joined by single
+// spaces, for n in [minN, maxN]. §IV.A builds n-grams up to 6 to surface
+// multi-word ingredients from partial matches.
+func NGrams(tokens []string, minN, maxN int) []string {
+	if minN < 1 {
+		minN = 1
+	}
+	if maxN > len(tokens) {
+		maxN = len(tokens)
+	}
+	var out []string
+	for n := minN; n <= maxN; n++ {
+		for i := 0; i+n <= len(tokens); i++ {
+			out = append(out, strings.Join(tokens[i:i+n], " "))
+		}
+	}
+	return out
+}
