@@ -10,6 +10,7 @@ package culinary
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"culinary/internal/alias"
@@ -313,12 +314,53 @@ func BenchmarkAblationWeightedSampling(b *testing.B) {
 }
 
 // BenchmarkAnalyzerConstruction measures building the full pair-sharing
-// matrix (676×676 profile intersections).
+// triangle (676×676 profile intersections, packed upper-triangular)
+// with the default GOMAXPROCS worker pool.
 func BenchmarkAnalyzerConstruction(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if a := pairing.NewAnalyzer(benchEnv.Catalog); a == nil {
 			b.Fatal("nil analyzer")
 		}
+	}
+}
+
+// BenchmarkAnalyzerConstructionWorkers sweeps the construction worker
+// pool, pinning the parallel-speedup curve (workers=1 is the serial
+// baseline; the top sub-bench matches BenchmarkAnalyzerConstruction).
+func BenchmarkAnalyzerConstructionWorkers(b *testing.B) {
+	sweep := []int{1, 2, 4, 8}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 && p != 8 {
+		sweep = append(sweep, p)
+	}
+	for _, workers := range sweep {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if a := pairing.NewAnalyzerParallel(benchEnv.Catalog, workers); a == nil {
+					b.Fatal("nil analyzer")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTopPartners measures the bounded-heap partial selection for
+// small k against the full candidate row (the k ≪ n interactive path).
+func BenchmarkTopPartners(b *testing.B) {
+	id, ok := benchEnv.Catalog.Lookup("tomato")
+	if !ok {
+		b.Fatal("no tomato")
+	}
+	for _, k := range []int{5, 25, 200} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if p := benchEnv.Analyzer.TopPartners(id, k); len(p) != k {
+					b.Fatal("short result")
+				}
+			}
+		})
 	}
 }
 
@@ -340,5 +382,42 @@ func BenchmarkBitsetIntersectionSizes(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkBitsetKernelBatch compares the row-vs-rows batched kernel
+// against per-pair IntersectionCount calls across universe and batch
+// sizes — the kernel-shape ablation behind the analyzer's parallel
+// construction. Reported per batch, so Batched vs Pairwise lines are
+// directly comparable.
+func BenchmarkBitsetKernelBatch(b *testing.B) {
+	for _, universe := range []int{256, 1104, 4096} {
+		for _, batch := range []int{16, 256} {
+			src := rng.New(uint64(universe * batch))
+			row := bitset.New(universe)
+			for i := 0; i < universe/8; i++ {
+				row.Add(src.Intn(universe))
+			}
+			targets := make([]*bitset.Set, batch)
+			for t := range targets {
+				targets[t] = bitset.New(universe)
+				for i := 0; i < universe/8; i++ {
+					targets[t].Add(src.Intn(universe))
+				}
+			}
+			out := make([]int32, batch)
+			b.Run(fmt.Sprintf("universe%d/batch%d/Batched", universe, batch), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					row.IntersectionCountMany(targets, out)
+				}
+			})
+			b.Run(fmt.Sprintf("universe%d/batch%d/Pairwise", universe, batch), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for t := range targets {
+						out[t] = int32(row.IntersectionCount(targets[t]))
+					}
+				}
+			})
+		}
 	}
 }

@@ -29,6 +29,7 @@ func main() {
 		top        = flag.Int("top", 0, "also print the top-k contributing ingredients")
 		scale      = flag.Float64("scale", 1.0, "corpus scale factor")
 		seed       = flag.Uint64("seed", 20180416, "master seed")
+		shards     = flag.Int("shards", 0, "null-model sampling shards (0 = sequential sampler; >0 fans draws across shards with split rng streams — deterministic per shard count but a different random stream than sequential)")
 	)
 	flag.Parse()
 
@@ -60,8 +61,13 @@ func main() {
 		"Region", "N̄s", "NullMean", "NullStd", "Z")
 	for _, r := range regions {
 		c := env.Store.BuildCuisine(r)
-		res, err := pairing.Compare(env.Analyzer, env.Store, c, model, *null,
-			rng.New(*seed).Split(0x9000+uint64(r)))
+		var res pairing.Result
+		src := rng.New(*seed).Split(0x9000 + uint64(r))
+		if *shards > 0 {
+			res, err = pairing.CompareParallel(env.Analyzer, env.Store, c, model, *null, *shards, src)
+		} else {
+			res, err = pairing.Compare(env.Analyzer, env.Store, c, model, *null, src)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -75,7 +81,7 @@ func main() {
 	if *top > 0 {
 		for _, r := range regions {
 			c := env.Store.BuildCuisine(r)
-			contribs := env.Analyzer.Contributions(env.Store, c)
+			contribs := env.Analyzer.ContributionsParallel(env.Store, c, 0)
 			sign := r.PairingSign()
 			if sign == 0 {
 				sign = 1

@@ -1,0 +1,3 @@
+module culinary
+
+go 1.22

@@ -87,11 +87,7 @@ func (s *Set) IntersectionCount(t *Set) int {
 	if s.universe != t.universe {
 		panic(fmt.Sprintf("bitset: universe mismatch %d vs %d", s.universe, t.universe))
 	}
-	n := 0
-	for i, w := range s.words {
-		n += bits.OnesCount64(w & t.words[i])
-	}
-	return n
+	return intersectionCountWords(s.words, t.words)
 }
 
 // UnionCount returns |s ∪ t| without allocating.

@@ -1,0 +1,80 @@
+package bitset
+
+import (
+	"testing"
+
+	"culinary/internal/rng"
+)
+
+func randomSet(universe int, fill int, src *rng.Source) *Set {
+	s := New(universe)
+	for i := 0; i < fill; i++ {
+		s.Add(src.Intn(universe))
+	}
+	return s
+}
+
+// TestIntersectionCountManyMatchesPairwise checks the batched kernel
+// against the scalar IntersectionCount across universes that exercise
+// the unrolled body (multiples of 4 words), the remainder loop, and the
+// single-word case.
+func TestIntersectionCountManyMatchesPairwise(t *testing.T) {
+	src := rng.New(42)
+	for _, universe := range []int{1, 63, 64, 65, 256, 300, 1024, 1104} {
+		s := randomSet(universe, universe/3+1, src)
+		targets := make([]*Set, 37)
+		for i := range targets {
+			targets[i] = randomSet(universe, src.Intn(universe)+1, src)
+		}
+		out := make([]int32, len(targets))
+		s.IntersectionCountMany(targets, out)
+		for i, tg := range targets {
+			if want := s.IntersectionCount(tg); int(out[i]) != want {
+				t.Fatalf("universe %d target %d: batched %d != pairwise %d",
+					universe, i, out[i], want)
+			}
+		}
+	}
+}
+
+// TestIntersectionCountManyNaiveReference cross-checks the unrolled word
+// loop against a naive membership count.
+func TestIntersectionCountManyNaiveReference(t *testing.T) {
+	src := rng.New(7)
+	const universe = 517
+	s := randomSet(universe, 120, src)
+	tg := randomSet(universe, 200, src)
+	naive := 0
+	for i := 0; i < universe; i++ {
+		if s.Contains(i) && tg.Contains(i) {
+			naive++
+		}
+	}
+	var out [1]int32
+	s.IntersectionCountMany([]*Set{tg}, out[:])
+	if int(out[0]) != naive {
+		t.Fatalf("kernel %d != naive %d", out[0], naive)
+	}
+}
+
+func TestIntersectionCountManyEmptyTargets(t *testing.T) {
+	New(128).IntersectionCountMany(nil, nil) // must not panic
+}
+
+func TestIntersectionCountManyUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on universe mismatch")
+		}
+	}()
+	New(64).IntersectionCountMany([]*Set{New(128)}, make([]int32, 1))
+}
+
+func TestIntersectionCountManyShortOutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short out slice")
+		}
+	}()
+	New(64).IntersectionCountMany([]*Set{New(64), New(64)}, make([]int32, 1))
+}

@@ -52,7 +52,10 @@ func (e *Env) Fig4() ([]Fig4Row, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rows[i], errs[i] = e.fig4Region(regions[i])
+				// The region pool already saturates the CPUs, so
+				// per-region scoring stays serial (scoreWorkers=1)
+				// rather than oversubscribing with a nested fan-out.
+				rows[i], errs[i] = e.fig4Region(regions[i], 1)
 			}
 		}()
 	}
@@ -69,15 +72,20 @@ func (e *Env) Fig4() ([]Fig4Row, error) {
 	return rows, nil
 }
 
-// Fig4Region runs the Fig 4 analysis for a single region.
+// Fig4Region runs the Fig 4 analysis for a single region. Unlike the
+// pooled Fig4 sweep, a lone region gets the full scoring fan-out.
 func (e *Env) Fig4Region(r recipedb.Region) (Fig4Row, error) {
-	return e.fig4Region(r)
+	return e.fig4Region(r, 0)
 }
 
-func (e *Env) fig4Region(r recipedb.Region) (Fig4Row, error) {
+// fig4Region computes one region's row; scoreWorkers sizes the
+// observed-score fan-out (ScoreCuisineParallel is bit-identical to
+// CuisineScore for any worker count, so Fig 4 output is unchanged
+// either way).
+func (e *Env) fig4Region(r recipedb.Region, scoreWorkers int) (Fig4Row, error) {
 	c := e.Store.BuildCuisine(r)
 	src := e.src(0x40 + uint64(r))
-	observed, scored := e.Analyzer.CuisineScore(e.Store, c)
+	observed, scored := e.Analyzer.ScoreCuisineParallel(e.Store, c, scoreWorkers)
 	if scored == 0 {
 		return Fig4Row{}, fmt.Errorf("experiments: region %s has no scorable recipes", r.Code())
 	}
@@ -176,7 +184,8 @@ func (e *Env) Fig5(k int, fig4 []Fig4Row) []Fig5Row {
 			sign = r.PairingSign()
 		}
 		c := e.Store.BuildCuisine(r)
-		contribs := e.Analyzer.Contributions(e.Store, c)
+		// Bit-identical to the serial sweep; see ContributionsParallel.
+		contribs := e.Analyzer.ContributionsParallel(e.Store, c, 0)
 		out = append(out, Fig5Row{
 			Region: r,
 			Sign:   sign,

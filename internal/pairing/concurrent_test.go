@@ -1,0 +1,95 @@
+package pairing
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"culinary/internal/flavor"
+	"culinary/internal/storage"
+)
+
+// TestAnalyzerAndStoreConcurrent backs the two "safe for concurrent use"
+// doc claims under the race detector: a post-construction Analyzer is
+// hammered by concurrent readers (Shared, RecipeScore, TopPartners, the
+// parallel scoring entry points, which themselves spawn goroutines)
+// while a storage.Store absorbs concurrent writers and readers in the
+// same process. Run with -race; without it the test is a cheap smoke.
+func TestAnalyzerAndStoreConcurrent(t *testing.T) {
+	kv, err := storage.Open(t.TempDir(), storage.Options{MaxSegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+
+	store, cuisine := buildLargeStore(t)
+	wantMean, wantN := testAnalyzer.CuisineScore(store, cuisine)
+	wantShared := testAnalyzer.Shared(0, 1)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	const iters = 40
+
+	// Analyzer readers.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if got := testAnalyzer.Shared(0, 1); got != wantShared {
+					errc <- fmt.Errorf("Shared changed under readers: %d != %d", got, wantShared)
+					return
+				}
+				id := flavor.ID((g*iters + i) % testAnalyzer.n)
+				testAnalyzer.TopPartners(id, 5)
+				if _, ok := testAnalyzer.RecipeScore(store.Recipe(cuisine.RecipeIDs[i%len(cuisine.RecipeIDs)]).Ingredients); !ok {
+					continue
+				}
+			}
+		}(g)
+	}
+	// Parallel scorers (goroutine-spawning readers).
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if mean, n := testAnalyzer.ScoreCuisineParallel(store, cuisine, 3); mean != wantMean || n != wantN {
+					errc <- fmt.Errorf("ScoreCuisineParallel drifted: (%v,%d) != (%v,%d)", mean, n, wantMean, wantN)
+					return
+				}
+			}
+		}()
+	}
+	// Store writers and readers.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				if err := kv.Put(key, []byte("v")); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := kv.Get(key); err != nil {
+					errc <- err
+					return
+				}
+				if i%8 == 0 {
+					if err := kv.Delete(key); err != nil {
+						errc <- err
+						return
+					}
+				}
+				kv.Has(fmt.Sprintf("g%d-k%d", (g+1)%3, i/2))
+				kv.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

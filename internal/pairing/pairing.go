@@ -22,53 +22,121 @@ package pairing
 
 import (
 	"fmt"
+	"runtime"
 
+	"culinary/internal/bitset"
 	"culinary/internal/flavor"
 	"culinary/internal/recipedb"
 	"culinary/internal/stats"
 )
 
 // Analyzer computes food-pairing statistics against a fixed catalog. It
-// precomputes the ingredient-pair shared-compound matrix once; after
+// precomputes the ingredient-pair shared-compound counts once; after
 // construction it is immutable and safe for concurrent use.
+//
+// Counts are held in packed strict-upper-triangular storage: entry
+// (i, j) with i < j lives at tri[triRow[i]+j], which halves the memory
+// of the previous dense n×n matrix while answering the same lookups.
+// The diagonal is implicit (an ingredient shares no *pair* with itself)
+// and symmetry is restored by ordering the indices at lookup time.
 type Analyzer struct {
 	catalog    *flavor.Catalog
-	shared     []int32 // row-major n×n shared-compound counts
+	tri        []int32 // packed strict upper triangle, row-major
+	triRow     []int   // triRow[i] + j == packed index of (i, j), i < j
 	n          int
 	hasProfile []bool
 }
 
+// constructionChunk is the number of matrix rows a worker claims per
+// grab during parallel construction. Rows shrink as i grows (row i has
+// n-1-i columns), so small dynamic chunks keep the pool balanced
+// without a static partition that would leave early workers with most
+// of the triangle.
+const constructionChunk = 16
+
 // NewAnalyzer builds an analyzer, precomputing the pairwise
-// shared-compound matrix (the dominant cost of naive pairing analysis;
-// see the cached-vs-uncached ablation bench).
+// shared-compound counts (the dominant cost of naive pairing analysis;
+// see the cached-vs-uncached ablation bench). Construction fans the
+// triangle's rows out over GOMAXPROCS workers; the result is identical
+// to a serial build regardless of scheduling because every packed entry
+// is written exactly once.
 func NewAnalyzer(catalog *flavor.Catalog) *Analyzer {
+	return NewAnalyzerParallel(catalog, runtime.GOMAXPROCS(0))
+}
+
+// NewAnalyzerParallel is NewAnalyzer with an explicit worker count,
+// exposed for benchmarks and for callers embedding construction inside
+// an already-parallel pipeline. workers < 1 falls back to 1.
+func NewAnalyzerParallel(catalog *flavor.Catalog, workers int) *Analyzer {
 	n := catalog.Len()
 	a := &Analyzer{
 		catalog:    catalog,
-		shared:     make([]int32, n*n),
+		tri:        make([]int32, n*(n-1)/2),
+		triRow:     make([]int, n),
 		n:          n,
 		hasProfile: make([]bool, n),
 	}
+	profiles := make([]*bitset.Set, n)
 	for i := 0; i < n; i++ {
 		a.hasProfile[i] = catalog.Ingredient(flavor.ID(i)).HasProfile
+		profiles[i] = catalog.Profile(flavor.ID(i))
+		// Row i of the strict upper triangle starts at
+		// i*(n-1) - i*(i-1)/2; subtracting i+1 folds the column offset
+		// j-i-1 into a single add at lookup time.
+		a.triRow[i] = i*(n-1) - i*(i-1)/2 - i - 1
 	}
-	for i := 0; i < n; i++ {
-		pi := catalog.Profile(flavor.ID(i))
-		for j := i + 1; j < n; j++ {
-			s := int32(pi.IntersectionCount(catalog.Profile(flavor.ID(j))))
-			a.shared[i*n+j] = s
-			a.shared[j*n+i] = s
+
+	fillRow := func(i int) {
+		if !a.hasProfile[i] {
+			// Profile-less additives have empty profiles: every
+			// intersection is zero and the packed row is already
+			// zeroed, so the whole row is skipped.
+			return
 		}
+		start := a.triRow[i] + i + 1
+		profiles[i].IntersectionCountMany(profiles[i+1:], a.tri[start:start+n-1-i])
 	}
+
+	if workers < 1 {
+		workers = 1
+	}
+	// Worker pool over row chunks: workers pull chunks as they finish,
+	// so the long early rows and short late rows balance out
+	// dynamically. Every packed entry is written by exactly one worker.
+	forEachChunkParallel(n-1, workers, constructionChunk, fillRow)
 	return a
 }
 
 // Catalog returns the catalog the analyzer is bound to.
 func (a *Analyzer) Catalog() *flavor.Catalog { return a.catalog }
 
-// Shared returns |F(x) ∩ F(y)| from the precomputed matrix.
+// Shared returns |F(x) ∩ F(y)| from the precomputed triangle. The
+// diagonal is 0 by construction, matching the dense matrix this storage
+// replaced (an ingredient forms no pair with itself).
 func (a *Analyzer) Shared(x, y flavor.ID) int {
-	return int(a.shared[int(x)*a.n+int(y)])
+	i, j := int(x), int(y)
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return int(a.tri[a.triRow[i]+j])
+}
+
+// sharedOrdered returns the packed count for i < j without the
+// symmetry swap, for hot loops that already know the order.
+func (a *Analyzer) sharedOrdered(i, j int) int32 {
+	return a.tri[a.triRow[i]+j]
+}
+
+// sharedSym is the symmetric int-indexed lookup for i != j; callers
+// that may see i == j must skip that case (the implicit diagonal is 0).
+func (a *Analyzer) sharedSym(i, j int) int32 {
+	if i < j {
+		return a.sharedOrdered(i, j)
+	}
+	return a.sharedOrdered(j, i)
 }
 
 // RecipeScore computes Ns(R) for a list of ingredient IDs. The boolean
@@ -88,9 +156,13 @@ func (a *Analyzer) RecipeScore(ids []flavor.ID) (float64, bool) {
 	}
 	var sum int64
 	for i := 0; i < n; i++ {
-		row := prof[i] * a.n
+		x := prof[i]
 		for j := i + 1; j < n; j++ {
-			sum += int64(a.shared[row+prof[j]])
+			y := prof[j]
+			if x == y {
+				continue // duplicate member: the dense diagonal was 0
+			}
+			sum += int64(a.sharedSym(x, y))
 		}
 	}
 	return 2 * float64(sum) / (float64(n) * float64(n-1)), true
@@ -106,9 +178,13 @@ func (a *Analyzer) pairSum(ids []flavor.ID) (sum int64, profiled []int) {
 		}
 	}
 	for i := 0; i < len(prof); i++ {
-		row := prof[i] * a.n
+		x := prof[i]
 		for j := i + 1; j < len(prof); j++ {
-			sum += int64(a.shared[row+prof[j]])
+			y := prof[j]
+			if x == y {
+				continue
+			}
+			sum += int64(a.sharedSym(x, y))
 		}
 	}
 	return sum, prof

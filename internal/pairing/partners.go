@@ -27,30 +27,73 @@ type Partner struct {
 	Shared  int
 }
 
+// partnerWorse reports whether x ranks strictly below y in the
+// TopPartners order (fewer shared compounds, ties broken by larger ID).
+func partnerWorse(x, y Partner) bool {
+	if x.Shared != y.Shared {
+		return x.Shared < y.Shared
+	}
+	return x.Partner > y.Partner
+}
+
 // TopPartners returns the k ingredients sharing the most flavor
 // compounds with id — the flavor-pairing suggestions the paper's intro
 // motivates ("generating novel flavor pairings"). Profile-less
 // ingredients and id itself are excluded; ties break by ID.
+//
+// Selection uses a bounded min-heap over the candidate row: O(n log k)
+// with a k-sized footprint instead of materializing and fully sorting
+// all n-1 candidates, which matters when k ≪ n (the interactive
+// "suggest a few partners" path).
 func (a *Analyzer) TopPartners(id flavor.ID, k int) []Partner {
 	if k <= 0 || int(id) < 0 || int(id) >= a.n || !a.hasProfile[id] {
 		return nil
 	}
-	out := make([]Partner, 0, a.n-1)
-	row := a.shared[int(id)*a.n : (int(id)+1)*a.n]
+	if k > a.n-1 {
+		k = a.n - 1
+	}
+	// heap[0] is the worst retained candidate under partnerWorse.
+	heap := make([]Partner, 0, k)
+	i := int(id)
 	for j := 0; j < a.n; j++ {
-		if j == int(id) || !a.hasProfile[j] {
+		if j == i || !a.hasProfile[j] {
 			continue
 		}
-		out = append(out, Partner{Partner: flavor.ID(j), Shared: int(row[j])})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Shared != out[j].Shared {
-			return out[i].Shared > out[j].Shared
+		cand := Partner{Partner: flavor.ID(j), Shared: int(a.sharedSym(i, j))}
+		if len(heap) < k {
+			heap = append(heap, cand)
+			// Sift up.
+			for c := len(heap) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !partnerWorse(heap[c], heap[p]) {
+					break
+				}
+				heap[c], heap[p] = heap[p], heap[c]
+				c = p
+			}
+			continue
 		}
-		return out[i].Partner < out[j].Partner
-	})
-	if k < len(out) {
-		out = out[:k]
+		if !partnerWorse(heap[0], cand) {
+			continue // candidate no better than the current worst
+		}
+		// Replace the root and sift down.
+		heap[0] = cand
+		for c := 0; ; {
+			l, r := 2*c+1, 2*c+2
+			worst := c
+			if l < k && partnerWorse(heap[l], heap[worst]) {
+				worst = l
+			}
+			if r < k && partnerWorse(heap[r], heap[worst]) {
+				worst = r
+			}
+			if worst == c {
+				break
+			}
+			heap[c], heap[worst] = heap[worst], heap[c]
+			c = worst
+		}
 	}
-	return out
+	sort.Slice(heap, func(i, j int) bool { return partnerWorse(heap[j], heap[i]) })
+	return heap
 }
