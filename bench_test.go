@@ -9,8 +9,10 @@
 package culinary
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"culinary/internal/alias"
@@ -18,9 +20,11 @@ import (
 	"culinary/internal/experiments"
 	"culinary/internal/flavor"
 	"culinary/internal/pairing"
+	"culinary/internal/query"
 	"culinary/internal/recipedb"
 	"culinary/internal/rng"
 	"culinary/internal/stats"
+	"culinary/internal/storage"
 	"culinary/internal/synth"
 )
 
@@ -190,6 +194,131 @@ func BenchmarkCorpusGeneration(b *testing.B) {
 		}
 		b.ReportMetric(float64(store.Len()), "recipes")
 	}
+}
+
+// BenchmarkStorageQPS tracks the sharded storage engine's serving
+// throughput through the public API at 8 goroutines: concurrent point
+// reads, concurrent group-committed durable writes, and reads running
+// against a live durable writer. These numbers feed BENCH_storage.json
+// in CI, so the perf trajectory is visible across PRs.
+func BenchmarkStorageQPS(b *testing.B) {
+	const keyspace = 4096
+	val := bytes.Repeat([]byte("v"), 128)
+	key := func(i int) string { return fmt.Sprintf("key%09d", i%keyspace) }
+	open := func(b *testing.B, durable bool) *storage.Store {
+		b.Helper()
+		db, err := storage.Open(b.TempDir(), storage.Options{SyncEveryPut: durable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { db.Close() })
+		for i := 0; i < keyspace; i++ {
+			if err := db.Put(key(i), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+
+	b.Run("Reads", func(b *testing.B) {
+		db := open(b, false)
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				i++
+				if _, err := db.Get(key(i * 31)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+	b.Run("DurableWrites", func(b *testing.B) {
+		db := open(b, true)
+		var seq atomic.Int64
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := db.Put(fmt.Sprintf("w%012d", seq.Add(1)), val); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+	b.Run("ReadsUnderWriteLoad", func(b *testing.B) {
+		db := open(b, true)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := db.Put(fmt.Sprintf("hot%06d", i%64), val); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				i++
+				if _, err := db.Get(key(i * 31)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		close(stop)
+		<-done
+	})
+}
+
+// BenchmarkPlanCache measures the query engine's plan cache on a hot
+// dashboard statement: Run (cached Parse+bind) against re-planning the
+// same statement on every call.
+func BenchmarkPlanCache(b *testing.B) {
+	const stmt = "SELECT name FROM recipes WHERE region = 'ITA' AND size >= 3 LIMIT 1"
+	b.Run("CachedRun", func(b *testing.B) {
+		engine := query.NewEngine(benchEnv.Store, benchEnv.Analyzer)
+		if _, err := engine.Run(stmt); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Run(stmt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cs := engine.CacheStats()
+		b.ReportMetric(float64(cs.Hits)/float64(cs.Hits+cs.Misses), "hit-rate")
+	})
+	b.Run("ReplanEachCall", func(b *testing.B) {
+		engine := query.NewEngine(benchEnv.Store, benchEnv.Analyzer)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q, err := query.Parse(stmt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engine.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Ablation benches (DESIGN.md §5) ---

@@ -5,8 +5,8 @@
 //
 //	culinarydb -out corpus.csv [-format csv|json] [-scale f] [-seed s]
 //	culinarydb -stats [-region CODE]
-//	culinarydb -savedb DIR      # persist a storage-engine snapshot
-//	culinarydb -dbinfo DIR      # inspect a snapshot directory
+//	culinarydb -savedb DIR [-db-shards n] [-db-sync]   # persist a storage-engine snapshot
+//	culinarydb -dbinfo DIR                             # inspect a snapshot directory
 package main
 
 import (
@@ -26,14 +26,16 @@ import (
 
 func main() {
 	var (
-		out    = flag.String("out", "", "output file for corpus export ('-' for stdout)")
-		format = flag.String("format", "csv", "export format: csv or json")
-		scale  = flag.Float64("scale", 1.0, "corpus scale factor")
-		seed   = flag.Uint64("seed", 20180416, "master seed")
-		stats  = flag.Bool("stats", false, "print per-region statistics instead of exporting")
-		region = flag.String("region", "", "restrict -stats to one region code")
-		savedb = flag.String("savedb", "", "persist the corpus into a storage snapshot directory")
-		dbinfo = flag.String("dbinfo", "", "print statistics of a snapshot directory and exit")
+		out      = flag.String("out", "", "output file for corpus export ('-' for stdout)")
+		format   = flag.String("format", "csv", "export format: csv or json")
+		scale    = flag.Float64("scale", 1.0, "corpus scale factor")
+		seed     = flag.Uint64("seed", 20180416, "master seed")
+		stats    = flag.Bool("stats", false, "print per-region statistics instead of exporting")
+		region   = flag.String("region", "", "restrict -stats to one region code")
+		savedb   = flag.String("savedb", "", "persist the corpus into a storage snapshot directory")
+		dbinfo   = flag.String("dbinfo", "", "print statistics of a snapshot directory and exit")
+		dbShards = flag.Int("db-shards", 64, "keydir shard count for the storage engine (rounded up to a power of two)")
+		dbSync   = flag.Bool("db-sync", false, "fsync every write while saving (group-committed)")
 	)
 	flag.Parse()
 
@@ -65,7 +67,7 @@ func main() {
 		store.Len(), time.Since(t0).Round(time.Millisecond))
 
 	if *savedb != "" {
-		db, err := storage.Open(*savedb, storage.Options{})
+		db, err := storage.Open(*savedb, storage.Options{Shards: *dbShards, SyncEveryPut: *dbSync})
 		if err != nil {
 			fatal(err)
 		}
@@ -153,8 +155,8 @@ func printDBInfo(dir string) {
 	}
 	defer db.Close()
 	st := db.Stats()
-	fmt.Printf("snapshot %s: %d keys, %d segments, %d live bytes, %d dead bytes\n",
-		dir, st.Keys, st.Segments, st.LiveBytes, st.DeadBytes)
+	fmt.Printf("snapshot %s: %d keys, %d segments, %d keydir shards, %d live bytes, %d dead bytes\n",
+		dir, st.Keys, st.Segments, st.Shards, st.LiveBytes, st.DeadBytes)
 	cfg, err := storage.LoadCatalogConfig(db)
 	if err != nil {
 		fmt.Println("no corpus snapshot metadata:", err)

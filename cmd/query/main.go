@@ -102,6 +102,11 @@ func main() {
 		}
 		fmt.Fprint(os.Stderr, "cql> ")
 	}
+	// Repeated dashboard statements skip Parse+bind via the plan cache;
+	// report how often that paid off for this session.
+	cs := engine.CacheStats()
+	fmt.Fprintf(os.Stderr, "\nplan cache: %d hits, %d misses, %d cached plans\n",
+		cs.Hits, cs.Misses, cs.Entries)
 }
 
 // run executes one statement, printing the result table or the error

@@ -4,10 +4,13 @@
 // Usage:
 //
 //	server [-addr :8080] [-scale f] [-seed s] [-null n] [-db DIR]
+//	       [-db-shards n] [-db-sync]
 //
 // With -db, the corpus is loaded from (or, when absent, generated and
 // saved into) a storage snapshot directory, so restarts skip corpus
-// generation.
+// generation. -db-shards partitions the store's key directory (power
+// of two); -db-sync turns on the per-write durability contract, served
+// by the engine's group-commit writer.
 //
 // Endpoints (all JSON):
 //
@@ -43,13 +46,16 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		scale = flag.Float64("scale", 0.25, "corpus scale factor (1.0 = full 45,772 recipes)")
-		seed  = flag.Uint64("seed", 20180416, "master seed")
-		null  = flag.Int("null", 2000, "default null-model sample size for the pairing endpoint")
-		dbDir = flag.String("db", "", "storage snapshot directory (load if present, else generate and save)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		scale    = flag.Float64("scale", 0.25, "corpus scale factor (1.0 = full 45,772 recipes)")
+		seed     = flag.Uint64("seed", 20180416, "master seed")
+		null     = flag.Int("null", 2000, "default null-model sample size for the pairing endpoint")
+		dbDir    = flag.String("db", "", "storage snapshot directory (load if present, else generate and save)")
+		dbShards = flag.Int("db-shards", 64, "keydir shard count for the storage engine (rounded up to a power of two)")
+		dbSync   = flag.Bool("db-sync", false, "fsync every write (group-committed; durable but slower)")
 	)
 	flag.Parse()
+	dbOpts := storage.Options{Shards: *dbShards, SyncEveryPut: *dbSync}
 
 	logger := log.New(os.Stderr, "server: ", log.LstdFlags)
 
@@ -62,7 +68,7 @@ func main() {
 	}
 	analyzer := pairing.NewAnalyzer(catalog)
 
-	store, err := loadOrGenerate(logger, catalog, analyzer, *dbDir, *scale, *seed)
+	store, err := loadOrGenerate(logger, catalog, analyzer, *dbDir, dbOpts, *scale, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,9 +93,9 @@ func main() {
 // loadOrGenerate restores the corpus from a snapshot directory when one
 // exists there, generating (and saving, if dbDir is set) otherwise.
 func loadOrGenerate(logger *log.Logger, catalog *flavor.Catalog, analyzer *pairing.Analyzer,
-	dbDir string, scale float64, seed uint64) (*recipedb.Store, error) {
+	dbDir string, dbOpts storage.Options, scale float64, seed uint64) (*recipedb.Store, error) {
 	if dbDir != "" {
-		db, err := storage.Open(dbDir, storage.Options{})
+		db, err := storage.Open(dbDir, dbOpts)
 		if err != nil {
 			return nil, err
 		}

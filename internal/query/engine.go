@@ -21,17 +21,30 @@ var (
 	ErrNoScore = errors.New("query: score requires a pairing analyzer")
 )
 
-// Engine executes parsed queries against a recipe corpus.
+// Engine executes parsed queries against a recipe corpus. It is safe
+// for concurrent use; hot statements are served from an internal plan
+// cache keyed by normalized statement text.
 type Engine struct {
 	store    *recipedb.Store
 	catalog  *flavor.Catalog
 	analyzer *pairing.Analyzer // optional; enables the 'score' field
+	plans    *planCache
 }
 
 // NewEngine builds an engine. analyzer may be nil, in which case queries
 // touching the 'score' field fail with ErrNoScore.
 func NewEngine(store *recipedb.Store, analyzer *pairing.Analyzer) *Engine {
-	return &Engine{store: store, catalog: store.Catalog(), analyzer: analyzer}
+	return &Engine{
+		store:    store,
+		catalog:  store.Catalog(),
+		analyzer: analyzer,
+		plans:    newPlanCache(DefaultPlanCacheCapacity),
+	}
+}
+
+// CacheStats reports the plan cache's hit/miss counters.
+func (e *Engine) CacheStats() CacheStats {
+	return e.plans.stats()
 }
 
 // Result is a materialized query result.
@@ -56,13 +69,24 @@ func (r *Result) Table(title string) *report.Table {
 	return t
 }
 
-// Run parses and executes a CQL statement.
+// Run executes a CQL statement. A plan-cache hit skips both parsing
+// and binding; misses plan from scratch and populate the cache.
+// Statements that fail to parse or bind are never cached.
 func (e *Engine) Run(input string) (*Result, error) {
+	key := normalizeStatement(input)
+	if p, ok := e.plans.get(key); ok {
+		return e.exec(p.q, p.c)
+	}
 	q, err := Parse(input)
 	if err != nil {
 		return nil, err
 	}
-	return e.Exec(q)
+	c, err := e.bind(q)
+	if err != nil {
+		return nil, err
+	}
+	e.plans.put(&cachedPlan{key: key, q: q, c: c})
+	return e.exec(q, c)
 }
 
 // compiledExpr is an expression with has()/category() arguments bound to
@@ -384,12 +408,19 @@ func expandItems(items []SelectItem) (out []SelectItem, hasAgg, hasPlain bool, e
 	return out, hasAgg, hasPlain, nil
 }
 
-// Exec executes a parsed query.
+// Exec executes a parsed query, binding it first. Callers holding a
+// statement string should prefer Run, which caches the bound plan.
 func (e *Engine) Exec(q *Query) (*Result, error) {
 	c, err := e.bind(q)
 	if err != nil {
 		return nil, err
 	}
+	return e.exec(q, c)
+}
+
+// exec executes a bound plan. q and c are treated as immutable, so
+// cached plans execute concurrently without copying.
+func (e *Engine) exec(q *Query, c *compiledExpr) (*Result, error) {
 	items, hasAgg, hasPlain, err := expandItems(q.Items)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,172 @@
+package query
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestPlanCacheHitsAndMisses(t *testing.T) {
+	f := newFixture(t)
+	stmt := "SELECT name FROM recipes WHERE region = 'ITA' ORDER BY name LIMIT 5"
+
+	first := f.mustRun(t, stmt)
+	cs := f.engine.CacheStats()
+	if cs.Hits != 0 || cs.Misses != 1 || cs.Entries != 1 {
+		t.Fatalf("after first run: %+v", cs)
+	}
+	second := f.mustRun(t, stmt)
+	cs = f.engine.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Fatalf("after second run: %+v", cs)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached result differs:\nfirst  %+v\nsecond %+v", first, second)
+	}
+}
+
+func TestPlanCacheNormalizesWhitespace(t *testing.T) {
+	f := newFixture(t)
+	f.mustRun(t, "SELECT count(*) FROM recipes")
+	f.mustRun(t, "  SELECT   count(*)\n\tFROM  recipes  ")
+	cs := f.engine.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 || cs.Entries != 1 {
+		t.Errorf("reformatted statement missed the cache: %+v", cs)
+	}
+}
+
+func TestNormalizeStatementPreservesLiterals(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT  name\tFROM recipes", "SELECT name FROM recipes"},
+		{"  SELECT 1  ", "SELECT 1"},
+		{"WHERE name = 'a  b'", "WHERE name = 'a  b'"},
+		{"WHERE name = 'a  b'  AND  size > 1", "WHERE name = 'a  b' AND size > 1"},
+		{`WHERE name = "x	y"`, `WHERE name = "x	y"`},
+		{"WHERE name = 'it''s  ok'", "WHERE name = 'it''s  ok'"},
+		{"WHERE name = 'unterminated  ", "WHERE name = 'unterminated  "},
+	}
+	for _, c := range cases {
+		if got := normalizeStatement(c.in); got != c.want {
+			t.Errorf("normalizeStatement(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestPlanCacheLiteralWhitespaceDistinct is the regression test for
+// whitespace inside string literals: statements differing only there
+// must not share a cached plan.
+func TestPlanCacheLiteralWhitespaceDistinct(t *testing.T) {
+	f := newFixture(t)
+	a := f.mustRun(t, "SELECT count(*) FROM recipes WHERE name = 'miso soup'")
+	b := f.mustRun(t, "SELECT count(*) FROM recipes WHERE name = 'miso  soup'")
+	cs := f.engine.CacheStats()
+	if cs.Entries != 2 || cs.Misses != 2 || cs.Hits != 0 {
+		t.Fatalf("literal-whitespace statements shared a plan: %+v", cs)
+	}
+	if a.Rows[0][0].String() == b.Rows[0][0].String() {
+		t.Errorf("'miso soup' and 'miso  soup' returned the same count %s; the second should match nothing",
+			b.Rows[0][0].String())
+	}
+}
+
+func TestPlanCachePreservesLiteralCase(t *testing.T) {
+	// Statement comparison is case-insensitive only for keywords; the
+	// cache key preserves literal case, so these are distinct entries
+	// (the engine's own string compare happens to fold case — the
+	// cache must not assume that).
+	f := newFixture(t)
+	f.mustRun(t, "SELECT count(*) FROM recipes WHERE name = 'miso soup'")
+	f.mustRun(t, "SELECT count(*) FROM recipes WHERE name = 'MISO SOUP'")
+	cs := f.engine.CacheStats()
+	if cs.Entries != 2 || cs.Misses != 2 {
+		t.Errorf("case-differing literals must cache separately: %+v", cs)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	f := newFixture(t)
+	f.engine.plans = newPlanCache(2)
+	stmts := []string{
+		"SELECT count(*) FROM recipes",
+		"SELECT name FROM recipes LIMIT 1",
+		"SELECT region FROM recipes LIMIT 1",
+	}
+	for _, s := range stmts {
+		f.mustRun(t, s)
+	}
+	cs := f.engine.CacheStats()
+	if cs.Entries != 2 || cs.Misses != 3 {
+		t.Fatalf("after filling past capacity: %+v", cs)
+	}
+	// Oldest statement was evicted: rerunning it misses again and
+	// evicts the next-oldest.
+	f.mustRun(t, stmts[0])
+	cs = f.engine.CacheStats()
+	if cs.Misses != 4 || cs.Hits != 0 {
+		t.Errorf("evicted statement should re-plan: %+v", cs)
+	}
+	// Most recent statement is still cached.
+	f.mustRun(t, stmts[2])
+	if cs = f.engine.CacheStats(); cs.Hits != 1 {
+		t.Errorf("recent statement should hit: %+v", cs)
+	}
+}
+
+func TestPlanCacheSkipsFailedStatements(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.engine.Run("SELEC oops"); err == nil {
+		t.Fatal("want parse error")
+	}
+	if _, err := f.engine.Run("SELECT name FROM recipes WHERE has('no-such-ingredient')"); !errors.Is(err, ErrSemantic) {
+		t.Fatalf("want semantic error, got %v", err)
+	}
+	cs := f.engine.CacheStats()
+	if cs.Entries != 0 {
+		t.Errorf("failed statements were cached: %+v", cs)
+	}
+	if cs.Misses != 2 {
+		t.Errorf("failed statements should count as misses: %+v", cs)
+	}
+}
+
+// TestPlanCacheConcurrent hammers one engine from many goroutines with
+// a mix of hot and cold statements; run under -race this proves the
+// cached plans are share-safe.
+func TestPlanCacheConcurrent(t *testing.T) {
+	f := newFixture(t)
+	stmts := []string{
+		"SELECT count(*) FROM recipes",
+		"SELECT name FROM recipes WHERE region = 'ITA' ORDER BY name",
+		"SELECT region, count(*) FROM recipes GROUP BY region",
+		"SELECT name FROM recipes WHERE has('garlic') LIMIT 3",
+	}
+	want := make([]*Result, len(stmts))
+	for i, s := range stmts {
+		want[i] = f.mustRun(t, s)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				idx := (g + i) % len(stmts)
+				res, err := f.engine.Run(stmts[idx])
+				if err != nil {
+					t.Errorf("Run(%q): %v", stmts[idx], err)
+					return
+				}
+				if !reflect.DeepEqual(res.Rows, want[idx].Rows) {
+					t.Errorf("Run(%q) rows diverged under concurrency", stmts[idx])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	cs := f.engine.CacheStats()
+	if cs.Hits < int64(8*50-len(stmts)) {
+		t.Errorf("expected hot statements to hit, got %+v", cs)
+	}
+}

@@ -150,12 +150,18 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 // --- handlers ---
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	cs := s.engine.CacheStats()
 	writeJSON(w, map[string]interface{}{
 		"status":      "ok",
 		"recipes":     s.cfg.Store.Len(),
 		"ingredients": s.catalog.Len(),
 		"molecules":   s.catalog.NumMolecules(),
 		"vocabulary":  s.index.Vocabulary(),
+		"queryCache": map[string]int64{
+			"hits":    cs.Hits,
+			"misses":  cs.Misses,
+			"entries": int64(cs.Entries),
+		},
 	})
 }
 

@@ -86,6 +86,32 @@ func TestHealth(t *testing.T) {
 	if body["recipes"].(float64) <= 0 || body["ingredients"].(float64) <= 0 {
 		t.Errorf("counts missing: %v", body)
 	}
+	qc, ok := body["queryCache"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("health lacks queryCache stats: %v", body)
+	}
+	for _, key := range []string{"hits", "misses", "entries"} {
+		if _, ok := qc[key]; !ok {
+			t.Errorf("queryCache missing %q: %v", key, qc)
+		}
+	}
+}
+
+// TestQueryCacheCounters checks the plan cache wired through the HTTP
+// layer: repeating one statement must raise the health hit counter.
+func TestQueryCacheCounters(t *testing.T) {
+	h := testHandler(t)
+	stmt := map[string]string{"q": "SELECT count(*) FROM recipes"}
+	for i := 0; i < 3; i++ {
+		if code, _ := do(t, h, "POST", "/api/query", stmt); code != http.StatusOK {
+			t.Fatalf("query status = %d", code)
+		}
+	}
+	_, body := do(t, h, "GET", "/api/health", nil)
+	qc := body["queryCache"].(map[string]interface{})
+	if hits := qc["hits"].(float64); hits < 2 {
+		t.Errorf("hits = %v after 3 identical queries, want >= 2", hits)
+	}
 }
 
 func TestRegionsList(t *testing.T) {

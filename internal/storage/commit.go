@@ -1,0 +1,327 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+)
+
+// Group commit. Writers frame their record (CRC and all) outside any
+// lock, join the pending commit group, and race for the commit token.
+// Whoever wins becomes the leader: it snapshots the pending group,
+// concatenates every framed record, appends them with one WriteAt and —
+// when SyncEveryPut is set — one Sync, then applies the key-directory
+// updates and wakes the whole group. Writers that arrive while a commit
+// is in flight pile into the next group, so fsync and syscall costs
+// amortize across concurrent callers while each call still returns only
+// after its record is durable to the configured level.
+
+// commitReq is one writer's record inside a commit group.
+type commitReq struct {
+	key    string
+	rec    record
+	framed []byte
+	// skip marks a redundant tombstone: the leader's serialized
+	// presence check found the key already absent, so nothing is
+	// logged and the delete is a successful no-op.
+	skip bool
+	// written marks that the record's bytes reached the segment file;
+	// only written records are applied to the key directory.
+	written bool
+	// Location assigned by the leader for logged records.
+	segID  uint64
+	off    int64
+	length int64
+}
+
+// commitGroup is a batch of requests committed by one leader.
+type commitGroup struct {
+	reqs []*commitReq
+	done chan struct{}
+	err  error
+}
+
+// framePool recycles record-framing buffers across writers.
+var framePool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+// logRecord frames rec and drives it through the group-commit protocol.
+func (s *Store) logRecord(key string, rec record) error {
+	bufp := framePool.Get().(*[]byte)
+	framed, err := appendRecord((*bufp)[:0], rec)
+	if err != nil {
+		framePool.Put(bufp)
+		return err
+	}
+	req := &commitReq{key: key, rec: rec, framed: framed}
+	err = s.submit(req)
+	*bufp = framed[:0]
+	framePool.Put(bufp)
+	return err
+}
+
+// submit drives req through group commit and waits until some leader
+// (possibly this goroutine) has committed the group containing it.
+func (s *Store) submit(req *commitReq) error {
+	select {
+	case s.commitTok <- struct{}{}:
+		// Leader fast path. When the previous commit saw concurrent
+		// writers, yield once so writers made runnable by that commit
+		// can join this batch — without this, small-GOMAXPROCS
+		// schedulers let one goroutine monopolize the token and every
+		// batch degenerates to a single record (a blocking fsync does
+		// not reliably hand the P to parked writers). The yield is
+		// adaptive because it is wasted latency when this writer is
+		// alone: a Gosched behind CPU-bound readers can stall for their
+		// whole scheduler quantum.
+		if s.grouping {
+			runtime.Gosched()
+		}
+		s.pendMu.Lock()
+		g := s.pending
+		s.pending = nil
+		if g == nil {
+			g = &commitGroup{} // solo commit: nobody to signal
+		}
+		g.reqs = append(g.reqs, req)
+		s.pendMu.Unlock()
+		s.grouping = len(g.reqs) > 1
+		g.err = s.commit(g)
+		if g.done != nil {
+			close(g.done)
+		}
+		<-s.commitTok
+		if req.skip {
+			return nil
+		}
+		return g.err
+	default:
+	}
+
+	// A commit is in flight: queue into the pending group, then wait —
+	// racing for the token in case the current leader's batch detached
+	// before our request joined.
+	s.pendMu.Lock()
+	if s.closed.Load() {
+		s.pendMu.Unlock()
+		return ErrClosed
+	}
+	g := s.pending
+	if g == nil {
+		g = &commitGroup{done: make(chan struct{})}
+		s.pending = g
+	}
+	g.reqs = append(g.reqs, req)
+	s.pendMu.Unlock()
+
+	select {
+	case s.commitTok <- struct{}{}:
+		// Leader: commit whatever group is pending now. That is usually
+		// our own; if another leader already took it, we help by
+		// committing the successor batch.
+		s.commitNext()
+		<-s.commitTok
+	case <-g.done:
+	}
+	<-g.done
+	if req.skip {
+		return nil
+	}
+	return g.err
+}
+
+// commitNext detaches the pending group and commits it. Caller holds
+// the commit token. Reaching this path at all means the token was
+// contended, so future leaders should pause for company.
+func (s *Store) commitNext() {
+	s.grouping = true
+	s.pendMu.Lock()
+	g := s.pending
+	s.pending = nil
+	s.pendMu.Unlock()
+	if g == nil {
+		return
+	}
+	g.err = s.commit(g)
+	close(g.done)
+}
+
+// commit appends one group to the log and applies it to the key
+// directory. Caller holds the commit token, so this is the only
+// goroutine mutating the active segment or shard maps.
+//
+// Failure semantics: a record whose bytes reached the segment file is
+// ALWAYS applied to the key directory, even when a later chunk, sync,
+// or rotation in the same batch fails — the in-memory directory must
+// mirror the log, or recovery would resurrect writes the runtime never
+// showed (and show deletes it reported as failed). Every caller in a
+// failed batch still receives the error: for the flushed prefix it
+// means "visible but durability unknown", the usual fsync-failure
+// contract of a write-ahead log.
+func (s *Store) commit(g *commitGroup) error {
+	err := s.appendGroup(g)
+	s.applyGroup(g)
+	return err
+}
+
+// appendGroup resolves redundant tombstones and appends the group's
+// records to the log, marking each request whose bytes were written.
+func (s *Store) appendGroup(g *commitGroup) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+
+	// Pass 1: resolve redundant tombstones against the serialized view:
+	// shard state plus the effect of earlier requests in this batch.
+	var effects map[string]bool // key -> present after the processed prefix
+	for i, req := range g.reqs {
+		if !req.rec.tombstone {
+			if effects != nil {
+				effects[req.key] = true
+			}
+			continue
+		}
+		if effects == nil {
+			effects = make(map[string]bool, len(g.reqs))
+			for _, p := range g.reqs[:i] {
+				effects[p.key] = true // only puts precede the first tombstone
+			}
+		}
+		present, tracked := effects[req.key]
+		if !tracked {
+			present = s.shardFor(req.key).has(req.key)
+		}
+		if !present {
+			req.skip = true
+			continue
+		}
+		effects[req.key] = false
+	}
+
+	// Pass 2: assign locations and append, one WriteAt per chunk. A
+	// chunk ends when the active segment fills (same rotate-after-write
+	// semantics as a serial append: a record never splits, the segment
+	// may overshoot by the final record).
+	order := make([]*commitReq, 0, len(g.reqs))
+	for _, req := range g.reqs {
+		if !req.skip {
+			order = append(order, req)
+		}
+	}
+	chunk := s.commitBuf[:0]
+	chunkStart := s.active.size
+	chunkFirst := 0 // index in order of the first record in the open chunk
+	synced := true  // becomes false once unsynced bytes are written
+	flush := func(upTo int) error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		if _, err := s.active.f.WriteAt(chunk, chunkStart); err != nil {
+			return fmt.Errorf("storage: appending batch: %w", err)
+		}
+		s.active.size = chunkStart + int64(len(chunk))
+		for _, r := range order[chunkFirst:upTo] {
+			r.written = true
+		}
+		chunkFirst = upTo
+		chunk = chunk[:0]
+		synced = false
+		return nil
+	}
+	for i, req := range order {
+		req.segID = s.active.id
+		req.off = chunkStart + int64(len(chunk))
+		req.length = int64(len(req.framed))
+		chunk = append(chunk, req.framed...)
+		if chunkStart+int64(len(chunk)) >= s.opts.MaxSegmentBytes {
+			if err := flush(i + 1); err != nil {
+				s.stashCommitBuf(chunk)
+				return err
+			}
+			if err := s.rotate(); err != nil { // syncs the sealed segment
+				s.stashCommitBuf(chunk)
+				return err
+			}
+			synced = true
+			chunkStart = 0
+		}
+	}
+	err := flush(len(order))
+	s.stashCommitBuf(chunk)
+	if err != nil {
+		return err
+	}
+	if s.opts.SyncEveryPut && !synced {
+		if err := s.active.f.Sync(); err != nil {
+			return fmt.Errorf("storage: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyGroup applies the written records' key-directory updates in log
+// order. Requests that never reached the file (skipped tombstones,
+// records after a failed flush) are left out.
+func (s *Store) applyGroup(g *commitGroup) {
+	for _, req := range g.reqs {
+		if req.skip || !req.written {
+			continue
+		}
+		sh := s.shardFor(req.key)
+		sh.mu.Lock()
+		if prev, ok := sh.m[req.key]; ok {
+			s.deadBytes.Add(prev.length)
+		}
+		if req.rec.tombstone {
+			delete(sh.m, req.key)
+			s.deadBytes.Add(req.length) // the tombstone itself is reclaimable
+		} else {
+			sh.m[req.key] = keyLoc{
+				segID:  req.segID,
+				offset: req.off,
+				length: req.length,
+				valLen: len(req.rec.value),
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// commitBufRetainBytes bounds the leader buffer kept across commits; a
+// burst of large concurrent values can grow one batch toward the
+// segment size, and pinning that forever would cost ~MaxSegmentBytes
+// of idle memory per store.
+const commitBufRetainBytes = 1 << 20
+
+// stashCommitBuf parks the leader's concatenation buffer for reuse,
+// dropping it when a burst grew it past the retain bound.
+func (s *Store) stashCommitBuf(chunk []byte) {
+	if cap(chunk) > commitBufRetainBytes {
+		s.commitBuf = nil
+		return
+	}
+	s.commitBuf = chunk[:0]
+}
+
+// rotate seals the active segment and starts a fresh one. Caller holds
+// the commit token (or is inside single-threaded Open).
+func (s *Store) rotate() error {
+	var next uint64 = 1
+	if s.active != nil {
+		next = s.active.id + 1
+		if err := s.active.f.Sync(); err != nil {
+			return fmt.Errorf("storage: syncing sealed segment: %w", err)
+		}
+	}
+	path := segmentPath(s.dir, next)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: creating segment: %w", err)
+	}
+	seg := &segment{id: next, path: path, f: f}
+	s.segMu.Lock()
+	s.segments[next] = seg
+	s.segMu.Unlock()
+	s.active = seg
+	return nil
+}

@@ -3,29 +3,61 @@ package storage
 import (
 	"fmt"
 	"os"
+	"sort"
 )
 
-// Compact rewrites all live records into fresh segments and deletes the
-// old files, reclaiming space held by superseded records and tombstones.
-// The store remains usable throughout; writes issued while compaction
-// holds the lock simply wait (compaction is a stop-the-world pass — the
-// corpus workload is build-once/read-many, so pause time is acceptable
-// and documented in the bench harness).
+// Compact rewrites all live records into fresh segments and retires the
+// old files, reclaiming space held by superseded records and
+// tombstones. It is a stop-the-world pass: the commit token freezes
+// writers and every shard write lock freezes readers for the duration
+// (the corpus workload is build-once/read-many, so pause time is
+// acceptable and documented in the bench harness). Live records are
+// copied in (segID, offset) order — one sequential sweep over the old
+// log. Reads that resolved a location before the freeze finish safely:
+// they hold a reference that keeps the retired file open until they
+// drain.
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.commitTok <- struct{}{}
+	defer func() { <-s.commitTok }()
+	if s.closed.Load() {
 		return ErrClosed
 	}
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range s.shards {
+			s.shards[i].mu.Unlock()
+		}
+	}()
 
-	oldSegments := s.segments
-	oldKeydir := s.keydir
+	// Collect the live set and order it for a sequential copy pass.
+	type liveRec struct {
+		key string
+		loc keyLoc
+	}
+	var live []liveRec
+	for i := range s.shards {
+		for k, loc := range s.shards[i].m {
+			live = append(live, liveRec{key: k, loc: loc})
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		a, b := live[i].loc, live[j].loc
+		if a.segID != b.segID {
+			return a.segID < b.segID
+		}
+		return a.offset < b.offset
+	})
 
 	// Stage new segments under temporary state so a failure mid-compact
 	// leaves the original files untouched.
 	next := s.active.id + 1
 	newSegments := make(map[uint64]*segment)
-	newKeydir := make(map[string]keyLoc, len(oldKeydir))
+	newMaps := make([]map[string]keyLoc, len(s.shards))
+	for i := range newMaps {
+		newMaps[i] = make(map[string]keyLoc, len(s.shards[i].m))
+	}
 
 	var cur *segment
 	newSegment := func() error {
@@ -50,20 +82,23 @@ func (s *Store) Compact() error {
 		return fail(err)
 	}
 
-	var buf []byte
-	for key, loc := range oldKeydir {
-		src := oldSegments[loc.segID]
-		raw := make([]byte, loc.length)
-		if _, err := src.f.ReadAt(raw, loc.offset); err != nil {
-			return fail(fmt.Errorf("storage: compact reading %q: %w", key, err))
+	for _, lr := range live {
+		src := s.segments[lr.loc.segID]
+		raw := make([]byte, lr.loc.length)
+		if _, err := src.f.ReadAt(raw, lr.loc.offset); err != nil {
+			return fail(fmt.Errorf("storage: compact reading %q: %w", lr.key, err))
 		}
-		buf = raw
 		off := cur.size
-		if _, err := cur.f.WriteAt(buf, off); err != nil {
-			return fail(fmt.Errorf("storage: compact writing %q: %w", key, err))
+		if _, err := cur.f.WriteAt(raw, off); err != nil {
+			return fail(fmt.Errorf("storage: compact writing %q: %w", lr.key, err))
 		}
-		cur.size += int64(len(buf))
-		newKeydir[key] = keyLoc{segID: cur.id, offset: off, length: loc.length, valLen: loc.valLen}
+		cur.size += int64(len(raw))
+		newMaps[s.shardIndex(lr.key)][lr.key] = keyLoc{
+			segID:  cur.id,
+			offset: off,
+			length: lr.loc.length,
+			valLen: lr.loc.valLen,
+		}
 		if cur.size >= s.opts.MaxSegmentBytes {
 			if err := cur.f.Sync(); err != nil {
 				return fail(fmt.Errorf("storage: compact sync: %w", err))
@@ -77,15 +112,21 @@ func (s *Store) Compact() error {
 		return fail(fmt.Errorf("storage: compact sync: %w", err))
 	}
 
-	// Commit: swap in the new state, then remove the old files.
+	// Commit: swap in the new state, then retire the old files (each is
+	// unlinked once its descriptor closes). Pinned readers keep retired
+	// descriptors alive until they release.
+	s.segMu.Lock()
+	oldSegments := s.segments
 	s.segments = newSegments
-	s.keydir = newKeydir
 	s.active = cur
-	s.deadBytes = 0
 	for _, seg := range oldSegments {
-		seg.f.Close()
-		os.Remove(seg.path)
+		seg.retire(true)
 	}
+	s.segMu.Unlock()
+	for i := range s.shards {
+		s.shards[i].m = newMaps[i]
+	}
+	s.deadBytes.Store(0)
 	return nil
 }
 

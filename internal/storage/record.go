@@ -3,8 +3,11 @@
 // publishes its datasets as an online database
 // (http://cosylab.iiitd.edu.in/culinarydb); this package is the durable
 // substrate behind our equivalent: append-only data segments with CRC32C
-// framing, an in-memory key directory, tail-truncation crash recovery and
-// background-free compaction, in the style of bitcask.
+// framing, a sharded in-memory key directory, group-commit batched
+// appends, parallel segment replay at Open, tail-truncation crash
+// recovery and background-free compaction, in the style of bitcask.
+// See README.md for the shard layout, the group-commit protocol and the
+// recovery ordering invariant.
 package storage
 
 import (
@@ -85,6 +88,44 @@ func appendRecord(buf []byte, rec record) ([]byte, error) {
 	buf = append(buf, rec.key...)
 	buf = append(buf, rec.value...)
 	return buf, nil
+}
+
+// decodeFramedValue validates one complete framed record in buf and
+// returns its value without copying (the value aliases buf, which the
+// caller owns). wantKey guards against keydir/log skew. This is the
+// allocation-free point-read path; streaming replay uses recordReader.
+func decodeFramedValue(buf []byte, wantKey string) ([]byte, error) {
+	if len(buf) < 7 { // checksum + flags + two varint bytes + 1-byte key
+		return nil, fmt.Errorf("%w: short record", ErrCorrupt)
+	}
+	want := binary.LittleEndian.Uint32(buf[:4])
+	if crc32.Checksum(buf[4:], castagnoli) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	flags := buf[4]
+	p := 5
+	keyLen, n := binary.Uvarint(buf[p:])
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad key length", ErrCorrupt)
+	}
+	p += n
+	valLen, n := binary.Uvarint(buf[p:])
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad value length", ErrCorrupt)
+	}
+	p += n
+	if keyLen == 0 || keyLen > MaxKeyLen || valLen > MaxValueLen ||
+		uint64(len(buf)-p) != keyLen+valLen {
+		return nil, fmt.Errorf("%w: lengths key=%d value=%d frame=%d", ErrCorrupt, keyLen, valLen, len(buf))
+	}
+	if flags&flagTombstone != 0 {
+		return nil, fmt.Errorf("%w: keydir points at a tombstone", ErrCorrupt)
+	}
+	key := buf[p : p+int(keyLen)]
+	if string(key) != wantKey {
+		return nil, fmt.Errorf("%w: keydir points at record for %q, want %q", ErrCorrupt, key, wantKey)
+	}
+	return buf[p+int(keyLen):], nil
 }
 
 // recordReader decodes consecutive records from a segment stream and

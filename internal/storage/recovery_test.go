@@ -1,0 +1,239 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// serialReplayState is the reference recovery: the pre-sharding
+// engine's record-by-record, segment-by-segment replay.
+type serialReplayState struct {
+	keydir map[string]keyLoc
+	dead   int64
+}
+
+// serialReplay rebuilds keydir state exactly the way the original
+// single-threaded Open did. It repairs a torn tail on the newest
+// segment as a side effect, just like Open.
+func serialReplay(t *testing.T, dir string) serialReplayState {
+	t.Helper()
+	ids, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := serialReplayState{keydir: make(map[string]keyLoc)}
+	for i, id := range ids {
+		last := i == len(ids)-1
+		_, err := scanSegment(segmentPath(dir, id), last, func(rec record, off, length int64) error {
+			key := string(rec.key)
+			if prev, ok := st.keydir[key]; ok {
+				st.dead += prev.length
+			}
+			if rec.tombstone {
+				delete(st.keydir, key)
+				st.dead += length
+				return nil
+			}
+			st.keydir[key] = keyLoc{segID: id, offset: off, length: length, valLen: len(rec.value)}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("serial replay of segment %d: %v", id, err)
+		}
+	}
+	return st
+}
+
+// gatherKeydir flattens a store's shard maps into one map for
+// comparison against the serial reference.
+func gatherKeydir(s *Store) map[string]keyLoc {
+	out := make(map[string]keyLoc)
+	for i := range s.shards {
+		for k, loc := range s.shards[i].m {
+			out[k] = loc
+		}
+	}
+	return out
+}
+
+// buildRecoveryFixture writes a multi-segment store with overwrites and
+// tombstones, then closes it.
+func buildRecoveryFixture(t *testing.T, dir string) {
+	t.Helper()
+	s, err := Open(dir, Options{MaxSegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := func(gen, i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + gen)}, 20+i%30)
+	}
+	for gen := 0; gen < 4; gen++ {
+		for i := 0; i < 40; i++ {
+			if err := s.Put(fmt.Sprintf("key%03d", i), val(gen, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Delete a sliding window; some keys get resurrected by the
+		// next generation, some stay dead.
+		for i := gen * 7; i < gen*7+5; i++ {
+			if err := s.Delete(fmt.Sprintf("key%03d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st := s.Stats(); st.Segments < 4 {
+		t.Fatalf("fixture built only %d segments, want >= 4", st.Segments)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelReplayMatchesSerial asserts that the concurrent Open
+// rebuilds keydir state byte-identical to the reference serial replay
+// on a multi-segment fixture with overwrites and tombstones.
+func TestParallelReplayMatchesSerial(t *testing.T) {
+	for _, tear := range []bool{false, true} {
+		name := "clean"
+		if tear {
+			name = "tornTail"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			buildRecoveryFixture(t, dir)
+			if tear {
+				ids, err := listSegments(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				path := segmentPath(dir, ids[len(ids)-1])
+				fi, err := os.Stat(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Truncate(path, fi.Size()-5); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			want := serialReplay(t, dir) // also repairs the torn tail
+
+			for _, workers := range []int{1, 2, 8} {
+				s, err := Open(dir, Options{ReplayWorkers: workers})
+				if err != nil {
+					t.Fatalf("Open(workers=%d): %v", workers, err)
+				}
+				got := gatherKeydir(s)
+				if len(got) != len(want.keydir) {
+					t.Errorf("workers=%d: %d keys, want %d", workers, len(got), len(want.keydir))
+				}
+				for k, wloc := range want.keydir {
+					if gloc, ok := got[k]; !ok || gloc != wloc {
+						t.Errorf("workers=%d: keydir[%q] = %+v (present=%v), want %+v", workers, k, gloc, ok, wloc)
+					}
+				}
+				for k := range got {
+					if _, ok := want.keydir[k]; !ok {
+						t.Errorf("workers=%d: extra key %q", workers, k)
+					}
+				}
+				if dead := s.deadBytes.Load(); dead != want.dead {
+					t.Errorf("workers=%d: deadBytes = %d, want %d", workers, dead, want.dead)
+				}
+				s.Close()
+			}
+		})
+	}
+}
+
+// TestReplayAcrossShardCounts verifies recovered contents are
+// independent of the shard count the store is reopened with.
+func TestReplayAcrossShardCounts(t *testing.T) {
+	dir := t.TempDir()
+	buildRecoveryFixture(t, dir)
+	want := serialReplay(t, dir)
+	for _, shards := range []int{1, 4, 64, 100} { // 100 rounds up to 128
+		s, err := Open(dir, Options{Shards: shards})
+		if err != nil {
+			t.Fatalf("Open(shards=%d): %v", shards, err)
+		}
+		if got := gatherKeydir(s); len(got) != len(want.keydir) {
+			t.Errorf("shards=%d: %d keys, want %d", shards, len(got), len(want.keydir))
+		}
+		if s.Len() != len(want.keydir) {
+			t.Errorf("shards=%d: Len = %d, want %d", shards, s.Len(), len(want.keydir))
+		}
+		for k, loc := range want.keydir {
+			v, err := s.Get(k)
+			if err != nil {
+				t.Fatalf("shards=%d: Get(%q): %v", shards, k, err)
+			}
+			if len(v) != loc.valLen {
+				t.Errorf("shards=%d: Get(%q) len = %d, want %d", shards, k, len(v), loc.valLen)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestDeleteSkipsRedundantTombstone is the regression test for the
+// delete TOCTOU: a second delete of an already-absent key must not log
+// a second tombstone.
+func TestDeleteSkipsRedundantTombstone(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := s.Stats()
+	sizeAfterFirst := s.active.size
+	for i := 0; i < 5; i++ {
+		if err := s.Delete("k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.DeadBytes != afterFirst.DeadBytes {
+		t.Errorf("redundant deletes grew DeadBytes: %d -> %d", afterFirst.DeadBytes, st.DeadBytes)
+	}
+	if s.active.size != sizeAfterFirst {
+		t.Errorf("redundant deletes appended bytes: %d -> %d", sizeAfterFirst, s.active.size)
+	}
+	s.Close()
+
+	// The log must contain exactly one tombstone for k.
+	tombstones := countTombstones(t, dir, "k")
+	if tombstones != 1 {
+		t.Errorf("log has %d tombstones for k, want 1", tombstones)
+	}
+}
+
+// countTombstones scans every segment counting tombstone records for
+// key.
+func countTombstones(t *testing.T, dir, key string) int {
+	t.Helper()
+	ids, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i, id := range ids {
+		_, err := scanSegment(segmentPath(dir, id), i == len(ids)-1, func(rec record, _, _ int64) error {
+			if rec.tombstone && string(rec.key) == key {
+				n++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Parallel segment replay. Open scans every segment file concurrently:
+// each worker folds its segment into a per-segment map holding the last
+// record seen for each key (records within one file are already in
+// offset order). The per-segment maps then merge serially in ascending
+// segment-ID order, so the per-key winner is exactly the record with
+// the highest (segID, offset) — byte-identical keydir state to a
+// serial, record-by-record replay of the whole log. Dead bytes fall out
+// of the same invariant: every scanned byte is either live in the final
+// directory or reclaimable, so dead = totalScanned - live.
+
+// segEntry is the last record for one key within one segment.
+type segEntry struct {
+	off       int64
+	length    int64
+	valLen    int
+	tombstone bool
+}
+
+// segScan is one worker's result for one segment.
+type segScan struct {
+	entries map[string]segEntry
+	size    int64 // post-repair byte size == sum of framed record lengths
+	err     error
+}
+
+// loadSegments rebuilds the key directory from the segment files,
+// scanning up to opts.ReplayWorkers files in parallel. Only Open calls
+// this, so shard maps are written without locks.
+func (s *Store) loadSegments(ids []uint64) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	scans := make([]segScan, len(ids))
+	workers := s.opts.ReplayWorkers
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				scans[i] = scanOneSegment(segmentPath(s.dir, ids[i]), i == len(ids)-1)
+			}
+		}()
+	}
+	for i := range ids {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	// Merge in ascending segment order; within a segment the map holds
+	// only the newest record per key, so assignment order equals log
+	// order and later segments override earlier ones.
+	var total int64
+	for i, id := range ids {
+		sc := &scans[i]
+		if sc.err != nil {
+			return sc.err
+		}
+		path := segmentPath(s.dir, id)
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			return fmt.Errorf("storage: opening segment: %w", err)
+		}
+		seg := &segment{id: id, path: path, f: f, size: sc.size}
+		s.segments[id] = seg
+		if i == len(ids)-1 {
+			s.active = seg
+		}
+		total += sc.size
+		for k, e := range sc.entries {
+			sh := s.shardFor(k)
+			if e.tombstone {
+				delete(sh.m, k)
+				continue
+			}
+			sh.m[k] = keyLoc{segID: id, offset: e.off, length: e.length, valLen: e.valLen}
+		}
+	}
+	var live int64
+	for i := range s.shards {
+		for _, loc := range s.shards[i].m {
+			live += loc.length
+		}
+	}
+	s.deadBytes.Store(total - live)
+	return nil
+}
+
+// scanOneSegment folds one segment file into its per-key last-record
+// map. repairTail truncates a torn final record (newest segment only).
+func scanOneSegment(path string, repairTail bool) segScan {
+	entries := make(map[string]segEntry)
+	size, err := scanSegment(path, repairTail, func(rec record, off, length int64) error {
+		entries[string(rec.key)] = segEntry{
+			off:       off,
+			length:    length,
+			valLen:    len(rec.value),
+			tombstone: rec.tombstone,
+		}
+		return nil
+	})
+	return segScan{entries: entries, size: size, err: err}
+}

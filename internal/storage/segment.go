@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // segmentExt is the on-disk suffix of data segments. Segment file names
@@ -16,11 +18,62 @@ import (
 const segmentExt = ".seg"
 
 // segment is one immutable (or, for the newest, append-only) data file.
+// Readers pin a segment with acquire/release so compaction and Close
+// can retire it without yanking the descriptor out from under an
+// in-flight ReadAt: the file closes when the last reference drains.
 type segment struct {
 	id   uint64
 	path string
-	f    *os.File // opened read-only for sealed segments, read-write for active
+	f    *os.File // opened read-write; sealed segments are only read
 	size int64
+
+	refs atomic.Int32
+	// removeOnClose is written before the retired store and read only
+	// after observing retired, so the atomic orders it.
+	removeOnClose bool
+	retired       atomic.Bool
+	closeOnce     sync.Once
+}
+
+// acquire pins the segment. Callers must hold segMu (either mode) so a
+// concurrent retire — which requires segMu exclusively — cannot
+// interleave.
+func (g *segment) acquire() { g.refs.Add(1) }
+
+// release unpins the segment, closing (and possibly removing) the file
+// if it was retired and this was the last reader.
+func (g *segment) release() {
+	if g.refs.Add(-1) == 0 && g.retired.Load() {
+		g.closeFile() // error unreportable from a reader; see retire
+	}
+}
+
+// retire marks the segment dead, reporting the close error when the
+// file closes synchronously (no pinned readers). Caller holds segMu
+// exclusively, so no new acquires can race; otherwise the file closes
+// when the last pinned reader releases. With removeFile, the file is
+// also unlinked at close time — after the descriptor is closed, so
+// platforms that refuse to unlink open files (Windows) work too. A
+// file that survives a crash in this window replays harmlessly:
+// compaction output has higher segment IDs and overrides it.
+func (g *segment) retire(removeFile bool) error {
+	g.removeOnClose = removeFile
+	g.retired.Store(true)
+	if g.refs.Load() == 0 {
+		return g.closeFile()
+	}
+	return nil
+}
+
+func (g *segment) closeFile() error {
+	var err error
+	g.closeOnce.Do(func() {
+		err = g.f.Close()
+		if g.removeOnClose {
+			os.Remove(g.path)
+		}
+	})
+	return err
 }
 
 // segmentPath renders the file path for a segment ID.

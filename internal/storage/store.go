@@ -1,12 +1,13 @@
 package storage
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Store errors.
@@ -23,12 +24,21 @@ type Options struct {
 	// MaxSegmentBytes rotates the active segment once it exceeds this
 	// size. Defaults to 8 MiB.
 	MaxSegmentBytes int64
-	// SyncEveryPut fsyncs after each Put/Delete. Durable but slow;
-	// defaults to false (sync on Close/Sync only).
+	// SyncEveryPut guarantees that when Put/Delete returns, the record
+	// is fsynced. Writes that arrive concurrently share one fsync (group
+	// commit), so the durability contract costs one Sync per batch, not
+	// per call. Defaults to false (sync on rotation/Close/Sync only).
 	SyncEveryPut bool
 	// CompactionFloorBytes is the minimum dead-byte volume before
 	// NeedsCompaction reports true. Defaults to 1 MiB.
 	CompactionFloorBytes int64
+	// Shards is the number of key-directory partitions, rounded up to a
+	// power of two. Readers and writers touching keys on different
+	// shards never contend. Defaults to 64.
+	Shards int
+	// ReplayWorkers bounds the goroutines scanning segments in parallel
+	// during Open. 1 forces serial replay; defaults to GOMAXPROCS.
+	ReplayWorkers int
 }
 
 func (o *Options) applyDefaults() {
@@ -38,6 +48,22 @@ func (o *Options) applyDefaults() {
 	if o.CompactionFloorBytes <= 0 {
 		o.CompactionFloorBytes = 1 << 20
 	}
+	if o.Shards <= 0 {
+		o.Shards = 64
+	}
+	o.Shards = nextPow2(o.Shards)
+	if o.ReplayWorkers <= 0 {
+		o.ReplayWorkers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// nextPow2 rounds n up to the nearest power of two.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // keyLoc locates the live value of a key.
@@ -48,250 +74,390 @@ type keyLoc struct {
 	valLen int   // decoded value length (cheap Len/stat answers)
 }
 
+// shard is one partition of the key directory. Keys are assigned by
+// hash, so a shard's mutex only ever serializes operations on its own
+// key subset.
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]keyLoc
+}
+
+// has reports key presence under the shard read lock.
+func (sh *shard) has(key string) bool {
+	sh.mu.RLock()
+	_, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return ok
+}
+
 // Store is the log-structured key-value store. All methods are safe for
-// concurrent use; writes serialize on an internal mutex while reads only
-// take it briefly to resolve locations.
+// concurrent use. The key directory is partitioned into power-of-two
+// shards, each with its own RWMutex, so readers and writers on
+// different keys proceed in parallel; appends to the shared log are
+// batched by a group-commit protocol (see commit.go).
 type Store struct {
-	mu     sync.RWMutex
-	dir    string
-	opts   Options
-	keydir map[string]keyLoc
-	// segments maps sealed and active segment IDs to open handles.
+	dir  string
+	opts Options
+
+	shards []shard
+	mask   uint32
+
+	closed atomic.Bool
+	// deadBytes estimates space held by superseded records and
+	// tombstones, the compaction trigger statistic.
+	deadBytes atomic.Int64
+
+	// segMu guards the segments map. The active segment pointer and its
+	// size are mutated only while holding the commit token.
+	segMu    sync.RWMutex
 	segments map[uint64]*segment
 	active   *segment
-	closed   bool
-	// deadBytes estimates space held by superseded records, the
-	// compaction trigger statistic.
-	deadBytes int64
-	writeBuf  []byte
+
+	// Group-commit state: commitTok is a one-slot token channel whose
+	// holder is the only goroutine appending to the log; pending is the
+	// batch the next leader will commit.
+	commitTok chan struct{}
+	pendMu    sync.Mutex
+	pending   *commitGroup
+	commitBuf []byte // leader-owned concatenation buffer
+	// grouping records whether the last commit observed concurrent
+	// writers; leaders then yield once before detaching the batch so
+	// co-writers can join. Leader-only state (guarded by the token).
+	grouping bool
+}
+
+// shardFor hashes key onto its directory partition.
+func (s *Store) shardFor(key string) *shard {
+	return &s.shards[s.shardIndex(key)]
+}
+
+// shardIndex returns the shard slot for key (FNV-1a over the bytes).
+func (s *Store) shardIndex(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h & s.mask)
+}
+
+// rlockAll takes every shard read lock in index order, giving callers a
+// consistent global view of the key directory (writers hold one shard
+// at a time; compaction takes the same locks in the same order).
+func (s *Store) rlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+}
+
+func (s *Store) runlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.RUnlock()
+	}
 }
 
 // Open opens (creating if necessary) a store rooted at dir, replaying
-// all segments to rebuild the key directory. A torn tail on the newest
-// segment is truncated away; corruption anywhere else fails Open.
+// all segments to rebuild the key directory. Sealed segments are
+// scanned in parallel (see replay.go); recovered state is identical to
+// a serial, record-by-record replay because per-key winners merge in
+// (segID, offset) order. A torn tail on the newest segment is truncated
+// away; corruption anywhere else fails Open.
 func Open(dir string, opts Options) (*Store, error) {
 	opts.applyDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: creating dir: %w", err)
 	}
 	s := &Store{
-		dir:      dir,
-		opts:     opts,
-		keydir:   make(map[string]keyLoc),
-		segments: make(map[uint64]*segment),
+		dir:       dir,
+		opts:      opts,
+		shards:    make([]shard, opts.Shards),
+		mask:      uint32(opts.Shards - 1),
+		segments:  make(map[uint64]*segment),
+		commitTok: make(chan struct{}, 1),
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]keyLoc)
 	}
 	ids, err := listSegments(dir)
 	if err != nil {
 		return nil, err
 	}
-	for i, id := range ids {
-		last := i == len(ids)-1
-		path := segmentPath(dir, id)
-		size, err := scanSegment(path, last, func(rec record, off, length int64) error {
-			s.replay(rec, id, off, length)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		f, err := os.OpenFile(path, os.O_RDWR, 0)
-		if err != nil {
-			return nil, fmt.Errorf("storage: opening segment: %w", err)
-		}
-		seg := &segment{id: id, path: path, f: f, size: size}
-		s.segments[id] = seg
-		if last {
-			s.active = seg
-		}
+	if err := s.loadSegments(ids); err != nil {
+		return nil, err
 	}
 	if s.active == nil {
-		if err := s.rotateLocked(); err != nil {
+		if err := s.rotate(); err != nil {
 			return nil, err
 		}
 	}
 	return s, nil
 }
 
-// replay applies one recovered record to the key directory.
-func (s *Store) replay(rec record, segID uint64, off, length int64) {
-	key := string(rec.key)
-	if prev, ok := s.keydir[key]; ok {
-		s.deadBytes += prev.length
-	}
-	if rec.tombstone {
-		delete(s.keydir, key)
-		s.deadBytes += length // the tombstone itself is reclaimable
-		return
-	}
-	s.keydir[key] = keyLoc{segID: segID, offset: off, length: length, valLen: len(rec.value)}
-}
-
-// rotateLocked seals the active segment and starts a fresh one. Caller
-// holds mu.
-func (s *Store) rotateLocked() error {
-	var next uint64 = 1
-	if s.active != nil {
-		next = s.active.id + 1
-		if err := s.active.f.Sync(); err != nil {
-			return fmt.Errorf("storage: syncing sealed segment: %w", err)
-		}
-	}
-	path := segmentPath(s.dir, next)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
-	if err != nil {
-		return fmt.Errorf("storage: creating segment: %w", err)
-	}
-	seg := &segment{id: next, path: path, f: f}
-	s.segments[next] = seg
-	s.active = seg
-	return nil
-}
-
 // Put stores value under key, overwriting any previous value.
 func (s *Store) Put(key string, value []byte) error {
-	return s.append(record{key: []byte(key), value: value})
+	return s.logRecord(key, record{key: []byte(key), value: value})
 }
 
-// Delete removes key. Deleting an absent key is a no-op (a tombstone is
-// still logged so the deletion survives restarts during compaction).
+// Delete removes key. Deleting an absent key is a no-op. The
+// authoritative presence check happens on the serialized commit path,
+// so racing deletes of the same key log exactly one tombstone (the
+// tombstone survives restarts during compaction).
 func (s *Store) Delete(key string) error {
-	s.mu.RLock()
-	_, present := s.keydir[key]
-	closed := s.closed
-	s.mu.RUnlock()
-	if closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	if !present {
+	if !s.shardFor(key).has(key) {
+		// Fast path: already absent. Racy, but the commit leader
+		// re-checks under its serialized view before logging.
 		return nil
 	}
-	return s.append(record{key: []byte(key), tombstone: true})
-}
-
-// append frames and writes one record, updating the key directory.
-func (s *Store) append(rec record) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	buf, err := appendRecord(s.writeBuf[:0], rec)
-	if err != nil {
-		return err
-	}
-	s.writeBuf = buf[:0]
-	off := s.active.size
-	if _, err := s.active.f.WriteAt(buf, off); err != nil {
-		return fmt.Errorf("storage: appending record: %w", err)
-	}
-	s.active.size += int64(len(buf))
-	if s.opts.SyncEveryPut {
-		if err := s.active.f.Sync(); err != nil {
-			return fmt.Errorf("storage: fsync: %w", err)
-		}
-	}
-	s.replay(rec, s.active.id, off, int64(len(buf)))
-	if s.active.size >= s.opts.MaxSegmentBytes {
-		return s.rotateLocked()
-	}
-	return nil
+	return s.logRecord(key, record{key: []byte(key), tombstone: true})
 }
 
 // Get returns the value stored under key.
 func (s *Store) Get(key string) ([]byte, error) {
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	loc, ok := s.keydir[key]
-	if !ok {
-		s.mu.RUnlock()
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	sh := s.shardFor(key)
+	for {
+		sh.mu.RLock()
+		loc, ok := sh.m[key]
+		sh.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		s.segMu.RLock()
+		seg := s.segments[loc.segID]
+		if seg != nil {
+			seg.acquire()
+		}
+		s.segMu.RUnlock()
+		if seg == nil {
+			// Compaction retired the segment between the two lookups;
+			// the refreshed keydir entry points at the rewritten copy.
+			if s.closed.Load() {
+				return nil, ErrClosed
+			}
+			continue
+		}
+		buf := make([]byte, loc.length)
+		_, err := seg.f.ReadAt(buf, loc.offset)
+		seg.release()
+		if err != nil {
+			return nil, fmt.Errorf("storage: reading %q: %w", key, err)
+		}
+		val, err := decodeFramedValue(buf, key)
+		if err != nil {
+			return nil, fmt.Errorf("storage: decoding %q: %w", key, err)
+		}
+		return val, nil
 	}
-	seg := s.segments[loc.segID]
-	s.mu.RUnlock()
-
-	buf := make([]byte, loc.length)
-	if _, err := seg.f.ReadAt(buf, loc.offset); err != nil {
-		return nil, fmt.Errorf("storage: reading %q: %w", key, err)
-	}
-	rr := newRecordReader(bytes.NewReader(buf))
-	rec, err := rr.next()
-	if err != nil {
-		return nil, fmt.Errorf("storage: decoding %q: %w", key, err)
-	}
-	if string(rec.key) != key {
-		return nil, fmt.Errorf("%w: keydir points at record for %q, want %q", ErrCorrupt, rec.key, key)
-	}
-	return rec.value, nil
 }
 
 // Has reports whether key is present.
 func (s *Store) Has(key string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.keydir[key]
-	return ok
+	return s.shardFor(key).has(key)
 }
 
 // Len returns the number of live keys.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.keydir)
+	s.rlockAll()
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].m)
+	}
+	s.runlockAll()
+	return n
 }
 
 // Keys returns all live keys, sorted. Intended for tools and tests; the
-// result is O(n) fresh memory.
+// result is O(n) fresh memory taken from one consistent view.
 func (s *Store) Keys() []string {
-	s.mu.RLock()
-	out := make([]string, 0, len(s.keydir))
-	for k := range s.keydir {
-		out = append(out, k)
+	s.rlockAll()
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].m)
 	}
-	s.mu.RUnlock()
+	out := make([]string, 0, n)
+	for i := range s.shards {
+		for k := range s.shards[i].m {
+			out = append(out, k)
+		}
+	}
+	s.runlockAll()
 	sort.Strings(out)
 	return out
 }
 
 // KeysWithPrefix returns live keys beginning with prefix, sorted.
 func (s *Store) KeysWithPrefix(prefix string) []string {
-	s.mu.RLock()
+	s.rlockAll()
 	var out []string
-	for k := range s.keydir {
-		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
-			out = append(out, k)
+	for i := range s.shards {
+		for k := range s.shards[i].m {
+			if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+				out = append(out, k)
+			}
 		}
 	}
-	s.mu.RUnlock()
+	s.runlockAll()
 	sort.Strings(out)
 	return out
 }
 
+// foldEntry pairs one snapshot key with its location and, later, its
+// decoded value.
+type foldEntry struct {
+	key string
+	loc keyLoc
+	val []byte
+}
+
 // Fold calls fn for every live key/value pair in sorted key order,
-// stopping at the first error.
+// stopping at the first error. It snapshots the key directory once and
+// pins the referenced segments, so the fold sees a consistent view
+// through concurrent writes, rotation and compaction. Values are read
+// in bounded batches (~foldBatchBytes of live data at a time): within
+// a batch, records are fetched in (segID, offset) order with runs of
+// nearby records coalesced into single chunked reads, so a fold costs
+// O(bytes/chunk) syscalls instead of one per key while holding only
+// one batch of values in memory.
 func (s *Store) Fold(fn func(key string, value []byte) error) error {
-	for _, k := range s.Keys() {
-		v, err := s.Get(k)
-		if err != nil {
-			if errors.Is(err, ErrNotFound) {
-				continue // deleted between Keys and Get
-			}
+	if s.closed.Load() {
+		return ErrClosed
+	}
+
+	// Snapshot locations and pin segments under one consistent view, so
+	// concurrent writes, rotation and compaction cannot disturb the
+	// records the fold will read.
+	s.rlockAll()
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].m)
+	}
+	entries := make([]foldEntry, 0, n)
+	for i := range s.shards {
+		for k, loc := range s.shards[i].m {
+			entries = append(entries, foldEntry{key: k, loc: loc})
+		}
+	}
+	s.segMu.RLock()
+	pinned := make([]*segment, 0, len(s.segments))
+	segByID := make(map[uint64]*segment, len(s.segments))
+	for id, seg := range s.segments {
+		seg.acquire()
+		pinned = append(pinned, seg)
+		segByID[id] = seg
+	}
+	s.segMu.RUnlock()
+	s.runlockAll()
+	defer func() {
+		for _, seg := range pinned {
+			seg.release()
+		}
+	}()
+
+	// Deliver in sorted key order, reading one bounded batch of values
+	// ahead. Each batch is fetched in (segID, offset) order with nearby
+	// records coalesced into chunked reads, so memory stays
+	// O(foldBatchBytes + one value) instead of the whole live set.
+	// Decoded values alias their chunk (decodeFramedValue copies
+	// nothing); a batch's chunks become collectable once the next batch
+	// starts.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	for start := 0; start < len(entries); {
+		end := start
+		var batchBytes int64
+		for end < len(entries) && (end == start || batchBytes+entries[end].loc.length <= foldBatchBytes) {
+			batchBytes += entries[end].loc.length
+			end++
+		}
+		if err := s.readFoldBatch(entries[start:end], segByID); err != nil {
 			return err
 		}
-		if err := fn(k, v); err != nil {
-			return err
+		for i := start; i < end; i++ {
+			if err := fn(entries[i].key, entries[i].val); err != nil {
+				return err
+			}
+			entries[i].val = nil
+		}
+		start = end
+	}
+	return nil
+}
+
+// readFoldBatch fills val for one batch of snapshot entries, fetching
+// records in (segID, offset) order and coalescing runs of nearby
+// records into single chunked reads.
+func (s *Store) readFoldBatch(batch []foldEntry, segByID map[uint64]*segment) error {
+	byOffset := make([]*foldEntry, len(batch))
+	for i := range batch {
+		byOffset[i] = &batch[i]
+	}
+	sort.Slice(byOffset, func(i, j int) bool {
+		a, b := byOffset[i].loc, byOffset[j].loc
+		if a.segID != b.segID {
+			return a.segID < b.segID
+		}
+		return a.offset < b.offset
+	})
+	for i := 0; i < len(byOffset); {
+		first := byOffset[i].loc
+		seg := segByID[first.segID]
+		if seg == nil {
+			// Compaction cannot outrun the snapshot (it needs the shard
+			// write locks the fold held), so a vanished segment means
+			// the store was closed underneath us.
+			if s.closed.Load() {
+				return ErrClosed
+			}
+			return fmt.Errorf("%w: fold snapshot references missing segment %d", ErrCorrupt, first.segID)
+		}
+		start, end := first.offset, first.offset+first.length
+		j := i + 1
+		for j < len(byOffset) {
+			next := byOffset[j].loc
+			if next.segID != first.segID || next.offset+next.length-start > foldChunkBytes {
+				break
+			}
+			end = next.offset + next.length
+			j++
+		}
+		chunk := make([]byte, end-start)
+		if _, err := seg.f.ReadAt(chunk, start); err != nil {
+			return fmt.Errorf("storage: fold reading segment %d: %w", first.segID, err)
+		}
+		for ; i < j; i++ {
+			e := byOffset[i]
+			rel := e.loc.offset - start
+			// Full slice expression: cap the value at its record, so a
+			// callback appending to it reallocates instead of clobbering
+			// the chunk bytes backing later records.
+			val, err := decodeFramedValue(chunk[rel:rel+e.loc.length:rel+e.loc.length], e.key)
+			if err != nil {
+				return fmt.Errorf("storage: decoding %q: %w", e.key, err)
+			}
+			e.val = val
 		}
 	}
 	return nil
 }
 
-// Sync flushes the active segment to stable storage.
+// Fold I/O tuning. foldBatchBytes bounds the live value bytes resident
+// per delivery batch; foldChunkBytes bounds one coalesced read (gaps
+// from dead records inside the span are read and skipped, so it also
+// bounds wasted I/O per chunk).
+const (
+	foldBatchBytes = 8 << 20
+	foldChunkBytes = 1 << 20
+)
+
+// Sync flushes the active segment to stable storage, ordered after
+// every previously completed write.
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.commitTok <- struct{}{}
+	defer func() { <-s.commitTok }()
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	return s.active.f.Sync()
@@ -303,6 +469,8 @@ type Stats struct {
 	Keys int
 	// Segments is the number of data files.
 	Segments int
+	// Shards is the number of key-directory partitions.
+	Shards int
 	// LiveBytes is the total framed size of live records.
 	LiveBytes int64
 	// DeadBytes estimates reclaimable space (superseded records and
@@ -310,40 +478,67 @@ type Stats struct {
 	DeadBytes int64
 }
 
-// Stats returns current statistics.
+// Stats returns statistics from one consistent view of the directory.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlockAll()
 	var live int64
-	for _, loc := range s.keydir {
-		live += loc.length
+	keys := 0
+	for i := range s.shards {
+		keys += len(s.shards[i].m)
+		for _, loc := range s.shards[i].m {
+			live += loc.length
+		}
 	}
+	s.segMu.RLock()
+	nseg := len(s.segments)
+	s.segMu.RUnlock()
+	dead := s.deadBytes.Load()
+	s.runlockAll()
 	return Stats{
-		Keys:      len(s.keydir),
-		Segments:  len(s.segments),
+		Keys:      keys,
+		Segments:  nseg,
+		Shards:    len(s.shards),
 		LiveBytes: live,
-		DeadBytes: s.deadBytes,
+		DeadBytes: dead,
 	}
 }
 
-// Close syncs and closes every segment. The store is unusable afterward.
+// Close syncs and closes every segment. The store is unusable
+// afterward; in-flight writes that could not be committed fail with
+// ErrClosed. Segments still pinned by in-flight reads close once those
+// reads release them.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.commitTok <- struct{}{}
+	defer func() { <-s.commitTok }()
+	if s.closed.Load() {
 		return nil
 	}
-	s.closed = true
+	s.closed.Store(true)
+
+	// Fail the batch writers queued behind us; submit rejects newcomers
+	// once the closed flag is up.
+	s.pendMu.Lock()
+	g := s.pending
+	s.pending = nil
+	s.pendMu.Unlock()
+	if g != nil {
+		g.err = ErrClosed
+		close(g.done)
+	}
+
 	var firstErr error
 	if s.active != nil {
 		if err := s.active.f.Sync(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	s.segMu.Lock()
 	for _, seg := range s.segments {
-		if err := seg.f.Close(); err != nil && firstErr == nil {
+		if err := seg.retire(false); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	s.segments = map[uint64]*segment{}
+	s.segMu.Unlock()
 	return firstErr
 }
