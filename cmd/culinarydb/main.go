@@ -6,6 +6,7 @@
 //	culinarydb -out corpus.csv [-format csv|json] [-scale f] [-seed s]
 //	culinarydb -stats [-region CODE]
 //	culinarydb -savedb DIR [-db-shards n] [-db-sync]   # persist a storage-engine snapshot
+//	           [-db-compact-interval d] [-db-compact-garbage-ratio f]
 //	culinarydb -dbinfo DIR                             # inspect a snapshot directory
 package main
 
@@ -26,16 +27,18 @@ import (
 
 func main() {
 	var (
-		out      = flag.String("out", "", "output file for corpus export ('-' for stdout)")
-		format   = flag.String("format", "csv", "export format: csv or json")
-		scale    = flag.Float64("scale", 1.0, "corpus scale factor")
-		seed     = flag.Uint64("seed", 20180416, "master seed")
-		stats    = flag.Bool("stats", false, "print per-region statistics instead of exporting")
-		region   = flag.String("region", "", "restrict -stats to one region code")
-		savedb   = flag.String("savedb", "", "persist the corpus into a storage snapshot directory")
-		dbinfo   = flag.String("dbinfo", "", "print statistics of a snapshot directory and exit")
-		dbShards = flag.Int("db-shards", 64, "keydir shard count for the storage engine (rounded up to a power of two)")
-		dbSync   = flag.Bool("db-sync", false, "fsync every write while saving (group-committed)")
+		out       = flag.String("out", "", "output file for corpus export ('-' for stdout)")
+		format    = flag.String("format", "csv", "export format: csv or json")
+		scale     = flag.Float64("scale", 1.0, "corpus scale factor")
+		seed      = flag.Uint64("seed", 20180416, "master seed")
+		stats     = flag.Bool("stats", false, "print per-region statistics instead of exporting")
+		region    = flag.String("region", "", "restrict -stats to one region code")
+		savedb    = flag.String("savedb", "", "persist the corpus into a storage snapshot directory")
+		dbinfo    = flag.String("dbinfo", "", "print statistics of a snapshot directory and exit")
+		dbShards  = flag.Int("db-shards", 64, "keydir shard count for the storage engine (rounded up to a power of two)")
+		dbSync    = flag.Bool("db-sync", false, "fsync every write while saving (group-committed)")
+		dbCompact = flag.Duration("db-compact-interval", 0, "background incremental compaction period while saving (0 = compact once at the end)")
+		dbGarbage = flag.Float64("db-compact-garbage-ratio", 0.5, "dead-byte fraction at which a sealed segment is compacted")
 	)
 	flag.Parse()
 
@@ -67,7 +70,12 @@ func main() {
 		store.Len(), time.Since(t0).Round(time.Millisecond))
 
 	if *savedb != "" {
-		db, err := storage.Open(*savedb, storage.Options{Shards: *dbShards, SyncEveryPut: *dbSync})
+		db, err := storage.Open(*savedb, storage.Options{
+			Shards:              *dbShards,
+			SyncEveryPut:        *dbSync,
+			CompactInterval:     *dbCompact,
+			CompactGarbageRatio: *dbGarbage,
+		})
 		if err != nil {
 			fatal(err)
 		}

@@ -5,12 +5,17 @@
 //
 //	server [-addr :8080] [-scale f] [-seed s] [-null n] [-db DIR]
 //	       [-db-shards n] [-db-sync]
+//	       [-db-compact-interval d] [-db-compact-garbage-ratio f]
 //
 // With -db, the corpus is loaded from (or, when absent, generated and
 // saved into) a storage snapshot directory, so restarts skip corpus
-// generation. -db-shards partitions the store's key directory (power
+// generation; the engine stays open behind /api/health's storage
+// statistics. -db-shards partitions the store's key directory (power
 // of two); -db-sync turns on the per-write durability contract, served
-// by the engine's group-commit writer.
+// by the engine's group-commit writer. -db-compact-interval runs the
+// background incremental compactor at that period (0 disables it),
+// rewriting segments whose garbage fraction reached
+// -db-compact-garbage-ratio without blocking reads or writes.
 //
 // Endpoints (all JSON):
 //
@@ -46,16 +51,23 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		scale    = flag.Float64("scale", 0.25, "corpus scale factor (1.0 = full 45,772 recipes)")
-		seed     = flag.Uint64("seed", 20180416, "master seed")
-		null     = flag.Int("null", 2000, "default null-model sample size for the pairing endpoint")
-		dbDir    = flag.String("db", "", "storage snapshot directory (load if present, else generate and save)")
-		dbShards = flag.Int("db-shards", 64, "keydir shard count for the storage engine (rounded up to a power of two)")
-		dbSync   = flag.Bool("db-sync", false, "fsync every write (group-committed; durable but slower)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		scale     = flag.Float64("scale", 0.25, "corpus scale factor (1.0 = full 45,772 recipes)")
+		seed      = flag.Uint64("seed", 20180416, "master seed")
+		null      = flag.Int("null", 2000, "default null-model sample size for the pairing endpoint")
+		dbDir     = flag.String("db", "", "storage snapshot directory (load if present, else generate and save)")
+		dbShards  = flag.Int("db-shards", 64, "keydir shard count for the storage engine (rounded up to a power of two)")
+		dbSync    = flag.Bool("db-sync", false, "fsync every write (group-committed; durable but slower)")
+		dbCompact = flag.Duration("db-compact-interval", time.Minute, "background incremental compaction period (0 disables)")
+		dbGarbage = flag.Float64("db-compact-garbage-ratio", 0.5, "dead-byte fraction at which a sealed segment is compacted")
 	)
 	flag.Parse()
-	dbOpts := storage.Options{Shards: *dbShards, SyncEveryPut: *dbSync}
+	dbOpts := storage.Options{
+		Shards:              *dbShards,
+		SyncEveryPut:        *dbSync,
+		CompactInterval:     *dbCompact,
+		CompactGarbageRatio: *dbGarbage,
+	}
 
 	logger := log.New(os.Stderr, "server: ", log.LstdFlags)
 
@@ -68,9 +80,12 @@ func main() {
 	}
 	analyzer := pairing.NewAnalyzer(catalog)
 
-	store, err := loadOrGenerate(logger, catalog, analyzer, *dbDir, dbOpts, *scale, *seed)
+	store, db, err := loadOrGenerate(logger, catalog, analyzer, *dbDir, dbOpts, *scale, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	if db != nil {
+		defer db.Close()
 	}
 	logger.Printf("corpus ready: %d recipes in %v", store.Len(), time.Since(t0).Round(time.Millisecond))
 
@@ -80,6 +95,7 @@ func main() {
 		NullRecipes: *null,
 		Seed:        *seed,
 		Logger:      logger,
+		DB:          db,
 	})
 	if err != nil {
 		fatal(err)
@@ -91,35 +107,40 @@ func main() {
 }
 
 // loadOrGenerate restores the corpus from a snapshot directory when one
-// exists there, generating (and saving, if dbDir is set) otherwise.
+// exists there, generating (and saving, if dbDir is set) otherwise. The
+// returned storage engine (nil without -db) stays open so the
+// background compactor keeps running and /api/health can report it.
 func loadOrGenerate(logger *log.Logger, catalog *flavor.Catalog, analyzer *pairing.Analyzer,
-	dbDir string, dbOpts storage.Options, scale float64, seed uint64) (*recipedb.Store, error) {
+	dbDir string, dbOpts storage.Options, scale float64, seed uint64) (*recipedb.Store, *storage.Store, error) {
 	if dbDir != "" {
 		db, err := storage.Open(dbDir, dbOpts)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		defer db.Close()
 		store, err := storage.LoadCorpus(db, catalog)
 		if err == nil {
 			logger.Printf("loaded snapshot from %s", dbDir)
-			return store, nil
+			return store, db, nil
 		}
 		if !errors.Is(err, storage.ErrNotFound) && !errors.Is(err, storage.ErrSnapshot) {
-			return nil, err
+			db.Close()
+			return nil, nil, err
 		}
 		logger.Printf("no usable snapshot in %s (%v); generating", dbDir, err)
 		store, gerr := generate(analyzer, scale, seed)
 		if gerr != nil {
-			return nil, gerr
+			db.Close()
+			return nil, nil, gerr
 		}
 		if serr := storage.SaveCorpus(db, store); serr != nil {
-			return nil, fmt.Errorf("saving snapshot: %w", serr)
+			db.Close()
+			return nil, nil, fmt.Errorf("saving snapshot: %w", serr)
 		}
 		logger.Printf("saved snapshot to %s", dbDir)
-		return store, nil
+		return store, db, nil
 	}
-	return generate(analyzer, scale, seed)
+	store, err := generate(analyzer, scale, seed)
+	return store, nil, err
 }
 
 func generate(analyzer *pairing.Analyzer, scale float64, seed uint64) (*recipedb.Store, error) {

@@ -1,0 +1,124 @@
+package query
+
+import (
+	"strconv"
+	"strings"
+)
+
+// String renders the query back to CQL text. The printed form is
+// canonical: parsing it yields a query that prints identically
+// (print∘parse is a fixpoint), the property FuzzParseStatement leans
+// on. Keywords print uppercase, fields and functions lowercase, every
+// AND/OR group fully parenthesized so precedence survives re-parsing.
+func (q *Query) String() string {
+	var sb strings.Builder
+	if q.Explain {
+		sb.WriteString("EXPLAIN ")
+	}
+	sb.WriteString("SELECT ")
+	for i, it := range q.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if it.Agg == nil && it.Star {
+			sb.WriteString("*")
+			continue
+		}
+		sb.WriteString(it.Label())
+	}
+	sb.WriteString(" FROM recipes")
+	if q.Where != nil {
+		sb.WriteString(" WHERE ")
+		printExpr(&sb, q.Where)
+	}
+	if q.GroupBy != nil {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(q.GroupBy.String())
+	}
+	if q.OrderBy != "" {
+		sb.WriteString(" ORDER BY ")
+		sb.WriteString(q.OrderBy)
+		if q.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if q.Limit >= 0 {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.Itoa(q.Limit))
+	}
+	return sb.String()
+}
+
+// printExpr renders one expression node.
+func printExpr(sb *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		sb.WriteString("(")
+		printExpr(sb, x.L)
+		sb.WriteString(" ")
+		sb.WriteString(strings.ToUpper(x.Op))
+		sb.WriteString(" ")
+		printExpr(sb, x.R)
+		sb.WriteString(")")
+	case *NotExpr:
+		sb.WriteString("NOT ")
+		printExpr(sb, x.X)
+	case *CompareExpr:
+		printExpr(sb, x.L)
+		if x.Op == "like" {
+			sb.WriteString(" LIKE ")
+		} else {
+			sb.WriteString(" " + x.Op + " ")
+		}
+		printExpr(sb, x.R)
+	case *FieldExpr:
+		sb.WriteString(x.Field.String())
+	case *LiteralExpr:
+		printValue(sb, x.Val)
+	case *FuncExpr:
+		sb.WriteString(x.Name)
+		sb.WriteString("(")
+		printString(sb, x.Arg)
+		sb.WriteString(")")
+	case *InExpr:
+		printExpr(sb, x.X)
+		if x.Negate {
+			sb.WriteString(" NOT IN (")
+		} else {
+			sb.WriteString(" IN (")
+		}
+		for i, v := range x.Values {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printValue(sb, v)
+		}
+		sb.WriteString(")")
+	}
+}
+
+// printValue renders a literal so the lexer reads it back as the same
+// token class — except that a whole float prints as its integer form,
+// which the canonical-fixpoint property absorbs (the reprint is then
+// already integer).
+func printValue(sb *strings.Builder, v Value) {
+	switch v.Kind {
+	case KindInt:
+		sb.WriteString(strconv.FormatInt(v.Int, 10))
+	case KindFloat:
+		// 'f' keeps the text within the lexer's digits-and-dot number
+		// grammar (no exponent).
+		sb.WriteString(strconv.FormatFloat(v.Float, 'f', -1, 64))
+	case KindString:
+		printString(sb, v.Str)
+	case KindBool:
+		sb.WriteString(strconv.FormatBool(v.Bool))
+	}
+}
+
+// printString quotes a string literal, escaping quotes by doubling.
+func printString(sb *strings.Builder, s string) {
+	sb.WriteString("'")
+	sb.WriteString(strings.ReplaceAll(s, "'", "''"))
+	sb.WriteString("'")
+}

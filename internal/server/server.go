@@ -23,6 +23,7 @@ import (
 	"culinary/internal/recommend"
 	"culinary/internal/rng"
 	"culinary/internal/search"
+	"culinary/internal/storage"
 )
 
 // Config assembles the dependencies of a Server.
@@ -37,6 +38,10 @@ type Config struct {
 	Seed uint64
 	// Logger receives request logs; nil disables logging.
 	Logger *log.Logger
+	// DB is the optional storage engine backing the corpus snapshot;
+	// when set, /api/health reports its segment and background
+	// compaction statistics.
+	DB *storage.Store
 }
 
 // Server routes API requests to the analysis stack. Construction builds
@@ -151,7 +156,7 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	cs := s.engine.CacheStats()
-	writeJSON(w, map[string]interface{}{
+	body := map[string]interface{}{
 		"status":      "ok",
 		"recipes":     s.cfg.Store.Len(),
 		"ingredients": s.catalog.Len(),
@@ -162,7 +167,26 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"misses":  cs.Misses,
 			"entries": int64(cs.Entries),
 		},
-	})
+	}
+	if s.cfg.DB != nil {
+		st := s.cfg.DB.Stats()
+		comp := s.cfg.DB.CompactionStats()
+		body["storage"] = map[string]interface{}{
+			"keys":      st.Keys,
+			"segments":  st.Segments,
+			"liveBytes": st.LiveBytes,
+			"deadBytes": st.DeadBytes,
+			"compaction": map[string]interface{}{
+				"running":           comp.Running,
+				"runs":              comp.Runs,
+				"segmentsCompacted": comp.SegmentsCompacted,
+				"bytesReclaimed":    comp.BytesReclaimed,
+				"wedged":            comp.Wedged,
+				"lastError":         comp.LastError,
+			},
+		}
+	}
+	writeJSON(w, body)
 }
 
 // regionSummary is one row of GET /api/regions.

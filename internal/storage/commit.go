@@ -270,11 +270,12 @@ func (s *Store) applyGroup(g *commitGroup) {
 		sh := s.shardFor(req.key)
 		sh.mu.Lock()
 		if prev, ok := sh.m[req.key]; ok {
-			s.deadBytes.Add(prev.length)
+			s.addDead(prev.segID, prev.length)
 		}
 		if req.rec.tombstone {
 			delete(sh.m, req.key)
-			s.deadBytes.Add(req.length) // the tombstone itself is reclaimable
+			// The tombstone itself is reclaimable the moment it lands.
+			s.addDead(req.segID, req.length)
 		} else {
 			sh.m[req.key] = keyLoc{
 				segID:  req.segID,
@@ -285,6 +286,20 @@ func (s *Store) applyGroup(g *commitGroup) {
 		}
 		sh.mu.Unlock()
 	}
+}
+
+// addDead charges n garbage bytes to the segment holding a superseded
+// record or tombstone. The per-segment counter is the compaction
+// victim-selection statistic; it replaces the old store-global estimate
+// so the compactor can pick exactly the files worth rewriting. A
+// missing segment means compaction retired it concurrently — its
+// garbage left with it.
+func (s *Store) addDead(segID uint64, n int64) {
+	s.segMu.RLock()
+	if seg := s.segments[segID]; seg != nil {
+		seg.dead.Add(n)
+	}
+	s.segMu.RUnlock()
 }
 
 // commitBufRetainBytes bounds the leader buffer kept across commits; a
@@ -304,24 +319,25 @@ func (s *Store) stashCommitBuf(chunk []byte) {
 }
 
 // rotate seals the active segment and starts a fresh one. Caller holds
-// the commit token (or is inside single-threaded Open).
+// the commit token (or is inside single-threaded Open). IDs come from
+// the shared nextSegID counter so rotation never collides with
+// compaction outputs allocated concurrently.
 func (s *Store) rotate() error {
-	var next uint64 = 1
 	if s.active != nil {
-		next = s.active.id + 1
 		if err := s.active.f.Sync(); err != nil {
 			return fmt.Errorf("storage: syncing sealed segment: %w", err)
 		}
 	}
+	next := s.nextSegID.Add(1)
 	path := segmentPath(s.dir, next)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: creating segment: %w", err)
 	}
-	seg := &segment{id: next, path: path, f: f}
+	seg := &segment{id: next, path: path, f: f, rank: next}
 	s.segMu.Lock()
 	s.segments[next] = seg
-	s.segMu.Unlock()
 	s.active = seg
+	s.segMu.Unlock()
 	return nil
 }

@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// BenchmarkCompactionGetP99 measures point-read tail latency in three
+// regimes: a quiet store (idle), a store under write churn with no
+// compactor (churn — the contention baseline), and the same churn with
+// the background compactor continuously rewriting segments
+// (compacting). The acceptance bar for incremental compaction is that
+// reads stay available: p99 with the compactor on should sit within a
+// small factor of the churn baseline, where the old stop-the-world
+// Compact stalled every reader for the whole rewrite. Reported
+// metrics: p50-ns/op and p99-ns/op alongside the usual mean. CI
+// exports these to BENCH_compaction.json.
+func BenchmarkCompactionGetP99(b *testing.B) {
+	for _, mode := range []string{"idle", "churn", "compacting"} {
+		b.Run(mode, func(b *testing.B) {
+			dir := b.TempDir()
+			opts := Options{MaxSegmentBytes: 256 << 10}
+			compacting := mode == "compacting"
+			churn := mode != "idle"
+			if compacting {
+				opts.CompactInterval = time.Millisecond
+				opts.CompactGarbageRatio = 0.2
+				opts.CompactionFloorBytes = 1
+			}
+			s, err := Open(dir, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+
+			const keys = 2048
+			val := []byte(strings.Repeat("v", 512))
+			for i := 0; i < keys; i++ {
+				if err := s.Put(fmt.Sprintf("bench/%05d", i), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			// Churn: a writer keeps superseding records so the
+			// compactor always has victims above the garbage ratio.
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			if churn {
+				go func() {
+					defer close(done)
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := fmt.Sprintf("bench/%05d", i%keys)
+						if err := s.Put(k, val); err != nil {
+							return
+						}
+					}
+				}()
+			} else {
+				close(done)
+			}
+
+			lat := make([]time.Duration, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := fmt.Sprintf("bench/%05d", (i*31)%keys)
+				t0 := time.Now()
+				if _, err := s.Get(k); err != nil {
+					b.Fatal(err)
+				}
+				lat[i] = time.Since(t0)
+			}
+			b.StopTimer()
+			close(stop)
+			<-done
+
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			pct := func(p float64) float64 {
+				idx := int(p * float64(len(lat)-1))
+				return float64(lat[idx].Nanoseconds())
+			}
+			b.ReportMetric(pct(0.50), "p50-ns/op")
+			b.ReportMetric(pct(0.99), "p99-ns/op")
+			if compacting {
+				cs := s.CompactionStats()
+				b.ReportMetric(float64(cs.Runs), "compactions")
+			}
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Background incremental compactor. A single goroutine wakes every
+// CompactInterval, selects sealed segments whose garbage ratio reached
+// CompactGarbageRatio, and rewrites them through compactSegments —
+// reads and writes proceed throughout (see compact.go). Explicit
+// Compact calls and the background loop serialize on compactMu.
+
+// compactorState tracks the background goroutine's lifecycle.
+type compactorState struct {
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+	// wedged refuses further compactions after a post-commit failure
+	// (see ErrCompactorWedged); cleared only by reopening the store.
+	wedged atomic.Bool
+	// lastErr is the most recent background pass failure, for
+	// observability (CompactionStats.LastError).
+	lastErr atomic.Value // string
+}
+
+// compactionCounters accumulate across the store's lifetime.
+type compactionCounters struct {
+	runs      atomic.Uint64
+	segments  atomic.Uint64
+	reclaimed atomic.Int64
+}
+
+// CompactionStats reports compaction activity for health endpoints and
+// tools.
+type CompactionStats struct {
+	// Runs counts completed incremental passes that rewrote at least
+	// one segment.
+	Runs uint64
+	// SegmentsCompacted counts victim segments rewritten.
+	SegmentsCompacted uint64
+	// BytesReclaimed is the net on-disk shrink across all passes.
+	BytesReclaimed int64
+	// Running reports whether the background compactor goroutine is
+	// alive.
+	Running bool
+	// Wedged reports a post-commit failure froze compaction until the
+	// store is reopened.
+	Wedged bool
+	// LastError is the most recent background pass failure, if any.
+	LastError string
+}
+
+// CompactionStats returns a snapshot of compaction activity.
+func (s *Store) CompactionStats() CompactionStats {
+	s.compactor.mu.Lock()
+	running := s.compactor.stop != nil
+	s.compactor.mu.Unlock()
+	st := CompactionStats{
+		Runs:              s.cstats.runs.Load(),
+		SegmentsCompacted: s.cstats.segments.Load(),
+		BytesReclaimed:    s.cstats.reclaimed.Load(),
+		Running:           running,
+		Wedged:            s.compactor.wedged.Load(),
+	}
+	if e, ok := s.compactor.lastErr.Load().(string); ok {
+		st.LastError = e
+	}
+	return st
+}
+
+// startCompactor launches the background loop. Called from Open; also
+// usable by tests. No-op if already running.
+func (s *Store) startCompactor(interval time.Duration, ratio float64) {
+	s.compactor.mu.Lock()
+	defer s.compactor.mu.Unlock()
+	if s.compactor.stop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.compactor.stop, s.compactor.done = stop, done
+	go s.compactLoop(interval, ratio, stop, done)
+}
+
+// stopCompactor signals the loop and waits for any in-flight pass to
+// finish. Idempotent; called by Close before it freezes the store.
+func (s *Store) stopCompactor() {
+	s.compactor.mu.Lock()
+	stop, done := s.compactor.stop, s.compactor.done
+	s.compactor.stop, s.compactor.done = nil, nil
+	s.compactor.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// compactLoop is the background goroutine body.
+func (s *Store) compactLoop(interval time.Duration, ratio float64, stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			if s.closed.Load() {
+				return
+			}
+			if _, err := s.compactOnce(ratio); err != nil {
+				s.compactor.lastErr.Store(err.Error())
+			} else {
+				s.compactor.lastErr.Store("")
+			}
+		}
+	}
+}
+
+// compactOnce runs one victim-selection + compaction pass, returning
+// how many segments were rewritten. Exported behavior lives behind
+// Compact and the background loop; tests drive this directly.
+func (s *Store) compactOnce(ratio float64) (int, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	if s.compactor.wedged.Load() || s.closed.Load() {
+		return 0, nil
+	}
+	victims := s.selectVictims(ratio)
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	if err := s.compactSegments(victims); err != nil {
+		return 0, err
+	}
+	return len(victims), nil
+}
+
+// selectVictims picks the sealed segments whose garbage ratio reached
+// the threshold. The active segment is never a victim — it is still
+// being appended to.
+func (s *Store) selectVictims(ratio float64) []*segment {
+	s.segMu.RLock()
+	defer s.segMu.RUnlock()
+	var victims []*segment
+	for _, seg := range s.segments {
+		if seg == s.active || seg.size == 0 {
+			continue
+		}
+		if seg.garbageRatio() >= ratio {
+			victims = append(victims, seg)
+		}
+	}
+	return victims
+}

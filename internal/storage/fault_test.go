@@ -1,0 +1,121 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// Crash-injection harness. A compaction is a fixed sequence of
+// filesystem operations (create/write/fsync staged outputs, write/
+// fsync/rename the manifest, rename outputs, unlink victims). opBudget
+// simulates power loss after exactly N of them: the N+1th operation
+// fails — a failing write first tears, persisting only half its bytes
+// — and every later operation fails too, so cleanup code cannot tidy
+// the wreckage any more than a real crash would let it. The
+// table-driven matrix in compactor_test.go sweeps N over the whole
+// sequence and asserts recovery from each resulting directory.
+
+// errInjectedCrash marks a fault-injected failure.
+var errInjectedCrash = errors.New("injected crash")
+
+// opBudget is the shared countdown of allowed filesystem operations.
+type opBudget struct {
+	mu        sync.Mutex
+	remaining int
+	crashed   bool
+	ops       int // total operations attempted (for sizing the matrix)
+}
+
+// spend consumes one operation; false means the crash has happened and
+// the operation must fail.
+func (b *opBudget) spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ops++
+	if b.crashed {
+		return false
+	}
+	if b.remaining <= 0 {
+		b.crashed = true
+		return false
+	}
+	b.remaining--
+	return true
+}
+
+// faultFile wraps an *os.File, failing (and tearing) writes and syncs
+// once the budget is exhausted. Reads and closes always succeed: a
+// crash loses buffered state, not the ability to read what was written
+// or release a descriptor.
+type faultFile struct {
+	f *os.File
+	b *opBudget
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) { return ff.f.ReadAt(p, off) }
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if !ff.b.spend() {
+		// Torn write: half the bytes reach the file, then power dies.
+		n, _ := ff.f.WriteAt(p[:len(p)/2], off)
+		return n, errInjectedCrash
+	}
+	return ff.f.WriteAt(p, off)
+}
+
+func (ff *faultFile) Sync() error {
+	if !ff.b.spend() {
+		return errInjectedCrash
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }
+
+// faultFS wraps the production fs operations with the budget.
+func faultFS(b *opBudget) fsOps {
+	real := osFS()
+	return fsOps{
+		create: func(path string) (segfile, error) {
+			if !b.spend() {
+				return nil, errInjectedCrash
+			}
+			f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			return &faultFile{f: f, b: b}, nil
+		},
+		rename: func(oldpath, newpath string) error {
+			if !b.spend() {
+				return errInjectedCrash
+			}
+			return os.Rename(oldpath, newpath)
+		},
+		remove: func(path string) error {
+			if !b.spend() {
+				return errInjectedCrash
+			}
+			return os.Remove(path)
+		},
+		syncDir: func(dir string) error {
+			if !b.spend() {
+				return errInjectedCrash
+			}
+			return real.syncDir(dir)
+		},
+	}
+}
+
+// crashClose simulates the process dying: every descriptor closes with
+// no final sync, no retirement, no cleanup. Disk state is whatever the
+// operations so far left behind.
+func crashClose(s *Store) {
+	s.closed.Store(true)
+	s.segMu.Lock()
+	for _, seg := range s.segments {
+		seg.f.Close()
+	}
+	s.segMu.Unlock()
+}

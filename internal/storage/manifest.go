@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Compaction manifest. Incremental compaction rewrites the live records
+// of a victim segment set into fresh output segments while readers and
+// writers keep running, so recovery can observe the directory mid-swap.
+// The manifest makes that window crash-safe: it is the single commit
+// point of a compaction, written atomically (temp file, fsync, rename,
+// directory fsync). A crash recovers to exactly one of two states:
+//
+//   - manifest without the compaction's entries: the outputs are
+//     unreferenced *.seg.tmp files, deleted at Open; the victims replay
+//     as before. Pre-compaction state.
+//   - manifest with the entries: half-renamed outputs are rolled
+//     forward from *.seg.tmp to *.seg (their bytes were fsynced before
+//     the manifest committed), victims on the Drop list are unlinked.
+//     Post-compaction state.
+//
+// The Ranks map solves the ordering problem incremental compaction
+// introduces. Replay resolves multi-segment key conflicts by "highest
+// segment wins", but a compaction output holds *copies* of old records
+// under a fresh, high segment ID — raw ID order would let a stale copy
+// beat a newer record a concurrent writer appended to the active
+// segment. Each output therefore carries a rank: the highest rank among
+// its victims. Replay merges segments in (rank, id) order, which slots
+// the copies exactly where the victims were (the id tiebreak puts an
+// output after a still-present victim it replaced). The active segment
+// always has rank == id greater than any victim's, so concurrent
+// appends still win.
+type manifest struct {
+	Version int `json:"version"`
+	// Ranks maps compaction-output segment IDs to their replay rank.
+	// Segments absent from the map rank as their own ID.
+	Ranks map[uint64]uint64 `json:"ranks,omitempty"`
+	// Drop lists victim segment IDs superseded by the most recent
+	// compaction; their files are unlinked at runtime once readers
+	// drain, or at the next Open after a crash.
+	Drop []uint64 `json:"drop,omitempty"`
+}
+
+// manifestName is the manifest file name inside a store directory.
+const manifestName = "MANIFEST"
+
+// manifestVersion is the current manifest format version.
+const manifestVersion = 1
+
+// rankOf returns the replay rank of a segment ID.
+func (m *manifest) rankOf(id uint64) uint64 {
+	if r, ok := m.Ranks[id]; ok {
+		return r
+	}
+	return id
+}
+
+// clone deep-copies the manifest so a compaction can stage its
+// successor without mutating the committed state.
+func (m *manifest) clone() manifest {
+	c := manifest{Version: m.Version, Ranks: make(map[uint64]uint64, len(m.Ranks))}
+	for id, r := range m.Ranks {
+		c.Ranks[id] = r
+	}
+	c.Drop = append([]uint64(nil), m.Drop...)
+	return c
+}
+
+// loadManifest reads the manifest from dir; a missing file is an empty
+// manifest (the state of every store created before compaction ran).
+func loadManifest(dir string) (manifest, error) {
+	m := manifest{Version: manifestVersion}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return m, nil
+	}
+	if err != nil {
+		return m, fmt.Errorf("storage: reading manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	if m.Version != manifestVersion {
+		return m, fmt.Errorf("%w: manifest version %d", ErrCorrupt, m.Version)
+	}
+	return m, nil
+}
+
+// writeManifest atomically replaces the manifest on disk: write a temp
+// file, fsync it, rename over the old manifest, fsync the directory.
+// Every step goes through the store's fs hooks so the crash-injection
+// harness can fail any of them. committed reports whether the rename
+// landed: once it has, the new manifest may be durable even if the
+// directory fsync then fails, so the caller must treat the compaction
+// as possibly committed — never roll back state the manifest already
+// promises (outputs must survive, victims stay sentenced).
+func (s *Store) writeManifest(m manifest) (committed bool, err error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return false, fmt.Errorf("storage: encoding manifest: %w", err)
+	}
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	f, err := s.fs.create(tmp)
+	if err != nil {
+		return false, fmt.Errorf("storage: creating manifest temp: %w", err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		f.Close()
+		return false, fmt.Errorf("storage: writing manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return false, fmt.Errorf("storage: syncing manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return false, fmt.Errorf("storage: closing manifest temp: %w", err)
+	}
+	if err := s.fs.rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return false, fmt.Errorf("storage: committing manifest: %w", err)
+	}
+	if err := s.fs.syncDir(s.dir); err != nil {
+		return true, fmt.Errorf("storage: syncing dir after manifest commit: %w", err)
+	}
+	return true, nil
+}
+
+// segfile is the slice of *os.File the segment layer needs. Compaction
+// outputs and manifest writes go through fsOps.create so tests can
+// substitute fault-injecting files; everything else uses *os.File
+// directly.
+type segfile interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Close() error
+}
+
+// fsOps is the filesystem seam for the compaction/manifest path. The
+// crash-injection harness swaps these for versions that fail (and tear
+// writes) after a budget of operations, simulating power loss at every
+// step of a compaction.
+type fsOps struct {
+	create  func(path string) (segfile, error)
+	rename  func(oldpath, newpath string) error
+	remove  func(path string) error
+	syncDir func(dir string) error
+}
+
+// osFS returns the production filesystem operations.
+func osFS() fsOps {
+	return fsOps{
+		create: func(path string) (segfile, error) {
+			return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		},
+		rename: os.Rename,
+		remove: os.Remove,
+		syncDir: func(dir string) error {
+			d, err := os.Open(dir)
+			if err != nil {
+				return err
+			}
+			err = d.Sync()
+			if cerr := d.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		},
+	}
+}

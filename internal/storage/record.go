@@ -5,9 +5,10 @@
 // substrate behind our equivalent: append-only data segments with CRC32C
 // framing, a sharded in-memory key directory, group-commit batched
 // appends, parallel segment replay at Open, tail-truncation crash
-// recovery and background-free compaction, in the style of bitcask.
-// See README.md for the shard layout, the group-commit protocol and the
-// recovery ordering invariant.
+// recovery and background incremental compaction with a crash-safe
+// manifest, in the style of bitcask. See README.md for the shard
+// layout, the group-commit protocol, the recovery ordering invariant
+// and the compaction crash matrix.
 package storage
 
 import (

@@ -139,7 +139,7 @@ func TestParallelReplayMatchesSerial(t *testing.T) {
 						t.Errorf("workers=%d: extra key %q", workers, k)
 					}
 				}
-				if dead := s.deadBytes.Load(); dead != want.dead {
+				if dead := s.deadBytesTotal(); dead != want.dead {
 					t.Errorf("workers=%d: deadBytes = %d, want %d", workers, dead, want.dead)
 				}
 				s.Close()

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -10,11 +11,13 @@ import (
 // each worker folds its segment into a per-segment map holding the last
 // record seen for each key (records within one file are already in
 // offset order). The per-segment maps then merge serially in ascending
-// segment-ID order, so the per-key winner is exactly the record with
-// the highest (segID, offset) — byte-identical keydir state to a
-// serial, record-by-record replay of the whole log. Dead bytes fall out
-// of the same invariant: every scanned byte is either live in the final
-// directory or reclaimable, so dead = totalScanned - live.
+// (rank, segID) order — rank equals segID except for compaction
+// outputs, which inherit their victims' rank from the manifest (see
+// manifest.go) — so the per-key winner is exactly the record a serial,
+// record-by-record replay of the logical log would pick. Dead bytes
+// fall out of the same invariant, now per segment: bytes superseded
+// within a file are its size minus its surviving entries; bytes
+// superseded across files are charged to the file holding the loser.
 
 // segEntry is the last record for one key within one segment.
 type segEntry struct {
@@ -33,11 +36,17 @@ type segScan struct {
 
 // loadSegments rebuilds the key directory from the segment files,
 // scanning up to opts.ReplayWorkers files in parallel. Only Open calls
-// this, so shard maps are written without locks.
+// this, so shard maps are written without locks. The newest segment in
+// merge order — always the previous process's active segment, since
+// compaction outputs rank below it — gets torn-tail repair.
 func (s *Store) loadSegments(ids []uint64) error {
 	if len(ids) == 0 {
 		return nil
 	}
+	// Merge order: ascending (rank, id). ids arrive id-sorted; a stable
+	// re-sort by rank keeps the id tiebreak.
+	sort.SliceStable(ids, func(i, j int) bool { return s.man.rankOf(ids[i]) < s.man.rankOf(ids[j]) })
+
 	scans := make([]segScan, len(ids))
 	workers := s.opts.ReplayWorkers
 	if workers > len(ids) {
@@ -60,10 +69,9 @@ func (s *Store) loadSegments(ids []uint64) error {
 	close(work)
 	wg.Wait()
 
-	// Merge in ascending segment order; within a segment the map holds
-	// only the newest record per key, so assignment order equals log
-	// order and later segments override earlier ones.
-	var total int64
+	// Merge in (rank, id) order; within a segment the map holds only
+	// the newest record per key, so assignment order equals log order
+	// and later segments override earlier ones.
 	for i, id := range ids {
 		sc := &scans[i]
 		if sc.err != nil {
@@ -74,28 +82,31 @@ func (s *Store) loadSegments(ids []uint64) error {
 		if err != nil {
 			return fmt.Errorf("storage: opening segment: %w", err)
 		}
-		seg := &segment{id: id, path: path, f: f, size: sc.size}
+		seg := &segment{id: id, path: path, f: f, size: sc.size, rank: s.man.rankOf(id)}
 		s.segments[id] = seg
 		if i == len(ids)-1 {
 			s.active = seg
 		}
-		total += sc.size
+		// Records superseded within this file never reached the
+		// per-segment map; they are this file's intra-segment garbage.
+		intra := sc.size
+		for _, e := range sc.entries {
+			intra -= e.length
+		}
+		seg.dead.Add(intra)
 		for k, e := range sc.entries {
 			sh := s.shardFor(k)
+			if prev, ok := sh.m[k]; ok {
+				s.segments[prev.segID].dead.Add(prev.length)
+			}
 			if e.tombstone {
 				delete(sh.m, k)
+				seg.dead.Add(e.length)
 				continue
 			}
 			sh.m[k] = keyLoc{segID: id, offset: e.off, length: e.length, valLen: e.valLen}
 		}
 	}
-	var live int64
-	for i := range s.shards {
-		for _, loc := range s.shards[i].m {
-			live += loc.length
-		}
-	}
-	s.deadBytes.Store(total - live)
 	return nil
 }
 

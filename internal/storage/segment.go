@@ -17,6 +17,11 @@ import (
 // creation order.
 const segmentExt = ".seg"
 
+// segTmpExt suffixes half-built compaction outputs ("000010.seg.tmp").
+// They become real segments only by rename after the manifest commits;
+// Open deletes any left by a crash whose manifest never committed.
+const segTmpExt = ".tmp"
+
 // segment is one immutable (or, for the newest, append-only) data file.
 // Readers pin a segment with acquire/release so compaction and Close
 // can retire it without yanking the descriptor out from under an
@@ -24,8 +29,14 @@ const segmentExt = ".seg"
 type segment struct {
 	id   uint64
 	path string
-	f    *os.File // opened read-write; sealed segments are only read
+	f    segfile // opened read-write; sealed segments are only read
 	size int64
+	// rank is the replay merge-order key (see manifest.go). Equal to id
+	// except for compaction outputs, which inherit their victims' rank.
+	rank uint64
+	// dead counts bytes held by superseded records and tombstones in
+	// this file — the garbage statistic compaction selects victims by.
+	dead atomic.Int64
 
 	refs atomic.Int32
 	// removeOnClose is written before the retired store and read only
@@ -33,6 +44,9 @@ type segment struct {
 	removeOnClose bool
 	retired       atomic.Bool
 	closeOnce     sync.Once
+	// removeFn unlinks the file at close when removeOnClose is set; it
+	// is the store's fs.remove hook so the crash harness can fail it.
+	removeFn func(path string) error
 }
 
 // acquire pins the segment. Callers must hold segMu (either mode) so a
@@ -70,10 +84,23 @@ func (g *segment) closeFile() error {
 	g.closeOnce.Do(func() {
 		err = g.f.Close()
 		if g.removeOnClose {
-			os.Remove(g.path)
+			remove := g.removeFn
+			if remove == nil {
+				remove = os.Remove
+			}
+			remove(g.path)
 		}
 	})
 	return err
+}
+
+// garbageRatio is the fraction of this segment's bytes held by
+// superseded records and tombstones.
+func (g *segment) garbageRatio() float64 {
+	if g.size <= 0 {
+		return 0
+	}
+	return float64(g.dead.Load()) / float64(g.size)
 }
 
 // segmentPath renders the file path for a segment ID.
@@ -98,23 +125,43 @@ func parseSegmentID(name string) (uint64, bool) {
 	return id, true
 }
 
+// segmentTmpPath renders the staging path a compaction output is
+// written to before the manifest commits.
+func segmentTmpPath(dir string, id uint64) string {
+	return segmentPath(dir, id) + segTmpExt
+}
+
 // listSegments returns the segment IDs present in dir, ascending.
 func listSegments(dir string) ([]uint64, error) {
+	ids, _, err := scanDir(dir)
+	return ids, err
+}
+
+// scanDir classifies the store directory into committed segment IDs and
+// half-built compaction outputs (*.seg.tmp), both ascending.
+func scanDir(dir string) (ids, tmps []uint64, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("storage: reading dir: %w", err)
+		return nil, nil, fmt.Errorf("storage: reading dir: %w", err)
 	}
-	var ids []uint64
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
 		}
-		if id, ok := parseSegmentID(e.Name()); ok {
+		name := e.Name()
+		if strings.HasSuffix(name, segmentExt+segTmpExt) {
+			if id, ok := parseSegmentID(strings.TrimSuffix(name, segTmpExt)); ok {
+				tmps = append(tmps, id)
+			}
+			continue
+		}
+		if id, ok := parseSegmentID(name); ok {
 			ids = append(ids, id)
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids, nil
+	sort.Slice(tmps, func(i, j int) bool { return tmps[i] < tmps[j] })
+	return ids, tmps, nil
 }
 
 // scanSegment replays one segment file, invoking fn for every decoded

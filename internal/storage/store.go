@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Store errors.
@@ -39,6 +41,15 @@ type Options struct {
 	// ReplayWorkers bounds the goroutines scanning segments in parallel
 	// during Open. 1 forces serial replay; defaults to GOMAXPROCS.
 	ReplayWorkers int
+	// CompactInterval starts a background compactor that wakes at this
+	// period, picks sealed segments whose garbage ratio meets
+	// CompactGarbageRatio, and rewrites them without blocking reads or
+	// writes. Zero (the default) disables the background goroutine;
+	// Compact remains available for explicit full passes.
+	CompactInterval time.Duration
+	// CompactGarbageRatio is the dead-byte fraction at which a sealed
+	// segment becomes a compaction victim. Defaults to 0.5.
+	CompactGarbageRatio float64
 }
 
 func (o *Options) applyDefaults() {
@@ -54,6 +65,9 @@ func (o *Options) applyDefaults() {
 	o.Shards = nextPow2(o.Shards)
 	if o.ReplayWorkers <= 0 {
 		o.ReplayWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.CompactGarbageRatio <= 0 || o.CompactGarbageRatio > 1 {
+		o.CompactGarbageRatio = 0.5
 	}
 }
 
@@ -98,20 +112,33 @@ func (sh *shard) has(key string) bool {
 type Store struct {
 	dir  string
 	opts Options
+	// fs is the filesystem seam for compaction outputs and manifest
+	// writes; tests swap it for a fault-injecting version.
+	fs fsOps
 
 	shards []shard
 	mask   uint32
 
 	closed atomic.Bool
-	// deadBytes estimates space held by superseded records and
-	// tombstones, the compaction trigger statistic.
-	deadBytes atomic.Int64
+	// nextSegID is the last segment ID handed out; rotation and
+	// compaction both allocate from it so IDs are never reused even
+	// when compaction outputs outlive the active segment they were
+	// created under.
+	nextSegID atomic.Uint64
 
-	// segMu guards the segments map. The active segment pointer and its
-	// size are mutated only while holding the commit token.
+	// segMu guards the segments map and the active pointer (the active
+	// segment's size is still mutated only under the commit token).
 	segMu    sync.RWMutex
 	segments map[uint64]*segment
 	active   *segment
+
+	// Compaction state: compactMu serializes compaction passes (the
+	// background goroutine and explicit Compact calls) and guards the
+	// in-memory manifest.
+	compactMu sync.Mutex
+	man       manifest
+	compactor compactorState
+	cstats    compactionCounters
 
 	// Group-commit state: commitTok is a one-slot token channel whose
 	// holder is the only goroutine appending to the log; pending is the
@@ -159,8 +186,12 @@ func (s *Store) runlockAll() {
 // all segments to rebuild the key directory. Sealed segments are
 // scanned in parallel (see replay.go); recovered state is identical to
 // a serial, record-by-record replay because per-key winners merge in
-// (segID, offset) order. A torn tail on the newest segment is truncated
-// away; corruption anywhere else fails Open.
+// (rank, segID, offset) order. A torn tail on the newest segment is
+// truncated away; corruption anywhere else fails Open. A crash during
+// an incremental compaction recovers to a consistent pre- or
+// post-compaction segment set (see manifest.go): orphaned outputs are
+// deleted, committed ones rolled forward, superseded victims unlinked.
+// When opts.CompactInterval is set, a background compactor starts.
 func Open(dir string, opts Options) (*Store, error) {
 	opts.applyDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -169,6 +200,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{
 		dir:       dir,
 		opts:      opts,
+		fs:        osFS(),
 		shards:    make([]shard, opts.Shards),
 		mask:      uint32(opts.Shards - 1),
 		segments:  make(map[uint64]*segment),
@@ -177,7 +209,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]keyLoc)
 	}
-	ids, err := listSegments(dir)
+	ids, err := s.recoverDir()
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +221,81 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
+	if opts.CompactInterval > 0 {
+		s.startCompactor(opts.CompactInterval, opts.CompactGarbageRatio)
+	}
 	return s, nil
+}
+
+// recoverDir loads the manifest and resolves any half-finished
+// compaction the previous process crashed out of, returning the
+// committed segment IDs to replay. Outputs listed in the manifest but
+// still at their staging name are rolled forward (their bytes were
+// durable before the manifest committed); unlisted staging files are
+// deleted; victims on the Drop list are unlinked.
+func (s *Store) recoverDir() ([]uint64, error) {
+	man, err := loadManifest(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	s.man = man
+	ids, tmps, err := scanDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	have := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range tmps {
+		tmp := segmentTmpPath(s.dir, id)
+		if _, committed := man.Ranks[id]; committed && !have[id] {
+			if err := os.Rename(tmp, segmentPath(s.dir, id)); err != nil {
+				return nil, fmt.Errorf("storage: rolling forward compaction output: %w", err)
+			}
+			have[id] = true
+			ids = append(ids, id)
+			continue
+		}
+		if err := os.Remove(tmp); err != nil {
+			return nil, fmt.Errorf("storage: removing orphaned compaction output: %w", err)
+		}
+	}
+	// Half-written manifest temp from a crash mid-commit: harmless.
+	os.Remove(filepath.Join(s.dir, manifestName+segTmpExt))
+	for _, id := range man.Drop {
+		if !have[id] {
+			continue
+		}
+		if err := os.Remove(segmentPath(s.dir, id)); err != nil {
+			return nil, fmt.Errorf("storage: dropping superseded segment: %w", err)
+		}
+		delete(have, id)
+	}
+	ids = ids[:0]
+	for id := range have {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Never reuse an ID named anywhere, even for files already gone.
+	max := uint64(0)
+	for _, id := range ids {
+		if id > max {
+			max = id
+		}
+	}
+	for id := range man.Ranks {
+		if id > max {
+			max = id
+		}
+	}
+	for _, id := range man.Drop {
+		if id > max {
+			max = id
+		}
+	}
+	s.nextSegID.Store(max)
+	return ids, nil
 }
 
 // Put stores value under key, overwriting any previous value.
@@ -491,8 +597,11 @@ func (s *Store) Stats() Stats {
 	}
 	s.segMu.RLock()
 	nseg := len(s.segments)
+	var dead int64
+	for _, seg := range s.segments {
+		dead += seg.dead.Load()
+	}
 	s.segMu.RUnlock()
-	dead := s.deadBytes.Load()
 	s.runlockAll()
 	return Stats{
 		Keys:      keys,
@@ -503,11 +612,24 @@ func (s *Store) Stats() Stats {
 	}
 }
 
-// Close syncs and closes every segment. The store is unusable
-// afterward; in-flight writes that could not be committed fail with
-// ErrClosed. Segments still pinned by in-flight reads close once those
-// reads release them.
+// deadBytesTotal sums per-segment garbage counters (test helper and
+// compaction-floor check).
+func (s *Store) deadBytesTotal() int64 {
+	s.segMu.RLock()
+	var dead int64
+	for _, seg := range s.segments {
+		dead += seg.dead.Load()
+	}
+	s.segMu.RUnlock()
+	return dead
+}
+
+// Close stops the background compactor, syncs and closes every
+// segment. The store is unusable afterward; in-flight writes that
+// could not be committed fail with ErrClosed. Segments still pinned by
+// in-flight reads close once those reads release them.
 func (s *Store) Close() error {
+	s.stopCompactor()
 	s.commitTok <- struct{}{}
 	defer func() { <-s.commitTok }()
 	if s.closed.Load() {
