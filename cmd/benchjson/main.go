@@ -1,0 +1,288 @@
+// Command benchjson converts `go test -bench` output into the unified
+// JSON schema the CI bench artifacts use, and compares two such files
+// for the bench-regression gate.
+//
+// Convert (default mode):
+//
+//	go test -bench X ./... | benchjson -out BENCH_x.json
+//	benchjson -in bench.txt -out BENCH_x.json
+//
+// Each benchmark line becomes one flat JSON object: "name" (with the
+// trailing -GOMAXPROCS suffix stripped), "iterations", "ns_per_op",
+// and one key per extra metric using the metric's unit verbatim
+// ("B/op", "allocs/op", "p99-ns", "hit-ratio", ...). Lines that are
+// not benchmark results (goos/pkg/PASS/ok) are ignored.
+//
+// Compare (regression gate):
+//
+//	benchjson -compare -baseline BENCH_baseline.json \
+//	    [-threshold 0.25] [-match 'regex'] current.json...
+//
+// Benchmarks present in the baseline and in any current file (and
+// matching -match, when given) are diffed on ns_per_op. A slowdown
+// beyond the threshold prints a GitHub Actions ::warning annotation; a
+// speedup beyond it prints a ::notice suggesting a baseline refresh.
+// The exit status stays 0 either way — the gate is loud, not blocking
+// — so noisy CI hardware cannot hold releases hostage. Only I/O and
+// usage errors exit non-zero.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result row: name, iteration count, then the
+// measurement columns ("1234 ns/op  56 B/op ...").
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// procSuffix is the -GOMAXPROCS tail go test appends to parallel
+// benchmark names; stripped so runs on different machines compare.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// row is one converted benchmark. Extra metrics live beside the fixed
+// fields keyed by their unit, so the schema stays flat and the compare
+// mode (and jq) can address any metric uniformly.
+type row map[string]interface{}
+
+// parseBench converts go test -bench output into rows, in input order.
+func parseBench(r io.Reader) ([]row, error) {
+	var rows []row
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		metrics, ok := parseMetrics(m[3])
+		if !ok {
+			continue
+		}
+		rw := row{
+			"name":       procSuffix.ReplaceAllString(m[1], ""),
+			"iterations": iters,
+		}
+		for unit, v := range metrics {
+			if unit == "ns/op" {
+				rw["ns_per_op"] = v
+			} else {
+				rw[unit] = v
+			}
+		}
+		if _, ok := rw["ns_per_op"]; !ok {
+			continue // not a timing row (e.g. a benchmark that only ReportMetrics)
+		}
+		rows = append(rows, rw)
+	}
+	return rows, sc.Err()
+}
+
+// parseMetrics reads the "value unit" pairs of one result line.
+func parseMetrics(s string) (map[string]float64, bool) {
+	fields := strings.Fields(s)
+	if len(fields)%2 != 0 {
+		return nil, false
+	}
+	out := make(map[string]float64, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, false
+		}
+		out[fields[i+1]] = v
+	}
+	return out, len(out) > 0
+}
+
+// nsPerOp extracts the timing from a row, tolerating json.Unmarshal's
+// float64 and parseBench's native types.
+func nsPerOp(r row) (float64, bool) {
+	v, ok := r["ns_per_op"]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	return f, ok
+}
+
+// delta is one baseline/current comparison.
+type delta struct {
+	name       string
+	base, cur  float64
+	ratio      float64 // (cur-base)/base; positive = slower
+	regression bool
+	improved   bool
+}
+
+// compare diffs current rows against the baseline on ns_per_op.
+// missing returns the gated baseline benchmarks the current run never
+// produced — a renamed bench or a drifted -bench regex would otherwise
+// silently shrink the gate to a no-op.
+func compare(baseline, current []row, match *regexp.Regexp, threshold float64) (deltas []delta, missing []string) {
+	base := make(map[string]float64, len(baseline))
+	for _, r := range baseline {
+		if ns, ok := nsPerOp(r); ok {
+			if name, ok := r["name"].(string); ok {
+				base[name] = ns
+			}
+		}
+	}
+	seen := make(map[string]bool, len(current))
+	for _, r := range current {
+		name, ok := r["name"].(string)
+		if !ok {
+			continue
+		}
+		seen[name] = true
+		if match != nil && !match.MatchString(name) {
+			continue
+		}
+		cur, ok := nsPerOp(r)
+		if !ok {
+			continue
+		}
+		b, ok := base[name]
+		if !ok || b <= 0 {
+			continue
+		}
+		d := delta{name: name, base: b, cur: cur, ratio: (cur - b) / b}
+		d.regression = d.ratio > threshold
+		d.improved = d.ratio < -threshold
+		deltas = append(deltas, d)
+	}
+	for name := range base {
+		if !seen[name] && (match == nil || match.MatchString(name)) {
+			missing = append(missing, name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].ratio > deltas[j].ratio })
+	sort.Strings(missing)
+	return deltas, missing
+}
+
+// annotate renders the gate's report: one line per compared bench,
+// GitHub annotations for deltas beyond the threshold, and a warning
+// per gated baseline bench the current run failed to produce.
+func annotate(w io.Writer, deltas []delta, missing []string, threshold float64) (regressions int) {
+	for _, d := range deltas {
+		fmt.Fprintf(w, "%-60s %12.1f -> %12.1f ns/op  %+6.1f%%\n", d.name, d.base, d.cur, d.ratio*100)
+	}
+	for _, d := range deltas {
+		switch {
+		case d.regression:
+			regressions++
+			fmt.Fprintf(w, "::warning title=bench regression::%s is %.0f%% slower than baseline (%.1f -> %.1f ns/op, gate %.0f%%)\n",
+				d.name, d.ratio*100, d.base, d.cur, threshold*100)
+		case d.improved:
+			fmt.Fprintf(w, "::notice title=bench improvement::%s is %.0f%% faster than baseline (%.1f -> %.1f ns/op); consider refreshing BENCH_baseline.json\n",
+				d.name, -d.ratio*100, d.base, d.cur)
+		}
+	}
+	for _, name := range missing {
+		fmt.Fprintf(w, "::warning title=bench missing::%s is in BENCH_baseline.json but absent from this run — renamed bench or drifted -bench regex? The gate no longer covers it\n", name)
+	}
+	return regressions
+}
+
+func readRows(path string) ([]row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "bench output file to convert (default stdin)")
+		out       = flag.String("out", "", "JSON destination (default stdout)")
+		doCompare = flag.Bool("compare", false, "compare current JSON files (args) against -baseline instead of converting")
+		baseline  = flag.String("baseline", "", "baseline JSON for -compare")
+		threshold = flag.Float64("threshold", 0.25, "ns/op delta fraction that triggers an annotation")
+		match     = flag.String("match", "", "regexp restricting -compare to matching benchmark names")
+	)
+	flag.Parse()
+
+	if *doCompare {
+		if *baseline == "" || flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs -baseline FILE and at least one current JSON file")
+			os.Exit(2)
+		}
+		var matchRe *regexp.Regexp
+		if *match != "" {
+			re, err := regexp.Compile(*match)
+			if err != nil {
+				fatal(err)
+			}
+			matchRe = re
+		}
+		base, err := readRows(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var current []row
+		for _, path := range flag.Args() {
+			rows, err := readRows(path)
+			if err != nil {
+				fatal(err)
+			}
+			current = append(current, rows...)
+		}
+		deltas, missing := compare(base, current, matchRe, *threshold)
+		n := annotate(os.Stdout, deltas, missing, *threshold)
+		fmt.Printf("benchjson: compared %d benchmarks, %d regression(s) beyond %.0f%%, %d missing from this run (non-blocking)\n",
+			len(deltas), n, *threshold*100, len(missing))
+		return
+	}
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rows, err := parseBench(src)
+	if err != nil {
+		fatal(err)
+	}
+	if rows == nil {
+		rows = []row{} // empty input still emits a valid artifact
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// sample mirrors real `go test -bench` output: headers, parallel-name
+// suffixes, -benchmem columns, ReportMetric extras, and trailer lines.
+const sample = `goos: linux
+goarch: amd64
+pkg: culinary/internal/storage
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkReadPathHotGet/Pread         	  317802	       661.4 ns/op
+BenchmarkReadPathHotGet/MmapCache-4   	 1535702	       154.8 ns/op	         1.000 hit-ratio
+BenchmarkStoreConcurrentWrite/Sharded/syncEveryPut-8  	    61910	     19329 ns/op	     312 B/op	       7 allocs/op
+BenchmarkCompactionGetP99/compacting-2  	  120000	      1500 ns/op	      2100 p99-ns	       900 p50-ns
+PASS
+ok  	culinary/internal/storage	1.726s
+`
+
+func TestParseBench(t *testing.T) {
+	rows, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("parsed %d rows, want 4", len(rows))
+	}
+	byName := make(map[string]row)
+	for _, r := range rows {
+		byName[r["name"].(string)] = r
+	}
+	if _, ok := byName["BenchmarkReadPathHotGet/MmapCache"]; !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", byName)
+	}
+	r := byName["BenchmarkReadPathHotGet/MmapCache"]
+	if ns, _ := nsPerOp(r); ns != 154.8 {
+		t.Errorf("ns_per_op = %v, want 154.8", r["ns_per_op"])
+	}
+	if hr := r["hit-ratio"]; hr != 1.0 {
+		t.Errorf("hit-ratio = %v, want 1", hr)
+	}
+	mem := byName["BenchmarkStoreConcurrentWrite/Sharded/syncEveryPut"]
+	if mem["B/op"] != 312.0 || mem["allocs/op"] != 7.0 {
+		t.Errorf("benchmem columns = %v / %v, want 312 / 7", mem["B/op"], mem["allocs/op"])
+	}
+	p99 := byName["BenchmarkCompactionGetP99/compacting"]
+	if p99["p99-ns"] != 2100.0 || p99["p50-ns"] != 900.0 {
+		t.Errorf("extra metrics = %v / %v, want 2100 / 900", p99["p99-ns"], p99["p50-ns"])
+	}
+	if r["iterations"] != 1535702 {
+		t.Errorf("iterations = %v, want 1535702", r["iterations"])
+	}
+}
+
+func TestCompareFlagsRegressionsOnly(t *testing.T) {
+	base := []row{
+		{"name": "BenchmarkA", "ns_per_op": 100.0},
+		{"name": "BenchmarkB", "ns_per_op": 100.0},
+		{"name": "BenchmarkC", "ns_per_op": 100.0},
+		{"name": "BenchmarkBaselineOnly", "ns_per_op": 100.0},
+	}
+	cur := []row{
+		{"name": "BenchmarkA", "ns_per_op": 130.0}, // +30%: regression
+		{"name": "BenchmarkB", "ns_per_op": 110.0}, // +10%: within gate
+		{"name": "BenchmarkC", "ns_per_op": 60.0},  // -40%: improvement
+		{"name": "BenchmarkNewThisRun", "ns_per_op": 5.0},
+	}
+	deltas, missing := compare(base, cur, nil, 0.25)
+	if len(deltas) != 3 {
+		t.Fatalf("compared %d benchmarks, want 3 (intersection only)", len(deltas))
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkBaselineOnly" {
+		t.Fatalf("missing = %v, want [BenchmarkBaselineOnly]", missing)
+	}
+	var sb strings.Builder
+	n := annotate(&sb, deltas, missing, 0.25)
+	if n != 1 {
+		t.Fatalf("flagged %d regressions, want 1:\n%s", n, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "::warning title=bench regression::BenchmarkA") {
+		t.Errorf("missing warning for BenchmarkA:\n%s", out)
+	}
+	if strings.Contains(out, "::warning title=bench regression::BenchmarkB") {
+		t.Errorf("within-gate delta was flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "::notice title=bench improvement::BenchmarkC") {
+		t.Errorf("missing improvement notice for BenchmarkC:\n%s", out)
+	}
+	if !strings.Contains(out, "::warning title=bench missing::BenchmarkBaselineOnly") {
+		t.Errorf("gated baseline bench vanished without a warning:\n%s", out)
+	}
+}
+
+func TestCompareMatchRestricts(t *testing.T) {
+	base := []row{
+		{"name": "BenchmarkHotPath", "ns_per_op": 100.0},
+		{"name": "BenchmarkCold", "ns_per_op": 100.0},
+	}
+	cur := []row{
+		{"name": "BenchmarkHotPath", "ns_per_op": 200.0},
+		{"name": "BenchmarkCold", "ns_per_op": 200.0},
+	}
+	deltas, missing := compare(base, cur, regexp.MustCompile(`HotPath`), 0.25)
+	if len(deltas) != 1 || deltas[0].name != "BenchmarkHotPath" {
+		t.Fatalf("match filter kept %v, want only BenchmarkHotPath", deltas)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v, want none (BenchmarkCold is outside -match)", missing)
+	}
+}

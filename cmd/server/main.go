@@ -4,7 +4,7 @@
 // Usage:
 //
 //	server [-addr :8080] [-scale f] [-seed s] [-null n] [-db DIR]
-//	       [-db-shards n] [-db-sync]
+//	       [-db-shards n] [-db-sync] [-db-mmap] [-db-read-cache-bytes n]
 //	       [-db-compact-interval d] [-db-compact-garbage-ratio f]
 //
 // With -db, the corpus is loaded from (or, when absent, generated and
@@ -12,8 +12,11 @@
 // generation; the engine stays open behind /api/health's storage
 // statistics. -db-shards partitions the store's key directory (power
 // of two); -db-sync turns on the per-write durability contract, served
-// by the engine's group-commit writer. -db-compact-interval runs the
-// background incremental compactor at that period (0 disables it),
+// by the engine's group-commit writer. -db-mmap (on by default) maps
+// sealed segments read-only so point reads skip the pread syscall, and
+// -db-read-cache-bytes sizes a hot-key value cache in front of the log
+// (0 disables it); /api/health reports both. -db-compact-interval runs
+// the background incremental compactor at that period (0 disables it),
 // rewriting segments whose garbage fraction reached
 // -db-compact-garbage-ratio without blocking reads or writes.
 //
@@ -58,6 +61,8 @@ func main() {
 		dbDir     = flag.String("db", "", "storage snapshot directory (load if present, else generate and save)")
 		dbShards  = flag.Int("db-shards", 64, "keydir shard count for the storage engine (rounded up to a power of two)")
 		dbSync    = flag.Bool("db-sync", false, "fsync every write (group-committed; durable but slower)")
+		dbMmap    = flag.Bool("db-mmap", true, "mmap sealed segments for zero-syscall point reads")
+		dbCache   = flag.Int64("db-read-cache-bytes", 32<<20, "hot-key value cache byte budget (0 disables)")
 		dbCompact = flag.Duration("db-compact-interval", time.Minute, "background incremental compaction period (0 disables)")
 		dbGarbage = flag.Float64("db-compact-garbage-ratio", 0.5, "dead-byte fraction at which a sealed segment is compacted")
 	)
@@ -65,6 +70,8 @@ func main() {
 	dbOpts := storage.Options{
 		Shards:              *dbShards,
 		SyncEveryPut:        *dbSync,
+		Mmap:                *dbMmap,
+		ReadCacheBytes:      *dbCache,
 		CompactInterval:     *dbCompact,
 		CompactGarbageRatio: *dbGarbage,
 	}

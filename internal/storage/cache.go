@@ -1,0 +1,223 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// readCache is the hot-key value cache: a sharded, byte-bounded LRU
+// over decoded values, keyed by record key. It exists to serve repeat
+// point reads — including reads of the still-unmapped active segment —
+// without touching the log at all.
+//
+// Coherence is lock-coupled with the key directory rather than timed:
+//
+//   - Writers invalidate a key inside the same keydir-shard critical
+//     section that updates its entry (applyGroup), so "Put returned"
+//     implies "stale cache entry gone".
+//   - Readers insert only via Store.cacheFill, which re-verifies under
+//     the keydir shard read lock that the directory still points at the
+//     exact location the value was read from. An insert racing an
+//     overwrite therefore either loses the verification or completes
+//     before the writer's invalidation sweeps it out.
+//   - Every entry is tagged with the segment it was read from;
+//     compaction drops a retired victim's entries (invalidateSegment).
+//     Values are immutable across compaction so this is conservative,
+//     but it bounds how long a retired segment's bytes stay resident.
+//
+// Values are copied on the way in and on the way out: callers own the
+// slices Get returns and may mutate them freely.
+type readCache struct {
+	shards []cacheShard
+	mask   uint32
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// cacheEntry is one resident value on a shard's LRU list.
+type cacheEntry struct {
+	key        string
+	val        []byte
+	segID      uint64
+	prev, next *cacheEntry
+}
+
+// cacheShard is one independently locked partition of the cache.
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	m        map[string]*cacheEntry
+	// head is most recently used, tail least; nil for an empty list.
+	head, tail *cacheEntry
+}
+
+// readCacheShards partitions the cache so concurrent hot readers on
+// different keys rarely contend on one mutex.
+const readCacheShards = 16
+
+// cacheEntryOverhead approximates per-entry bookkeeping (map slot,
+// list pointers, headers) charged against the byte budget.
+const cacheEntryOverhead = 64
+
+// newReadCache builds a cache with a total byte budget split evenly
+// across the shards.
+func newReadCache(budget int64) *readCache {
+	c := &readCache{
+		shards: make([]cacheShard, readCacheShards),
+		mask:   readCacheShards - 1,
+	}
+	per := budget / readCacheShards
+	for i := range c.shards {
+		c.shards[i].capacity = per
+		c.shards[i].m = make(map[string]*cacheEntry)
+	}
+	return c
+}
+
+// fnv32a hashes key (FNV-1a), the same function the keydir shards use.
+func fnv32a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h
+}
+
+func (c *readCache) shardFor(key string) *cacheShard {
+	return &c.shards[fnv32a(key)&c.mask]
+}
+
+// entryCost is the budget charge for one cached value.
+func entryCost(key string, val []byte) int64 {
+	return int64(len(key)) + int64(len(val)) + cacheEntryOverhead
+}
+
+// get returns a copy of the cached value for key, promoting it to most
+// recently used.
+func (c *readCache) get(key string) ([]byte, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.m[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	sh.moveToFront(e)
+	out := append([]byte(nil), e.val...)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return out, true
+}
+
+// add inserts (or refreshes) a value copy tagged with the segment it
+// was read from, evicting from the cold end until the shard fits its
+// budget. Values whose cost exceeds a whole shard are not cached —
+// admitting one would evict everything for a key unlikely to repeat.
+func (c *readCache) add(key string, val []byte, segID uint64) {
+	sh := c.shardFor(key)
+	cost := entryCost(key, val)
+	if cost > sh.capacity {
+		return
+	}
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		sh.bytes += cost - entryCost(e.key, e.val)
+		e.val = append(e.val[:0], val...)
+		e.segID = segID
+		sh.moveToFront(e)
+	} else {
+		e := &cacheEntry{key: key, val: append([]byte(nil), val...), segID: segID}
+		sh.m[key] = e
+		sh.pushFront(e)
+		sh.bytes += cost
+	}
+	for sh.bytes > sh.capacity && sh.tail != nil {
+		sh.drop(sh.tail)
+	}
+	sh.mu.Unlock()
+}
+
+// invalidate removes key. Callers on the write path hold the key's
+// keydir shard lock, which is what makes invalidation linearize with
+// the directory update (see the type comment).
+func (c *readCache) invalidate(key string) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		sh.drop(e)
+	}
+	sh.mu.Unlock()
+}
+
+// invalidateSegments removes every entry read from the given segments
+// in one sweep of each shard — compaction passes its whole victim set,
+// so retirement costs O(resident entries) regardless of how many
+// victims a pass rewrote.
+func (c *readCache) invalidateSegments(segIDs map[uint64]bool) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.m {
+			if segIDs[e.segID] {
+				sh.drop(e)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// stats sums residency across shards.
+func (c *readCache) stats() (entries int, bytes, capacity int64) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		entries += len(sh.m)
+		bytes += sh.bytes
+		capacity += sh.capacity
+		sh.mu.Unlock()
+	}
+	return entries, bytes, capacity
+}
+
+// --- intrusive LRU list (shard mutex held) ---
+
+func (sh *cacheShard) pushFront(e *cacheEntry) {
+	e.prev, e.next = nil, sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *cacheShard) moveToFront(e *cacheEntry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+func (sh *cacheShard) drop(e *cacheEntry) {
+	sh.unlink(e)
+	delete(sh.m, e.key)
+	sh.bytes -= entryCost(e.key, e.val)
+}

@@ -181,11 +181,24 @@ func (s *Store) compactSegments(victims []*segment) error {
 	// Phase 5: publish the outputs, then flip the key directory one
 	// shard at a time. A per-key CAS keeps flips correct against
 	// concurrent writers: an entry that moved on is left alone and the
-	// copy is charged to the output as garbage.
+	// copy is charged to the output as garbage. Outputs are mapped
+	// before registration — they are sealed by construction, so the
+	// first reader to resolve one already gets the zero-syscall path.
+	for _, o := range outputs {
+		s.mapSegment(o)
+	}
 	s.segMu.Lock()
 	if s.closed.Load() {
 		s.segMu.Unlock()
 		s.compactor.wedged.Store(true)
+		// The outputs are durable and committed — the next Open rolls
+		// them in — but they will never be registered in this process,
+		// so release their descriptors and mappings instead of leaking
+		// them until exit. No reader can hold a pin: they were never
+		// published.
+		for _, o := range outputs {
+			o.retire(false)
+		}
 		return ErrClosed
 	}
 	for _, o := range outputs {
@@ -195,7 +208,10 @@ func (s *Store) compactSegments(victims []*segment) error {
 	s.flipKeydir(plan)
 
 	// Phase 6: retire the victims; each unlinks once pinned readers
-	// drain. reclaimed is the net on-disk shrink.
+	// drain. reclaimed is the net on-disk shrink. Cached values read
+	// from a victim are dropped with it — they are still byte-correct
+	// (compaction copies records verbatim), but evicting them bounds
+	// how long a retired segment's bytes stay resident.
 	var reclaimed int64
 	s.segMu.Lock()
 	for _, v := range victims {
@@ -205,6 +221,9 @@ func (s *Store) compactSegments(victims []*segment) error {
 		v.retire(true)
 	}
 	s.segMu.Unlock()
+	if s.cache != nil {
+		s.cache.invalidateSegments(victimIDs)
+	}
 	for _, o := range outputs {
 		reclaimed -= o.size
 	}

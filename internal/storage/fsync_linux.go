@@ -1,0 +1,56 @@
+//go:build linux
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// datasync flushes f's appended bytes plus the minimum metadata needed
+// to read them back (notably the file size), skipping the full inode
+// journal commit an fsync pays for timestamps and the block map. With
+// preallocated segments the block map never changes between group
+// commits, so the durable-write hot path is reduced to the data flush
+// alone.
+func datasync(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}
+
+// preallocate reserves and extends f to size bytes up front, so
+// appends inside the region change neither the block map nor the file
+// size — the metadata that would otherwise still hit the journal on
+// every fdatasync. The zero-filled tail past the logical end is
+// invisible to readers (the keydir never points there) and is trimmed
+// at seal/Close; after a crash, tail repair truncates it away instead
+// of replaying it (zero bytes never decode as a record: the key length
+// is zero, which framing rejects).
+func preallocate(f *os.File, size int64) error {
+	if size <= 0 {
+		return nil
+	}
+	for {
+		err := syscall.Fallocate(int(f.Fd()), 0, 0, size)
+		switch err {
+		case syscall.EINTR:
+			continue
+		case syscall.EOPNOTSUPP, syscall.ENOSYS, syscall.EINVAL:
+			// Filesystems without fallocate (some tmpfs/network
+			// mounts): preallocation is an optimization only, appends
+			// still extend the file exactly as before.
+			return nil
+		case syscall.ENOSPC, syscall.EDQUOT:
+			// Not enough room to reserve the whole segment up front.
+			// The records about to be appended may still fit fine, so
+			// degrade to unpreallocated appends rather than failing
+			// writes a fuller-featured disk would have taken.
+			return nil
+		}
+		return err
+	}
+}

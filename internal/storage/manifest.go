@@ -157,18 +157,25 @@ func osFS() fsOps {
 		create: func(path string) (segfile, error) {
 			return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 		},
-		rename: os.Rename,
-		remove: os.Remove,
-		syncDir: func(dir string) error {
-			d, err := os.Open(dir)
-			if err != nil {
-				return err
-			}
-			err = d.Sync()
-			if cerr := d.Close(); err == nil {
-				err = cerr
-			}
-			return err
-		},
+		rename:  os.Rename,
+		remove:  os.Remove,
+		syncDir: syncDir,
 	}
+}
+
+// syncDir fsyncs a directory, making renames and creations inside it
+// durable. Rotation calls it directly (the active-segment path is
+// deliberately outside the fault-injection seam, like the segment
+// create itself); the compaction/manifest protocol goes through
+// fsOps.syncDir so the crash harness can fail it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package storage
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported gates tests that assert mapped reads actually happen.
+const mmapSupported = false
+
+// errMmapUnsupported makes mapSegment silently keep the pread path on
+// platforms without mmap.
+var errMmapUnsupported = errors.New("storage: mmap unsupported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) { return nil, errMmapUnsupported }
+
+func munmapFile(b []byte) error { return nil }

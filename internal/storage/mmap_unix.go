@@ -1,0 +1,28 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates tests that assert mapped reads actually happen.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared. The caller owns
+// the returned slice and must munmapFile it exactly once.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size > int64(maxMapBytes) {
+		return nil, fmt.Errorf("storage: unmappable segment size %d", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(b []byte) error { return syscall.Munmap(b) }
+
+// maxMapBytes caps one mapping at the platform int range (mmap takes
+// an int length); segments are MaxSegmentBytes-sized, far below it.
+const maxMapBytes = int(^uint(0) >> 1)

@@ -4,11 +4,13 @@
 // (http://cosylab.iiitd.edu.in/culinarydb); this package is the durable
 // substrate behind our equivalent: append-only data segments with CRC32C
 // framing, a sharded in-memory key directory, group-commit batched
-// appends, parallel segment replay at Open, tail-truncation crash
-// recovery and background incremental compaction with a crash-safe
-// manifest, in the style of bitcask. See README.md for the shard
-// layout, the group-commit protocol, the recovery ordering invariant
-// and the compaction crash matrix.
+// appends (fdatasync into preallocated segments on linux), an mmap
+// read path with a hot-key value cache, parallel segment replay at
+// Open, tail-truncation crash recovery and background incremental
+// compaction with a crash-safe manifest, in the style of bitcask. See
+// README.md for the shard layout, the group-commit protocol, the read
+// and durability paths, the recovery ordering invariant and the
+// compaction crash matrix.
 package storage
 
 import (

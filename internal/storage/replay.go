@@ -86,6 +86,10 @@ func (s *Store) loadSegments(ids []uint64) error {
 		s.segments[id] = seg
 		if i == len(ids)-1 {
 			s.active = seg
+		} else {
+			// Sealed segments are immutable from here on; map them so
+			// point reads skip the pread syscall.
+			s.mapSegment(seg)
 		}
 		// Records superseded within this file never reached the
 		// per-segment map; they are this file's intra-segment garbage.
