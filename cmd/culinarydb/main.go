@@ -5,6 +5,7 @@
 //
 //	culinarydb -out corpus.csv [-format csv|json] [-scale f] [-seed s]
 //	culinarydb -stats [-region CODE]
+//	culinarydb -query "SELECT ..." [-query-result-cache-bytes n]   # run CQL against the corpus
 //	culinarydb -savedb DIR [-db-shards n] [-db-sync]   # persist a storage-engine snapshot
 //	           [-db-mmap] [-db-read-cache-bytes n]
 //	           [-db-compact-interval d] [-db-compact-garbage-ratio f]
@@ -19,6 +20,7 @@ import (
 
 	"culinary/internal/flavor"
 	"culinary/internal/pairing"
+	"culinary/internal/query"
 	"culinary/internal/recipedb"
 	"culinary/internal/report"
 	"culinary/internal/stats"
@@ -34,6 +36,9 @@ func main() {
 		seed      = flag.Uint64("seed", 20180416, "master seed")
 		stats     = flag.Bool("stats", false, "print per-region statistics instead of exporting")
 		region    = flag.String("region", "", "restrict -stats to one region code")
+		queryStmt = flag.String("query", "", "run one CQL statement against the generated corpus")
+		resCache  = flag.Int64("query-result-cache-bytes", query.DefaultResultCacheBytes,
+			"result cache byte budget for -query (0 disables)")
 		savedb    = flag.String("savedb", "", "persist the corpus into a storage snapshot directory")
 		dbinfo    = flag.String("dbinfo", "", "print statistics of a snapshot directory and exit")
 		dbShards  = flag.Int("db-shards", 64, "keydir shard count for the storage engine (rounded up to a power of two)")
@@ -49,8 +54,8 @@ func main() {
 		printDBInfo(*dbinfo)
 		return
 	}
-	if *out == "" && !*stats && *savedb == "" {
-		fmt.Fprintln(os.Stderr, "culinarydb: need -out FILE, -stats, -savedb DIR or -dbinfo DIR; see -help")
+	if *out == "" && !*stats && *savedb == "" && *queryStmt == "" {
+		fmt.Fprintln(os.Stderr, "culinarydb: need -out FILE, -stats, -query STMT, -savedb DIR or -dbinfo DIR; see -help")
 		os.Exit(2)
 	}
 
@@ -110,6 +115,11 @@ func main() {
 		return
 	}
 
+	if *queryStmt != "" {
+		runQuery(store, analyzer, *queryStmt, *resCache)
+		return
+	}
+
 	var w *os.File
 	if *out == "-" {
 		w = os.Stdout
@@ -129,6 +139,25 @@ func main() {
 		err = fmt.Errorf("unknown format %q", *format)
 	}
 	if err != nil {
+		fatal(err)
+	}
+}
+
+// runQuery executes one CQL statement against the corpus and prints
+// the result table plus the engine's cache counters.
+func runQuery(store *recipedb.Store, analyzer *pairing.Analyzer, stmt string, resCacheBytes int64) {
+	engine := query.NewEngine(store, analyzer)
+	if resCacheBytes != 0 {
+		engine.EnableResultCache(resCacheBytes)
+	}
+	t0 := time.Now()
+	res, err := engine.Run(stmt)
+	if err != nil {
+		fatal(err)
+	}
+	title := fmt.Sprintf("%d rows (scanned %d recipes in %v, corpus version %d)",
+		len(res.Rows), res.Scanned, time.Since(t0).Round(time.Microsecond), res.Version)
+	if err := res.Table(title).Render(os.Stdout); err != nil {
 		fatal(err)
 	}
 }

@@ -5,6 +5,11 @@
 //	query [-scale f] [-seed s] "SELECT region, count(*) FROM recipes GROUP BY region"
 //	query -i            # interactive: one statement per line on stdin
 //	query -db DIR ...   # load the corpus from a storage snapshot
+//	query [-query-result-cache-bytes n] ...  # size the result cache (0 disables)
+//
+// Interactive sessions accept meta commands alongside statements:
+// ":stats" prints one unified view of the plan cache and the result
+// cache. The same view is printed when the session ends.
 //
 // The grammar is documented in internal/query; examples:
 //
@@ -35,6 +40,8 @@ func main() {
 		seed        = flag.Uint64("seed", 20180416, "master seed")
 		interactive = flag.Bool("i", false, "read one statement per line from stdin")
 		dbDir       = flag.String("db", "", "load the corpus from a storage snapshot directory")
+		resCache    = flag.Int64("query-result-cache-bytes", query.DefaultResultCacheBytes,
+			"result cache byte budget, keyed by (statement, corpus version) (0 disables)")
 	)
 	flag.Parse()
 	if !*interactive && flag.NArg() == 0 {
@@ -87,6 +94,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "corpus: %d recipes (built in %v)\n",
 		store.Len(), time.Since(t0).Round(time.Millisecond))
 	engine := query.NewEngine(store, analyzer)
+	if *resCache != 0 {
+		engine.EnableResultCache(*resCache)
+	}
 
 	if !*interactive {
 		run(engine, strings.Join(flag.Args(), " "))
@@ -97,16 +107,44 @@ func main() {
 	fmt.Fprint(os.Stderr, "cql> ")
 	for sc.Scan() {
 		stmt := strings.TrimSpace(sc.Text())
-		if stmt != "" && !strings.HasPrefix(stmt, "--") {
+		switch {
+		case stmt == "" || strings.HasPrefix(stmt, "--"):
+		case strings.HasPrefix(stmt, ":"):
+			metaCommand(engine, stmt)
+		default:
 			run(engine, stmt)
 		}
 		fmt.Fprint(os.Stderr, "cql> ")
 	}
-	// Repeated dashboard statements skip Parse+bind via the plan cache;
-	// report how often that paid off for this session.
-	cs := engine.CacheStats()
-	fmt.Fprintf(os.Stderr, "\nplan cache: %d hits, %d misses, %d cached plans\n",
-		cs.Hits, cs.Misses, cs.Entries)
+	// Repeated dashboard statements skip Parse+bind via the plan cache
+	// and — when the result cache is on — the corpus scan entirely;
+	// report how often both paid off for this session.
+	fmt.Fprintf(os.Stderr, "\n%s", formatStats(engine.CacheStats(), engine.ResultCacheStats()))
+}
+
+// metaCommand handles ":"-prefixed interactive commands.
+func metaCommand(engine *query.Engine, cmd string) {
+	switch cmd {
+	case ":stats":
+		fmt.Fprint(os.Stderr, formatStats(engine.CacheStats(), engine.ResultCacheStats()))
+	default:
+		fmt.Fprintf(os.Stderr, "query: unknown command %s (try :stats)\n", cmd)
+	}
+}
+
+// formatStats renders the unified cache view the interactive ":stats"
+// command and the session summary share: one line per cache tier.
+func formatStats(plan query.CacheStats, res query.ResultCacheStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan cache:   %d hits, %d misses, %d entries (cap %d)\n",
+		plan.Hits, plan.Misses, plan.Entries, plan.Capacity)
+	if !res.Enabled {
+		b.WriteString("result cache: disabled\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "result cache: %d hits, %d misses, %d entries, %d/%d bytes, %d evicted, %d invalidated\n",
+		res.Hits, res.Misses, res.Entries, res.Bytes, res.Capacity, res.Evicted, res.Invalidated)
+	return b.String()
 }
 
 // run executes one statement, printing the result table or the error

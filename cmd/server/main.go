@@ -6,19 +6,24 @@
 //	server [-addr :8080] [-scale f] [-seed s] [-null n] [-db DIR]
 //	       [-db-shards n] [-db-sync] [-db-mmap] [-db-read-cache-bytes n]
 //	       [-db-compact-interval d] [-db-compact-garbage-ratio f]
+//	       [-query-result-cache-bytes n]
 //
 // With -db, the corpus is loaded from (or, when absent, generated and
 // saved into) a storage snapshot directory, so restarts skip corpus
 // generation; the engine stays open behind /api/health's storage
-// statistics. -db-shards partitions the store's key directory (power
-// of two); -db-sync turns on the per-write durability contract, served
-// by the engine's group-commit writer. -db-mmap (on by default) maps
-// sealed segments read-only so point reads skip the pread syscall, and
-// -db-read-cache-bytes sizes a hot-key value cache in front of the log
-// (0 disables it); /api/health reports both. -db-compact-interval runs
-// the background incremental compactor at that period (0 disables it),
-// rewriting segments whose garbage fraction reached
-// -db-compact-garbage-ratio without blocking reads or writes.
+// statistics, and recipe mutations (POST/DELETE /api/recipes) write
+// through to it, so they survive restarts. -db-shards partitions the
+// store's key directory (power of two); -db-sync turns on the
+// per-write durability contract, served by the engine's group-commit
+// writer. -db-mmap (on by default) maps sealed segments read-only so
+// point reads skip the pread syscall, and -db-read-cache-bytes sizes a
+// hot-key value cache in front of the log (0 disables it); /api/health
+// reports both. -db-compact-interval runs the background incremental
+// compactor at that period (0 disables it), rewriting segments whose
+// garbage fraction reached -db-compact-garbage-ratio without blocking
+// reads or writes. -query-result-cache-bytes bounds the CQL engine's
+// result cache, keyed by (normalized statement, corpus version) so a
+// mutation fences every older cached result (0 disables it).
 //
 // Endpoints (all JSON):
 //
@@ -28,6 +33,8 @@
 //	GET  /api/regions/{code}/pairing?null=N&model=frequency
 //	GET  /api/recipes?region=ITA&limit=20&offset=0
 //	GET  /api/recipes/{id}
+//	POST /api/recipes    {"name": ..., "region": "ITA", "source": ..., "ingredients": [...], "id"?: N}
+//	DELETE /api/recipes/{id}
 //	GET  /api/ingredients/{name}
 //	GET  /api/ingredients/{name}/pairings?limit=10
 //	GET  /api/search?q=tomato+garlic&mode=all&fuzzy=1&region=ITA
@@ -46,6 +53,7 @@ import (
 
 	"culinary/internal/flavor"
 	"culinary/internal/pairing"
+	"culinary/internal/query"
 	"culinary/internal/recipedb"
 	"culinary/internal/server"
 	"culinary/internal/storage"
@@ -65,6 +73,7 @@ func main() {
 		dbCache   = flag.Int64("db-read-cache-bytes", 32<<20, "hot-key value cache byte budget (0 disables)")
 		dbCompact = flag.Duration("db-compact-interval", time.Minute, "background incremental compaction period (0 disables)")
 		dbGarbage = flag.Float64("db-compact-garbage-ratio", 0.5, "dead-byte fraction at which a sealed segment is compacted")
+		resCache  = flag.Int64("query-result-cache-bytes", query.DefaultResultCacheBytes, "CQL result cache byte budget, keyed by (statement, corpus version) (0 disables)")
 	)
 	flag.Parse()
 	dbOpts := storage.Options{
@@ -93,16 +102,21 @@ func main() {
 	}
 	if db != nil {
 		defer db.Close()
+		// Recipe mutations write through to the open engine, so they
+		// survive restarts. Writes serialize behind the corpus lock;
+		// batching them is a ROADMAP follow-up.
+		store.SetBackend(db)
 	}
 	logger.Printf("corpus ready: %d recipes in %v", store.Len(), time.Since(t0).Round(time.Millisecond))
 
 	srv, err := server.New(server.Config{
-		Store:       store,
-		Analyzer:    analyzer,
-		NullRecipes: *null,
-		Seed:        *seed,
-		Logger:      logger,
-		DB:          db,
+		Store:            store,
+		Analyzer:         analyzer,
+		NullRecipes:      *null,
+		Seed:             *seed,
+		Logger:           logger,
+		DB:               db,
+		ResultCacheBytes: *resCache,
 	})
 	if err != nil {
 		fatal(err)

@@ -36,14 +36,15 @@ type recipeState struct {
 // in recipe order so serial and parallel runs are bit-identical.
 func (a *Analyzer) contributionBase(store *recipedb.Store, c *recipedb.Cuisine, workers int) (states []recipeState, recipesOf map[int][]int, baseSum float64, baseN int) {
 	states = make([]recipeState, len(c.RecipeIDs))
+	lists := store.IngredientLists(c.RecipeIDs)
 	if workers > 1 {
 		forEachIndexParallel(len(c.RecipeIDs), workers, func(k int) {
-			sum, prof := a.pairSum(store.Recipe(c.RecipeIDs[k]).Ingredients)
+			sum, prof := a.pairSum(lists[k])
 			states[k] = recipeState{sum: sum, prof: prof}
 		})
 	} else {
-		for k, rid := range c.RecipeIDs {
-			sum, prof := a.pairSum(store.Recipe(rid).Ingredients)
+		for k := range lists {
+			sum, prof := a.pairSum(lists[k])
 			states[k] = recipeState{sum: sum, prof: prof}
 		}
 	}

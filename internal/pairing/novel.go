@@ -40,8 +40,7 @@ func NovelPairs(a *Analyzer, store *recipedb.Store, c *recipedb.Cuisine, sign, k
 	}
 	// Count pairwise co-occurrences over the cuisine's recipes.
 	co := make(map[[2]flavor.ID]int)
-	for _, rid := range c.RecipeIDs {
-		ings := store.Recipe(rid).Ingredients
+	for _, ings := range store.IngredientLists(c.RecipeIDs) {
 		for i := 0; i < len(ings); i++ {
 			for j := i + 1; j < len(ings); j++ {
 				x, y := ings[i], ings[j]

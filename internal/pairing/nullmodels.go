@@ -66,7 +66,6 @@ type NullSampler struct {
 	model    Model
 	analyzer *Analyzer
 	cuisine  *recipedb.Cuisine
-	store    *recipedb.Store
 	src      *rng.Source
 
 	// ingredient pool of the cuisine
@@ -76,9 +75,10 @@ type NullSampler struct {
 	// per-category pools and frequency samplers (category models)
 	catPool [][]flavor.ID
 	catFreq []*rng.Weighted
-	// template recipes provide sizes (all models) and category
-	// compositions (category models)
-	templates []int
+	// templates holds the cuisine recipes' ingredient lists, snapshot
+	// at construction (one store lock, not one per draw): they provide
+	// sizes (all models) and category compositions (category models)
+	templates [][]flavor.ID
 	buf       []flavor.ID
 	seen      map[flavor.ID]struct{}
 }
@@ -101,10 +101,9 @@ func NewNullSampler(a *Analyzer, store *recipedb.Store, c *recipedb.Cuisine, m M
 		model:     m,
 		analyzer:  a,
 		cuisine:   c,
-		store:     store,
 		src:       src,
 		pool:      c.UniqueIngredients,
-		templates: c.RecipeIDs,
+		templates: store.IngredientLists(c.RecipeIDs),
 		seen:      make(map[flavor.ID]struct{}, 32),
 	}
 	switch m {
@@ -154,8 +153,8 @@ func (s *NullSampler) Model() Model { return s.model }
 // IDs). The returned slice is reused across calls; callers must not
 // retain it.
 func (s *NullSampler) Draw() []flavor.ID {
-	tmpl := s.store.Recipe(s.templates[s.src.Intn(len(s.templates))])
-	size := tmpl.Size()
+	tmpl := s.templates[s.src.Intn(len(s.templates))]
+	size := len(tmpl)
 	s.buf = s.buf[:0]
 	for k := range s.seen {
 		delete(s.seen, k)
@@ -190,7 +189,7 @@ func (s *NullSampler) Draw() []flavor.ID {
 		// if the whole category is exhausted the slot keeps the
 		// template's original ingredient.
 		catalog := s.analyzer.Catalog()
-		for _, orig := range tmpl.Ingredients {
+		for _, orig := range tmpl {
 			cat := catalog.Ingredient(orig).Category
 			id := s.drawFromCategory(cat, orig)
 			s.seen[id] = struct{}{}

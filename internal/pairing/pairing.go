@@ -195,8 +195,8 @@ func (a *Analyzer) pairSum(ids []flavor.ID) (sum int64, profiled []int) {
 // number of scored recipes.
 func (a *Analyzer) CuisineScore(store *recipedb.Store, c *recipedb.Cuisine) (float64, int) {
 	var acc stats.Accumulator
-	for _, rid := range c.RecipeIDs {
-		if s, ok := a.RecipeScore(store.Recipe(rid).Ingredients); ok {
+	for _, ings := range store.IngredientLists(c.RecipeIDs) {
+		if s, ok := a.RecipeScore(ings); ok {
 			acc.Add(s)
 		}
 	}

@@ -88,8 +88,11 @@ func (a *Analyzer) ScoreCuisineParallel(store *recipedb.Store, c *recipedb.Cuisi
 	}
 	scores := make([]float64, n)
 	ok := make([]bool, n)
+	// One locked snapshot up front: workers then score without touching
+	// the store, so shards never contend on its reader count.
+	lists := store.IngredientLists(c.RecipeIDs)
 	forEachIndexParallel(n, workers, func(k int) {
-		scores[k], ok[k] = a.RecipeScore(store.Recipe(c.RecipeIDs[k]).Ingredients)
+		scores[k], ok[k] = a.RecipeScore(lists[k])
 	})
 	var acc stats.Accumulator
 	for k := 0; k < n; k++ {

@@ -88,8 +88,8 @@ func CompareTuples(a *Analyzer, store *recipedb.Store, c *recipedb.Cuisine, k, n
 		return TupleResult{}, fmt.Errorf("pairing: tuple order %d outside [2,6]", k)
 	}
 	var obs stats.Accumulator
-	for _, rid := range c.RecipeIDs {
-		if v, ok := a.TupleScore(store.Recipe(rid).Ingredients, k); ok {
+	for _, ings := range store.IngredientLists(c.RecipeIDs) {
+		if v, ok := a.TupleScore(ings, k); ok {
 			obs.Add(v)
 		}
 	}

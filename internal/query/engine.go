@@ -23,16 +23,20 @@ var (
 
 // Engine executes parsed queries against a recipe corpus. It is safe
 // for concurrent use; hot statements are served from an internal plan
-// cache keyed by normalized statement text.
+// cache keyed by normalized statement text, and — when enabled — whole
+// materialized results are served from a (statement, corpus version)
+// result cache in front of execution.
 type Engine struct {
 	store    *recipedb.Store
 	catalog  *flavor.Catalog
 	analyzer *pairing.Analyzer // optional; enables the 'score' field
 	plans    *planCache
+	results  *resultCache // nil until EnableResultCache
 }
 
 // NewEngine builds an engine. analyzer may be nil, in which case queries
-// touching the 'score' field fail with ErrNoScore.
+// touching the 'score' field fail with ErrNoScore. The result cache
+// starts disabled; call EnableResultCache to add it.
 func NewEngine(store *recipedb.Store, analyzer *pairing.Analyzer) *Engine {
 	return &Engine{
 		store:    store,
@@ -42,18 +46,43 @@ func NewEngine(store *recipedb.Store, analyzer *pairing.Analyzer) *Engine {
 	}
 }
 
+// EnableResultCache adds a byte-bounded result cache keyed by
+// (normalized statement, corpus version) in front of execution.
+// maxBytes <= 0 selects DefaultResultCacheBytes. Call before the
+// engine is shared between goroutines.
+func (e *Engine) EnableResultCache(maxBytes int64) {
+	e.results = newResultCache(maxBytes)
+}
+
 // CacheStats reports the plan cache's hit/miss counters.
 func (e *Engine) CacheStats() CacheStats {
 	return e.plans.stats()
 }
 
-// Result is a materialized query result.
+// ResultCacheStats reports the result cache's counters; the zero value
+// (Enabled == false) when the cache was never enabled.
+func (e *Engine) ResultCacheStats() ResultCacheStats {
+	if e.results == nil {
+		return ResultCacheStats{}
+	}
+	return e.results.stats()
+}
+
+// Result is a materialized query result. Results returned by Run may
+// be shared with other callers through the result cache: treat every
+// field as read-only.
 type Result struct {
 	Columns []string
 	Rows    [][]Value
 	// Scanned is the number of recipes the executor visited; with the
-	// region-index optimization this is less than the corpus size.
+	// region-index optimization this is less than the corpus size. A
+	// result-cache hit reports the scan count of the execution that
+	// populated the entry.
 	Scanned int
+	// Version is the corpus version the result was computed at. The
+	// executor runs inside one corpus read epoch, so the result is
+	// exactly the statement's answer at this version.
+	Version uint64
 }
 
 // Table renders the result as an ASCII table.
@@ -69,24 +98,45 @@ func (r *Result) Table(title string) *report.Table {
 	return t
 }
 
-// Run executes a CQL statement. A plan-cache hit skips both parsing
-// and binding; misses plan from scratch and populate the cache.
-// Statements that fail to parse or bind are never cached.
+// Run executes a CQL statement. A result-cache hit (same normalized
+// statement, same corpus version) returns the shared materialized
+// Result without planning or scanning; a plan-cache hit skips Parse
+// and bind; misses plan from scratch and populate both caches.
+// Statements that fail to parse or bind are never cached. Execution
+// happens inside one corpus read epoch, so the returned Result is a
+// consistent snapshot stamped with its corpus version.
 func (e *Engine) Run(input string) (*Result, error) {
 	key := normalizeStatement(input)
-	if p, ok := e.plans.get(key); ok {
-		return e.exec(p.q, p.c)
+	if e.results != nil {
+		if res, ok := e.results.get(key, e.store.Version()); ok {
+			return res, nil
+		}
 	}
-	q, err := Parse(input)
-	if err != nil {
-		return nil, err
+	p, ok := e.plans.get(key)
+	if !ok {
+		q, err := Parse(input)
+		if err != nil {
+			return nil, err
+		}
+		c, err := e.bind(q)
+		if err != nil {
+			return nil, err
+		}
+		p = &cachedPlan{key: key, q: q, c: c}
+		e.plans.put(p)
 	}
-	c, err := e.bind(q)
-	if err != nil {
-		return nil, err
+	var res *Result
+	var execErr error
+	e.store.Read(func(v *recipedb.View) {
+		res, execErr = e.exec(p.q, p.c, v)
+	})
+	if execErr != nil {
+		return nil, execErr
 	}
-	e.plans.put(&cachedPlan{key: key, q: q, c: c})
-	return e.exec(q, c)
+	if e.results != nil {
+		e.results.put(key, res.Version, res)
+	}
+	return res, nil
 }
 
 // compiledExpr is an expression with has()/category() arguments bound to
@@ -180,25 +230,27 @@ type scanPlan struct {
 }
 
 // String renders the plan for EXPLAIN output.
-func (p scanPlan) describe(e *Engine) string {
+func (p scanPlan) describe(e *Engine, v *recipedb.View) string {
 	switch {
 	case p.useIngredient && p.region != recipedb.World:
 		return fmt.Sprintf("ingredient index scan on %q (%d candidates) with region filter %s",
-			e.catalog.Ingredient(p.ingredient).Name, len(e.store.IngredientRecipes(p.ingredient)), p.region.Code())
+			e.catalog.Ingredient(p.ingredient).Name, len(v.IngredientRecipes(p.ingredient)), p.region.Code())
 	case p.useIngredient:
 		return fmt.Sprintf("ingredient index scan on %q (%d candidates)",
-			e.catalog.Ingredient(p.ingredient).Name, len(e.store.IngredientRecipes(p.ingredient)))
+			e.catalog.Ingredient(p.ingredient).Name, len(v.IngredientRecipes(p.ingredient)))
 	case p.region != recipedb.World:
-		return fmt.Sprintf("region index scan on %s (%d candidates)", p.region.Code(), e.store.RegionLen(p.region))
+		return fmt.Sprintf("region index scan on %s (%d candidates)", p.region.Code(), v.RegionLen(p.region))
 	default:
-		return fmt.Sprintf("full scan (%d recipes)", e.store.Len())
+		return fmt.Sprintf("full scan (%d recipes)", v.Len())
 	}
 }
 
 // planScan inspects the top-level AND chain for indexable conjuncts: a
 // region equality and/or bare has() calls. Among available indexes the
-// executor picks the most selective candidate list.
-func (e *Engine) planScan(x Expr, c *compiledExpr) scanPlan {
+// executor picks the most selective candidate list. Selectivity is
+// judged against the view's snapshot, so a cached plan re-plans its
+// scan on every execution — index choice tracks corpus mutations.
+func (e *Engine) planScan(x Expr, c *compiledExpr, v *recipedb.View) scanPlan {
 	plan := scanPlan{region: recipedb.World}
 	var walk func(Expr)
 	walk = func(x Expr) {
@@ -227,7 +279,7 @@ func (e *Engine) planScan(x Expr, c *compiledExpr) scanPlan {
 			}
 			id := c.hasIDs[n.Arg]
 			if !plan.useIngredient ||
-				len(e.store.IngredientRecipes(id)) < len(e.store.IngredientRecipes(plan.ingredient)) {
+				len(v.IngredientRecipes(id)) < len(v.IngredientRecipes(plan.ingredient)) {
 				plan.ingredient, plan.useIngredient = id, true
 			}
 		case *BinaryExpr:
@@ -243,7 +295,7 @@ func (e *Engine) planScan(x Expr, c *compiledExpr) scanPlan {
 	// posting list is smaller than the region bucket; region filtering
 	// still happens inside the WHERE evaluation either way.
 	if plan.useIngredient && plan.region != recipedb.World {
-		if e.store.RegionLen(plan.region) < len(e.store.IngredientRecipes(plan.ingredient)) {
+		if v.RegionLen(plan.region) < len(v.IngredientRecipes(plan.ingredient)) {
 			plan.useIngredient = false
 		}
 	}
@@ -409,18 +461,25 @@ func expandItems(items []SelectItem) (out []SelectItem, hasAgg, hasPlain bool, e
 }
 
 // Exec executes a parsed query, binding it first. Callers holding a
-// statement string should prefer Run, which caches the bound plan.
+// statement string should prefer Run, which caches the bound plan and
+// (when enabled) the materialized result.
 func (e *Engine) Exec(q *Query) (*Result, error) {
 	c, err := e.bind(q)
 	if err != nil {
 		return nil, err
 	}
-	return e.exec(q, c)
+	var res *Result
+	var execErr error
+	e.store.Read(func(v *recipedb.View) {
+		res, execErr = e.exec(q, c, v)
+	})
+	return res, execErr
 }
 
-// exec executes a bound plan. q and c are treated as immutable, so
-// cached plans execute concurrently without copying.
-func (e *Engine) exec(q *Query, c *compiledExpr) (*Result, error) {
+// exec executes a bound plan against one corpus view. q and c are
+// treated as immutable, so cached plans execute concurrently without
+// copying; v pins the (version, snapshot) pair for the whole run.
+func (e *Engine) exec(q *Query, c *compiledExpr, v *recipedb.View) (*Result, error) {
 	items, hasAgg, hasPlain, err := expandItems(q.Items)
 	if err != nil {
 		return nil, err
@@ -436,29 +495,29 @@ func (e *Engine) exec(q *Query, c *compiledExpr) (*Result, error) {
 		}
 	}
 
-	res := &Result{}
+	res := &Result{Version: v.Version}
 	for _, it := range items {
 		res.Columns = append(res.Columns, it.Label())
 	}
 
 	plan := scanPlan{region: recipedb.World}
 	if q.Where != nil {
-		plan = e.planScan(q.Where, c)
+		plan = e.planScan(q.Where, c, v)
 	}
 	if q.Explain {
 		res.Columns = []string{"plan"}
-		res.Rows = [][]Value{{stringVal(plan.describe(e))}}
+		res.Rows = [][]Value{{stringVal(plan.describe(e, v))}}
 		return res, nil
 	}
 
 	var execErr error
 	switch {
 	case q.GroupBy != nil:
-		execErr = e.execGrouped(q, c, items, plan, res)
+		execErr = e.execGrouped(q, c, items, plan, res, v)
 	case hasAgg:
-		execErr = e.execAggregate(q, c, items, plan, res)
+		execErr = e.execAggregate(q, c, items, plan, res, v)
 	default:
-		execErr = e.execScan(q, c, items, plan, res)
+		execErr = e.execScan(q, c, items, plan, res, v)
 	}
 	if execErr != nil {
 		return nil, execErr
@@ -489,10 +548,10 @@ func (e *Engine) exec(q *Query, c *compiledExpr) (*Result, error) {
 }
 
 // forEach visits candidate recipes, honoring the chosen index.
-func (e *Engine) forEach(plan scanPlan, res *Result, fn func(*recipedb.Recipe) error) error {
+func (e *Engine) forEach(plan scanPlan, res *Result, v *recipedb.View, fn func(*recipedb.Recipe) error) error {
 	if plan.useIngredient {
-		for _, rid := range e.store.IngredientRecipes(plan.ingredient) {
-			rec := e.store.Recipe(rid)
+		for _, rid := range v.IngredientRecipes(plan.ingredient) {
+			rec := v.Recipe(rid)
 			if plan.region != recipedb.World && rec.Region != plan.region {
 				continue // region check is free; skip before counting
 			}
@@ -504,7 +563,7 @@ func (e *Engine) forEach(plan scanPlan, res *Result, fn func(*recipedb.Recipe) e
 		return nil
 	}
 	var visitErr error
-	e.store.ForEachInRegion(plan.region, func(rec *recipedb.Recipe) {
+	v.ForEachInRegion(plan.region, func(rec *recipedb.Recipe) {
 		if visitErr != nil {
 			return
 		}
@@ -515,10 +574,10 @@ func (e *Engine) forEach(plan scanPlan, res *Result, fn func(*recipedb.Recipe) e
 }
 
 // execScan streams plain projections.
-func (e *Engine) execScan(q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result) error {
+func (e *Engine) execScan(q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result, v *recipedb.View) error {
 	// Fast path: with no ORDER BY the LIMIT can stop the scan early.
 	stopEarly := q.OrderBy == "" && q.Limit >= 0
-	return e.forEach(plan, res, func(rec *recipedb.Recipe) error {
+	return e.forEach(plan, res, v, func(rec *recipedb.Recipe) error {
 		if stopEarly && len(res.Rows) >= q.Limit {
 			return nil
 		}
@@ -621,9 +680,9 @@ func (e *Engine) accumulate(items []SelectItem, states []aggState, rec *recipedb
 }
 
 // execAggregate computes a single aggregate row.
-func (e *Engine) execAggregate(q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result) error {
+func (e *Engine) execAggregate(q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result, v *recipedb.View) error {
 	states := make([]aggState, len(items))
-	err := e.forEach(plan, res, func(rec *recipedb.Recipe) error {
+	err := e.forEach(plan, res, v, func(rec *recipedb.Recipe) error {
 		ok, err := e.matches(c, rec)
 		if err != nil || !ok {
 			return err
@@ -642,7 +701,7 @@ func (e *Engine) execAggregate(q *Query, c *compiledExpr, items []SelectItem, pl
 }
 
 // execGrouped computes GROUP BY rows.
-func (e *Engine) execGrouped(q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result) error {
+func (e *Engine) execGrouped(q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result, v *recipedb.View) error {
 	type group struct {
 		key    Value
 		states []aggState
@@ -650,7 +709,7 @@ func (e *Engine) execGrouped(q *Query, c *compiledExpr, items []SelectItem, plan
 	groups := make(map[string]*group)
 	var order []string
 
-	err := e.forEach(plan, res, func(rec *recipedb.Recipe) error {
+	err := e.forEach(plan, res, v, func(rec *recipedb.Recipe) error {
 		ok, err := e.matches(c, rec)
 		if err != nil || !ok {
 			return err

@@ -1,14 +1,98 @@
 package recipedb
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 
 	"culinary/internal/flavor"
 )
+
+// ErrCodec wraps binary recipe decoding failures.
+var ErrCodec = errors.New("recipedb: bad recipe encoding")
+
+// RecipePrefix namespaces per-recipe keys in a persistence backend.
+const RecipePrefix = "recipe/"
+
+// RecipeKey renders the backend key for one recipe ID. Zero-padding
+// keeps lexicographic key order equal to ID order, so sorted key scans
+// reload recipes in ID order.
+func RecipeKey(id int) string { return fmt.Sprintf("%s%08d", RecipePrefix, id) }
+
+// EncodeRecipe serializes one recipe for a persistence backend:
+//
+//	region  uvarint
+//	source  uvarint
+//	name    uvarint length + bytes
+//	nIngr   uvarint
+//	ids     nIngr plain uvarints, original order preserved
+func EncodeRecipe(r *Recipe) []byte {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	putUvarint(uint64(r.Region))
+	putUvarint(uint64(r.Source))
+	putUvarint(uint64(len(r.Name)))
+	buf = append(buf, r.Name...)
+	putUvarint(uint64(len(r.Ingredients)))
+	for _, id := range r.Ingredients {
+		putUvarint(uint64(id))
+	}
+	return buf
+}
+
+// DecodeRecipe parses an EncodeRecipe body.
+func DecodeRecipe(data []byte) (name string, region Region, source Source, ids []flavor.ID, err error) {
+	r := bytes.NewReader(data)
+	read := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = binary.ReadUvarint(r)
+		return v
+	}
+	region = Region(read())
+	source = Source(read())
+	nameLen := read()
+	if err != nil {
+		return "", 0, 0, nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	if nameLen > uint64(r.Len()) {
+		return "", 0, 0, nil, fmt.Errorf("%w: name length %d exceeds remaining %d", ErrCodec, nameLen, r.Len())
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, rerr := r.Read(nameBuf); rerr != nil {
+		return "", 0, 0, nil, fmt.Errorf("%w: %v", ErrCodec, rerr)
+	}
+	name = string(nameBuf)
+	n := read()
+	if err != nil {
+		return "", 0, 0, nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	if n > uint64(r.Len()) { // each ID takes >= 1 byte
+		return "", 0, 0, nil, fmt.Errorf("%w: ingredient count %d exceeds remaining bytes", ErrCodec, n)
+	}
+	ids = make([]flavor.ID, n)
+	for i := range ids {
+		ids[i] = flavor.ID(read())
+	}
+	if err != nil {
+		return "", 0, 0, nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	if r.Len() != 0 {
+		return "", 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, r.Len())
+	}
+	return name, region, source, ids, nil
+}
 
 // The CSV schema is one row per recipe:
 //
@@ -20,14 +104,19 @@ import (
 
 var csvHeader = []string{"id", "name", "region", "source", "ingredients"}
 
-// WriteCSV exports every recipe in the store.
+// WriteCSV exports every live recipe in the store.
 func (s *Store) WriteCSV(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return fmt.Errorf("recipedb: writing header: %w", err)
 	}
 	for i := range s.recipes {
 		r := &s.recipes[i]
+		if r.Deleted {
+			continue
+		}
 		names := make([]string, len(r.Ingredients))
 		for j, id := range r.Ingredients {
 			names[j] = s.catalog.Ingredient(id).Name
@@ -111,11 +200,16 @@ type corpusJSON struct {
 	Recipes []recipeJSON `json:"recipes"`
 }
 
-// WriteJSON exports the store as a single JSON document.
+// WriteJSON exports the live recipes as a single JSON document.
 func (s *Store) WriteJSON(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	doc := corpusJSON{Recipes: make([]recipeJSON, 0, len(s.recipes))}
 	for i := range s.recipes {
 		r := &s.recipes[i]
+		if r.Deleted {
+			continue
+		}
 		names := make([]string, len(r.Ingredients))
 		for j, id := range r.Ingredients {
 			names[j] = s.catalog.Ingredient(id).Name

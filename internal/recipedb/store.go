@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"culinary/internal/flavor"
 	"culinary/internal/stats"
@@ -22,13 +24,17 @@ type Recipe struct {
 	Source Source
 	// Ingredients are catalog IDs; duplicates are not permitted.
 	Ingredients []flavor.ID
+	// Deleted marks a tombstoned slot: the recipe was removed but its
+	// ID stays reserved so the corpus keeps dense, stable IDs. Deleted
+	// recipes are absent from every index and skipped by iteration.
+	Deleted bool
 }
 
 // Size returns the number of ingredients in the recipe.
-func (r *Recipe) Size() int { return len(r.Ingredients) }
+func (r Recipe) Size() int { return len(r.Ingredients) }
 
 // Contains reports whether the recipe uses the ingredient.
-func (r *Recipe) Contains(id flavor.ID) bool {
+func (r Recipe) Contains(id flavor.ID) bool {
 	for _, ing := range r.Ingredients {
 		if ing == id {
 			return true
@@ -37,16 +43,42 @@ func (r *Recipe) Contains(id flavor.ID) bool {
 	return false
 }
 
-// ErrValidation wraps recipe validation failures.
-var ErrValidation = errors.New("recipedb: invalid recipe")
+// Store errors.
+var (
+	// ErrValidation wraps recipe validation failures.
+	ErrValidation = errors.New("recipedb: invalid recipe")
+	// ErrNoRecipe is returned by mutations addressing an absent slot.
+	ErrNoRecipe = errors.New("recipedb: no such recipe")
+)
 
-// Store is an in-memory recipe corpus with region indexes. Append-only:
-// build it once, then query concurrently.
+// Backend persists individual recipe mutations. *storage.Store
+// satisfies it; the interface lives here so recipedb does not import
+// the storage engine (which imports recipedb for the snapshot codec).
+type Backend interface {
+	Put(key string, value []byte) error
+	Delete(key string) error
+}
+
+// Store is an in-memory recipe corpus with region and ingredient
+// indexes. It is safe for concurrent use: reads take a shared lock,
+// mutations (Add, Upsert, Remove) serialize behind an exclusive lock
+// and bump an atomically-published corpus version. Multi-call readers
+// that need one consistent (version, snapshot) pair — e.g. a full
+// query execution — run inside Read.
 type Store struct {
+	mu      sync.RWMutex
+	version atomic.Uint64
+
 	catalog      *flavor.Catalog
 	recipes      []Recipe
+	live         int // slots minus tombstones
 	byRegion     map[Region][]int
 	byIngredient map[flavor.ID][]int
+
+	// persist, when set, receives every mutation before the in-memory
+	// state changes (write-through): a failed write leaves the corpus
+	// untouched.
+	persist Backend
 }
 
 // NewStore creates an empty store bound to an ingredient catalog.
@@ -58,83 +90,81 @@ func NewStore(catalog *flavor.Catalog) *Store {
 	}
 }
 
-// Catalog returns the ingredient catalog the store is bound to.
+// SetBackend attaches a persistence backend. Subsequent mutations
+// write through to it before updating the in-memory corpus. Writes
+// serialize behind the corpus lock (one at a time, so they cannot form
+// storage group-commit batches; see the ROADMAP batching follow-up).
+func (s *Store) SetBackend(b Backend) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persist = b
+}
+
+// Catalog returns the ingredient catalog the store is bound to. The
+// catalog is immutable, so no locking applies.
 func (s *Store) Catalog() *flavor.Catalog { return s.catalog }
 
-// Add validates and appends a recipe, returning its assigned ID.
-// Validation enforces: a known region and source, at least two
-// ingredients (a pairing analysis needs pairs), no duplicate
-// ingredients, and every ingredient ID within the catalog.
-func (s *Store) Add(name string, region Region, source Source, ingredients []flavor.ID) (int, error) {
-	if !region.Valid() || region == World {
-		return 0, fmt.Errorf("%w: bad region %d", ErrValidation, region)
-	}
-	if !source.Valid() {
-		return 0, fmt.Errorf("%w: bad source %d", ErrValidation, source)
-	}
-	if len(ingredients) < 2 {
-		return 0, fmt.Errorf("%w: recipe %q has %d ingredients, need >= 2", ErrValidation, name, len(ingredients))
-	}
-	seen := make(map[flavor.ID]struct{}, len(ingredients))
-	for _, id := range ingredients {
-		if id < 0 || int(id) >= s.catalog.Len() {
-			return 0, fmt.Errorf("%w: recipe %q ingredient %d outside catalog", ErrValidation, name, id)
-		}
-		if _, dup := seen[id]; dup {
-			return 0, fmt.Errorf("%w: recipe %q repeats ingredient %q", ErrValidation, name, s.catalog.Ingredient(id).Name)
-		}
-		seen[id] = struct{}{}
-	}
-	rid := len(s.recipes)
-	ings := append([]flavor.ID(nil), ingredients...)
-	s.recipes = append(s.recipes, Recipe{
-		ID: rid, Name: name, Region: region, Source: source, Ingredients: ings,
-	})
-	s.byRegion[region] = append(s.byRegion[region], rid)
-	for _, id := range ings {
-		s.byIngredient[id] = append(s.byIngredient[id], rid)
-	}
-	return rid, nil
+// Version returns the corpus version: a counter bumped by every
+// successful mutation. It is safe to read without any lock, so cache
+// layers can fence entries against it cheaply.
+func (s *Store) Version() uint64 { return s.version.Load() }
+
+// View is a lock-free window onto the corpus, valid only inside the
+// Read callback that produced it. Its accessors mirror the Store read
+// API without re-locking, so a reader holding the view sees one
+// consistent (Version, snapshot) pair for its whole critical section.
+// Pointers obtained through a View must not escape the callback.
+type View struct {
+	s *Store
+	// Version is the corpus version this view observes.
+	Version uint64
 }
 
-// IngredientRecipes returns the IDs of recipes containing the
-// ingredient, in insertion (ascending-ID) order. The slice is shared;
-// do not mutate.
-func (s *Store) IngredientRecipes(id flavor.ID) []int {
-	return s.byIngredient[id]
+// Read runs fn against a consistent snapshot of the corpus. The shared
+// lock is held for the duration, so mutations observed by Version are
+// fully excluded — fn sees the exact corpus state version v describes.
+func (s *Store) Read(fn func(v *View)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(&View{s: s, Version: s.version.Load()})
 }
 
-// Len returns the total number of recipes.
-func (s *Store) Len() int { return len(s.recipes) }
+// Len returns the number of live recipes.
+func (v *View) Len() int { return v.s.live }
 
-// Recipe returns the recipe with the given ID.
-func (s *Store) Recipe(id int) *Recipe { return &s.recipes[id] }
+// Slots returns the recipe ID bound (live + tombstoned slots).
+func (v *View) Slots() int { return len(v.s.recipes) }
 
-// RegionLen returns the number of recipes in the region; World counts
-// every recipe.
-func (s *Store) RegionLen(r Region) int {
+// Recipe returns the recipe in slot id. The pointer is valid only
+// inside the enclosing Read callback.
+func (v *View) Recipe(id int) *Recipe { return &v.s.recipes[id] }
+
+// IngredientRecipes returns the posting list of the ingredient in
+// ascending-ID order. Do not mutate or retain past the callback.
+func (v *View) IngredientRecipes(id flavor.ID) []int { return v.s.byIngredient[id] }
+
+// RegionLen returns the number of live recipes in the region; World
+// counts every live recipe.
+func (v *View) RegionLen(r Region) int {
 	if r == World {
-		return len(s.recipes)
+		return v.s.live
 	}
-	return len(s.byRegion[r])
+	return len(v.s.byRegion[r])
 }
 
-// Regions returns the regions present in the store, sorted.
-func (s *Store) Regions() []Region {
-	out := make([]Region, 0, len(s.byRegion))
-	for r := range s.byRegion {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+// ForEachInRegion calls fn for every live recipe in the region (every
+// live recipe when r == World), in ascending-ID order.
+func (v *View) ForEachInRegion(r Region, fn func(*Recipe)) {
+	v.s.forEachInRegionLocked(r, fn)
 }
 
-// ForEachInRegion calls fn for every recipe in the region (every recipe
-// when r == World). Iteration order is insertion order.
-func (s *Store) ForEachInRegion(r Region, fn func(*Recipe)) {
+// forEachInRegionLocked iterates live recipes; callers hold s.mu.
+func (s *Store) forEachInRegionLocked(r Region, fn func(*Recipe)) {
 	if r == World {
 		for i := range s.recipes {
-			fn(&s.recipes[i])
+			if !s.recipes[i].Deleted {
+				fn(&s.recipes[i])
+			}
 		}
 		return
 	}
@@ -143,9 +173,259 @@ func (s *Store) ForEachInRegion(r Region, fn func(*Recipe)) {
 	}
 }
 
-// RegionRecipes returns the recipe IDs of a region. The slice is shared;
-// do not mutate. World returns nil (iterate instead).
+// validate enforces the corpus invariants: a known region and source,
+// at least two ingredients (a pairing analysis needs pairs), no
+// duplicate ingredients, and every ingredient ID within the catalog.
+func (s *Store) validate(name string, region Region, source Source, ingredients []flavor.ID) error {
+	if !region.Valid() || region == World {
+		return fmt.Errorf("%w: bad region %d", ErrValidation, region)
+	}
+	if !source.Valid() {
+		return fmt.Errorf("%w: bad source %d", ErrValidation, source)
+	}
+	if len(ingredients) < 2 {
+		return fmt.Errorf("%w: recipe %q has %d ingredients, need >= 2", ErrValidation, name, len(ingredients))
+	}
+	seen := make(map[flavor.ID]struct{}, len(ingredients))
+	for _, id := range ingredients {
+		if id < 0 || int(id) >= s.catalog.Len() {
+			return fmt.Errorf("%w: recipe %q ingredient %d outside catalog", ErrValidation, name, id)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("%w: recipe %q repeats ingredient %q", ErrValidation, name, s.catalog.Ingredient(id).Name)
+		}
+		seen[id] = struct{}{}
+	}
+	return nil
+}
+
+// Add validates and appends a recipe, returning its assigned ID.
+func (s *Store) Add(name string, region Region, source Source, ingredients []flavor.ID) (int, error) {
+	id, _, _, err := s.Upsert(-1, name, region, source, ingredients)
+	return id, err
+}
+
+// Upsert inserts or replaces one recipe and returns its ID, the new
+// corpus version, and whether a new live recipe was created (false
+// means a live recipe was replaced; the flag is decided inside the
+// write critical section, so it is race-free). id < 0 assigns the next
+// free slot; id < Slots() replaces that slot (reviving it if
+// tombstoned); id >= Slots() extends the corpus, tombstoning any
+// intermediate slots — the sparse-snapshot reload path. When a Backend
+// is attached the mutation is persisted first; a persistence error
+// leaves the in-memory corpus unchanged.
+func (s *Store) Upsert(id int, name string, region Region, source Source, ingredients []flavor.ID) (int, uint64, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.validate(name, region, source, ingredients); err != nil {
+		return 0, 0, false, err
+	}
+	if id < 0 {
+		id = len(s.recipes)
+	}
+	rec := Recipe{
+		ID: id, Name: name, Region: region, Source: source,
+		Ingredients: append([]flavor.ID(nil), ingredients...),
+	}
+	if s.persist != nil {
+		if err := s.persist.Put(RecipeKey(id), EncodeRecipe(&rec)); err != nil {
+			return 0, 0, false, fmt.Errorf("recipedb: persisting recipe %d: %w", id, err)
+		}
+	}
+	for len(s.recipes) < id { // gap slots stay tombstoned
+		s.recipes = append(s.recipes, Recipe{ID: len(s.recipes), Deleted: true})
+	}
+	created := true
+	if id == len(s.recipes) {
+		s.recipes = append(s.recipes, rec)
+		s.live++
+	} else {
+		if old := &s.recipes[id]; !old.Deleted {
+			s.unindexLocked(old)
+			created = false
+		} else {
+			s.live++
+		}
+		s.recipes[id] = rec
+	}
+	s.indexLocked(&s.recipes[id])
+	s.version.Add(1)
+	return id, s.version.Load(), created, nil
+}
+
+// Remove tombstones the recipe in slot id and returns the new corpus
+// version. The slot stays reserved so later recipe IDs keep their
+// meaning. Persistence, when attached, happens first.
+func (s *Store) Remove(id int) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.recipes) || s.recipes[id].Deleted {
+		return 0, fmt.Errorf("%w: id %d", ErrNoRecipe, id)
+	}
+	if s.persist != nil {
+		if err := s.persist.Delete(RecipeKey(id)); err != nil {
+			return 0, fmt.Errorf("recipedb: deleting recipe %d: %w", id, err)
+		}
+	}
+	s.unindexLocked(&s.recipes[id])
+	s.recipes[id] = Recipe{ID: id, Deleted: true}
+	s.live--
+	s.version.Add(1)
+	return s.version.Load(), nil
+}
+
+// indexLocked adds rec's ID to the region and ingredient posting
+// lists. Lists are copy-on-write: readers that fetched a list under
+// the shared lock keep a consistent (if stale) array.
+func (s *Store) indexLocked(rec *Recipe) {
+	s.byRegion[rec.Region] = insertSorted(s.byRegion[rec.Region], rec.ID)
+	for _, ing := range rec.Ingredients {
+		s.byIngredient[ing] = insertSorted(s.byIngredient[ing], rec.ID)
+	}
+}
+
+// unindexLocked removes rec's ID from every posting list it is on.
+func (s *Store) unindexLocked(rec *Recipe) {
+	s.byRegion[rec.Region] = removeSorted(s.byRegion[rec.Region], rec.ID)
+	for _, ing := range rec.Ingredients {
+		s.byIngredient[ing] = removeSorted(s.byIngredient[ing], rec.ID)
+	}
+}
+
+// insertSorted returns an ascending list with id added (idempotent).
+// Appending past the tail may reuse spare capacity: that slot is beyond
+// every published length, so concurrent readers of older headers never
+// see it. Mid-list inserts copy, and removeSorted always copies, so an
+// array a reader holds is never rewritten below its length.
+func insertSorted(list []int, id int) []int {
+	if len(list) == 0 || id > list[len(list)-1] {
+		return append(list, id) // corpus build: IDs arrive ascending
+	}
+	i := sort.SearchInts(list, id)
+	if i < len(list) && list[i] == id {
+		return list
+	}
+	out := make([]int, 0, len(list)+1)
+	out = append(out, list[:i]...)
+	out = append(out, id)
+	return append(out, list[i:]...)
+}
+
+// removeSorted returns a fresh list with id removed (idempotent).
+func removeSorted(list []int, id int) []int {
+	i := sort.SearchInts(list, id)
+	if i >= len(list) || list[i] != id {
+		return list
+	}
+	out := make([]int, 0, len(list)-1)
+	out = append(out, list[:i]...)
+	return append(out, list[i+1:]...)
+}
+
+// IngredientRecipes returns the IDs of live recipes containing the
+// ingredient, in ascending-ID order. The slice is copy-on-write under
+// mutation; do not mutate it.
+func (s *Store) IngredientRecipes(id flavor.ID) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byIngredient[id]
+}
+
+// Len returns the number of live recipes.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.live
+}
+
+// Slots returns the recipe ID bound: live recipes plus tombstoned
+// slots. Recipe accepts any id in [0, Slots()).
+func (s *Store) Slots() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recipes)
+}
+
+// Recipe returns a copy of the recipe in slot id (check Deleted when
+// the corpus may have been mutated). The copy's Ingredients slice is
+// never written again by the store, so it is safe to read after the
+// call returns.
+func (s *Store) Recipe(id int) Recipe {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.recipes[id]
+}
+
+// IngredientLists returns the ingredient lists of the given recipes
+// under one shared-lock acquisition — the bulk accessor for analysis
+// loops that would otherwise lock per recipe. The inner slices are the
+// store's own: mutations never write them in place (Upsert installs
+// fresh slices), so they are safe to read after the call, but must not
+// be mutated. They describe the corpus as of this call.
+func (s *Store) IngredientLists(ids []int) [][]flavor.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][]flavor.ID, len(ids))
+	for i, id := range ids {
+		out[i] = s.recipes[id].Ingredients
+	}
+	return out
+}
+
+// LiveIDs returns the IDs of every live recipe, ascending.
+func (s *Store) LiveIDs() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, 0, s.live)
+	for i := range s.recipes {
+		if !s.recipes[i].Deleted {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RegionLen returns the number of live recipes in the region; World
+// counts every live recipe.
+func (s *Store) RegionLen(r Region) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r == World {
+		return s.live
+	}
+	return len(s.byRegion[r])
+}
+
+// Regions returns the regions present in the store, sorted.
+func (s *Store) Regions() []Region {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Region, 0, len(s.byRegion))
+	for r := range s.byRegion {
+		if len(s.byRegion[r]) > 0 {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEachInRegion calls fn for every live recipe in the region (every
+// live recipe when r == World), in ascending-ID order. The shared lock
+// is held across the iteration: fn must not call mutating methods, and
+// the *Recipe must not be retained past the callback.
+func (s *Store) ForEachInRegion(r Region, fn func(*Recipe)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.forEachInRegionLocked(r, fn)
+}
+
+// RegionRecipes returns the live recipe IDs of a region. The slice is
+// copy-on-write under mutation; do not mutate it. World returns nil
+// (iterate instead).
 func (s *Store) RegionRecipes(r Region) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if r == World {
 		return nil
 	}
@@ -168,13 +448,17 @@ type Cuisine struct {
 }
 
 // BuildCuisine assembles the analytical view of a region; World pools
-// every recipe.
+// every recipe. The view is a self-contained snapshot: later store
+// mutations do not alter it (though its RecipeIDs then describe the
+// corpus as of the build).
 func (s *Store) BuildCuisine(r Region) *Cuisine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	c := &Cuisine{
 		Region:         r,
 		IngredientFreq: make(map[flavor.ID]int),
 	}
-	s.ForEachInRegion(r, func(rec *Recipe) {
+	s.forEachInRegionLocked(r, func(rec *Recipe) {
 		c.RecipeIDs = append(c.RecipeIDs, rec.ID)
 		c.Sizes = append(c.Sizes, rec.Size())
 		for _, id := range rec.Ingredients {
@@ -237,9 +521,11 @@ func (c *Cuisine) TopIngredients(k int) []flavor.ID {
 // ingredient slots (recipe-ingredient incidences) in the cuisine that
 // fall in the category — the rows of the Fig 2 heatmap.
 func (s *Store) CategoryUsage(r Region) []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	counts := make([]int, flavor.NumCategories)
 	total := 0
-	s.ForEachInRegion(r, func(rec *Recipe) {
+	s.forEachInRegionLocked(r, func(rec *Recipe) {
 		for _, id := range rec.Ingredients {
 			counts[s.catalog.Ingredient(id).Category]++
 			total++
@@ -255,11 +541,15 @@ func (s *Store) CategoryUsage(r Region) []float64 {
 	return out
 }
 
-// SourceCounts tallies recipes per source across the whole store.
+// SourceCounts tallies live recipes per source across the whole store.
 func (s *Store) SourceCounts() map[Source]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make(map[Source]int, NumSources)
 	for i := range s.recipes {
-		out[s.recipes[i].Source]++
+		if !s.recipes[i].Deleted {
+			out[s.recipes[i].Source]++
+		}
 	}
 	return out
 }

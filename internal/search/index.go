@@ -46,15 +46,21 @@ type Index struct {
 // the same way the aliasing pipeline normalizes phrases, so "Tomatoes"
 // matches recipes using "tomato".
 func Build(store *recipedb.Store) *Index {
+	// Documents are addressed by recipe slot, so a corpus reloaded
+	// with tombstoned (deleted) slots keeps doc IDs aligned with
+	// recipe IDs; tombstones contribute no postings.
 	idx := &Index{
 		store:    store,
 		postings: make(map[string][]posting),
-		docLen:   make([]int, store.Len()),
+		docLen:   make([]int, store.Slots()),
 		nDocs:    store.Len(),
 	}
 	catalog := store.Catalog()
-	for docID := 0; docID < store.Len(); docID++ {
+	for docID := 0; docID < store.Slots(); docID++ {
 		rec := store.Recipe(docID)
+		if rec.Deleted {
+			continue
+		}
 		counts := make(map[string]int)
 		add := func(text string) {
 			for _, tok := range tokenize(text) {
@@ -173,15 +179,25 @@ func (idx *Index) Search(query string, opts Options) []Hit {
 	}
 
 	hits := make([]Hit, 0, len(scores))
-	for doc, a := range scores {
-		if opts.Mode == ModeAll && a.matched < len(terms) {
-			continue
+	// Region and tombstone checks read the live store (the corpus may
+	// have been mutated since Build) under one read epoch; filtering
+	// deleted recipes here, before the limit cut, keeps the result
+	// count full when top-ranked recipes have been deleted.
+	idx.store.Read(func(v *recipedb.View) {
+		for doc, a := range scores {
+			if opts.Mode == ModeAll && a.matched < len(terms) {
+				continue
+			}
+			rec := v.Recipe(doc)
+			if rec.Deleted {
+				continue
+			}
+			if opts.HasRegion && opts.Region != recipedb.World && rec.Region != opts.Region {
+				continue
+			}
+			hits = append(hits, Hit{RecipeID: doc, Score: a.score, Matched: a.matched})
 		}
-		if opts.HasRegion && opts.Region != recipedb.World && idx.store.Recipe(doc).Region != opts.Region {
-			continue
-		}
-		hits = append(hits, Hit{RecipeID: doc, Score: a.score, Matched: a.matched})
-	}
+	})
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Score != hits[j].Score {
 			return hits[i].Score > hits[j].Score

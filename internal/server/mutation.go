@@ -1,0 +1,118 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"culinary/internal/flavor"
+	"culinary/internal/recipedb"
+)
+
+// Corpus mutation endpoints. Upserts and deletes flow through the
+// recipedb store, which persists each mutation to the attached storage
+// backend (when one is bound) before updating the in-memory indexes
+// and bumping the corpus version — the version fence the query
+// engine's result cache keys against, so mutations invalidate cached
+// results without any explicit sweep.
+//
+// The derived read models built at server construction (full-text
+// search index, cuisine classifier, recommender, pairing analyzer
+// snapshots) are NOT rebuilt per mutation: they describe the corpus as
+// of startup, which is the documented trade-off until online index
+// maintenance lands. The CQL engine, recipe listings and per-region
+// statistics always reflect the live corpus.
+
+// upsertRequest is the POST /api/recipes body. ID is optional: absent
+// (or null) inserts a new recipe; an existing slot ID replaces that
+// recipe in place (reviving a deleted slot is allowed).
+type upsertRequest struct {
+	ID          *int     `json:"id"`
+	Name        string   `json:"name"`
+	Region      string   `json:"region"`
+	Source      string   `json:"source"`
+	Ingredients []string `json:"ingredients"`
+}
+
+func (s *Server) handleUpsertRecipe(w http.ResponseWriter, r *http.Request) {
+	var req upsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest,
+			"body must be JSON {\"name\", \"region\", \"source\", \"ingredients\": [...], \"id\"?}")
+		return
+	}
+	if strings.TrimSpace(req.Name) == "" {
+		writeError(w, http.StatusBadRequest, "missing recipe name")
+		return
+	}
+	region, err := recipedb.ParseRegion(strings.ToUpper(req.Region))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	source, err := recipedb.ParseSource(req.Source)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	ids := make([]flavor.ID, 0, len(req.Ingredients))
+	for _, name := range req.Ingredients {
+		id, ok := s.catalog.Lookup(name)
+		if !ok {
+			writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("unknown ingredient %q", name))
+			return
+		}
+		ids = append(ids, id)
+	}
+	id := -1
+	if req.ID != nil {
+		// Explicit IDs must address an existing slot: clients cannot
+		// grow the ID space at arbitrary offsets over HTTP.
+		if *req.ID < 0 || *req.ID >= s.cfg.Store.Slots() {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no recipe slot %d", *req.ID))
+			return
+		}
+		id = *req.ID
+	}
+	id, version, created, err := s.cfg.Store.Upsert(id, req.Name, region, source, ids)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if !errors.Is(err, recipedb.ErrValidation) {
+			status = http.StatusInternalServerError // persistence failure
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	if created {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+	}
+	writeJSON(w, map[string]interface{}{
+		"id":      id,
+		"version": version,
+	})
+}
+
+func (s *Server) handleDeleteRecipe(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad recipe id %q", r.PathValue("id")))
+		return
+	}
+	version, err := s.cfg.Store.Remove(id)
+	if err != nil {
+		status := http.StatusInternalServerError // persistence failure
+		if errors.Is(err, recipedb.ErrNoRecipe) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"id":      id,
+		"version": version,
+	})
+}

@@ -42,6 +42,10 @@ type Config struct {
 	// when set, /api/health reports its segment and background
 	// compaction statistics.
 	DB *storage.Store
+	// ResultCacheBytes bounds the query engine's result cache (keyed
+	// by normalized statement and corpus version). 0 disables it;
+	// negative selects query.DefaultResultCacheBytes.
+	ResultCacheBytes int64
 }
 
 // Server routes API requests to the analysis stack. Construction builds
@@ -72,10 +76,10 @@ func New(cfg Config) (*Server, error) {
 		engine:      query.NewEngine(cfg.Store, cfg.Analyzer),
 		recommender: recommend.New(cfg.Analyzer, cfg.Store),
 	}
-	all := make([]int, cfg.Store.Len())
-	for i := range all {
-		all[i] = i
+	if cfg.ResultCacheBytes != 0 {
+		s.engine.EnableResultCache(cfg.ResultCacheBytes)
 	}
+	all := cfg.Store.LiveIDs()
 	s.classifier = classify.New()
 	if err := s.classifier.Train(cfg.Store, all); err != nil {
 		return nil, fmt.Errorf("server: training classifier: %w", err)
@@ -93,6 +97,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/regions/{code}/pairing", s.handlePairing)
 	s.mux.HandleFunc("GET /api/recipes", s.handleRecipes)
 	s.mux.HandleFunc("GET /api/recipes/{id}", s.handleRecipe)
+	s.mux.HandleFunc("POST /api/recipes", s.handleUpsertRecipe)
+	s.mux.HandleFunc("DELETE /api/recipes/{id}", s.handleDeleteRecipe)
 	s.mux.HandleFunc("GET /api/ingredients/{name}", s.handleIngredient)
 	s.mux.HandleFunc("GET /api/ingredients/{name}/pairings", s.handleIngredientPairings)
 	s.mux.HandleFunc("GET /api/search", s.handleSearch)
@@ -156,16 +162,28 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	cs := s.engine.CacheStats()
+	rcs := s.engine.ResultCacheStats()
 	body := map[string]interface{}{
-		"status":      "ok",
-		"recipes":     s.cfg.Store.Len(),
-		"ingredients": s.catalog.Len(),
-		"molecules":   s.catalog.NumMolecules(),
-		"vocabulary":  s.index.Vocabulary(),
+		"status":        "ok",
+		"recipes":       s.cfg.Store.Len(),
+		"corpusVersion": s.cfg.Store.Version(),
+		"ingredients":   s.catalog.Len(),
+		"molecules":     s.catalog.NumMolecules(),
+		"vocabulary":    s.index.Vocabulary(),
 		"queryCache": map[string]int64{
 			"hits":    cs.Hits,
 			"misses":  cs.Misses,
 			"entries": int64(cs.Entries),
+		},
+		"resultCache": map[string]interface{}{
+			"enabled":     rcs.Enabled,
+			"hits":        rcs.Hits,
+			"misses":      rcs.Misses,
+			"entries":     rcs.Entries,
+			"bytes":       rcs.Bytes,
+			"capacity":    rcs.Capacity,
+			"evicted":     rcs.Evicted,
+			"invalidated": rcs.Invalidated,
 		},
 	}
 	if s.cfg.DB != nil {
@@ -324,7 +342,7 @@ type recipeJSON struct {
 	Ingredients []string `json:"ingredients"`
 }
 
-func (s *Server) recipeJSON(rec *recipedb.Recipe) recipeJSON {
+func (s *Server) recipeJSON(rec recipedb.Recipe) recipeJSON {
 	names := make([]string, len(rec.Ingredients))
 	for i, id := range rec.Ingredients {
 		names[i] = s.catalog.Ingredient(id).Name
@@ -375,7 +393,7 @@ func (s *Server) handleRecipes(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if len(out) < limit {
-			out = append(out, s.recipeJSON(rec))
+			out = append(out, s.recipeJSON(*rec))
 		}
 	})
 	writeJSON(w, map[string]interface{}{
@@ -387,11 +405,15 @@ func (s *Server) handleRecipes(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRecipe(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil || id < 0 || id >= s.cfg.Store.Len() {
+	if err != nil || id < 0 || id >= s.cfg.Store.Slots() {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no recipe %q", r.PathValue("id")))
 		return
 	}
 	rec := s.cfg.Store.Recipe(id)
+	if rec.Deleted {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("recipe %d was deleted", id))
+		return
+	}
 	body := s.recipeJSON(rec)
 	resp := map[string]interface{}{
 		"recipe": body,
@@ -503,6 +525,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Region, opts.HasRegion = region, true
 	}
+	// Search filters tombstones against the live store itself.
 	hits := s.index.Search(text, opts)
 	out := make([]searchHit, len(hits))
 	for i, h := range hits {
@@ -546,6 +569,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		"columns": res.Columns,
 		"rows":    rows,
 		"scanned": res.Scanned,
+		"version": res.Version,
 	})
 }
 

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"culinary/internal/experiments"
+	"culinary/internal/storage"
+)
+
+// TestMutationStressRace is the corpus-mutation race battery the
+// result cache's coherence argument rests on: writer goroutines
+// upsert/delete recipes through the HTTP mutation endpoints (writing
+// through to a real storage engine) while reader goroutines hammer a
+// fixed query mix through POST /api/query with the result cache on.
+// It asserts
+//
+//   - zero stale reads: every response's embedded corpus version is >=
+//     the version observed just before the request was issued,
+//   - monotonic version observation per reader, and
+//   - the cache counters reconcile: every query probed the result
+//     cache exactly once, the plan cache exactly on result misses, and
+//     every resident/evicted/invalidated entry traces back to a miss.
+//
+// Run under -race (CI does), the test also proves the store's epoch
+// locking: readers never observe a half-applied mutation.
+func TestMutationStressRace(t *testing.T) {
+	env, err := experiments.NewEnv(experiments.TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := storage.Open(t.TempDir(), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Seed the backend with the full corpus so the post-stress "backend
+	// == live corpus" audit covers unmutated recipes too.
+	if err := storage.SaveCorpus(db, env.Store); err != nil {
+		t.Fatal(err)
+	}
+	env.Store.SetBackend(db)
+
+	srv, err := New(Config{
+		Store:            env.Store,
+		Analyzer:         env.Analyzer,
+		NullRecipes:      200,
+		Seed:             11,
+		DB:               db,
+		ResultCacheBytes: 8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+
+	const (
+		writers      = 4
+		writesPerGo  = 120
+		readers      = 4
+		queriesPerGo = 250
+		initialSlots = 64 // writers mutate only this low slot range
+	)
+	if env.Store.Len() < initialSlots*2 {
+		t.Fatalf("corpus too small: %d", env.Store.Len())
+	}
+	regions := []string{"ITA", "FRA", "JPN", "INSC"}
+	ingredients := make([]string, 0, 8)
+	for i := 0; i < env.Store.Catalog().Len() && len(ingredients) < 8; i++ {
+		ingredients = append(ingredients, env.Store.Catalog().Ingredient(env.Store.Recipe(i).Ingredients[0]).Name)
+	}
+	queryMix := []string{
+		"SELECT region, count(*), avg(size) FROM recipes GROUP BY region",
+		"SELECT count(*) FROM recipes",
+		"SELECT name, size FROM recipes WHERE region = 'ITA' ORDER BY size DESC LIMIT 5",
+		"SELECT count(*) FROM recipes WHERE size >= 6",
+		"SELECT source, count(*) FROM recipes GROUP BY source",
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+
+	post := func(path string, body interface{}) (int, map[string]interface{}) {
+		raw, _ := json.Marshal(body)
+		req := httptest.NewRequest("POST", path, bytes.NewReader(raw))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		var decoded map[string]interface{}
+		json.Unmarshal(rr.Body.Bytes(), &decoded)
+		return rr.Code, decoded
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < writesPerGo; i++ {
+				slot := (w*writesPerGo + i*7) % initialSlots
+				switch i % 3 {
+				case 0, 1: // upsert an existing (or previously deleted) slot
+					code, body := post("/api/recipes", map[string]interface{}{
+						"id":          slot,
+						"name":        fmt.Sprintf("stress dish w%d i%d", w, i),
+						"region":      regions[(w+i)%len(regions)],
+						"source":      "Epicurious",
+						"ingredients": ingredients[:2+(i%3)],
+					})
+					if code != http.StatusOK && code != http.StatusCreated {
+						errs <- fmt.Errorf("writer %d: upsert slot %d: %d %v", w, slot, code, body)
+						return
+					}
+				case 2: // delete; racing deletes may 404, which is fine
+					req := httptest.NewRequest("DELETE", fmt.Sprintf("/api/recipes/%d", slot), nil)
+					rr := httptest.NewRecorder()
+					h.ServeHTTP(rr, req)
+					if rr.Code != http.StatusOK && rr.Code != http.StatusNotFound {
+						errs <- fmt.Errorf("writer %d: delete slot %d: %d %s", w, slot, rr.Code, rr.Body)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastSeen uint64
+			for i := 0; i < queriesPerGo; i++ {
+				start := env.Store.Version()
+				code, body := post("/api/query", map[string]string{"q": queryMix[(r+i)%len(queryMix)]})
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: query %d: status %d: %v", r, i, code, body)
+					return
+				}
+				raw, ok := body["version"].(float64)
+				if !ok {
+					errs <- fmt.Errorf("reader %d: response lacks version: %v", r, body)
+					return
+				}
+				got := uint64(raw)
+				if got < start {
+					errs <- fmt.Errorf("reader %d: STALE READ: version %d < %d at request start", r, got, start)
+					return
+				}
+				if got < lastSeen {
+					errs <- fmt.Errorf("reader %d: version went backwards: %d after %d", r, got, lastSeen)
+					return
+				}
+				lastSeen = got
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Counter reconciliation. Readers are the only Run callers, so:
+	// every query probed the result cache exactly once; the plan cache
+	// was probed exactly on result misses; and every entry that is
+	// resident, was evicted by the byte bound, or was dropped stale
+	// traces back to a miss that populated it (concurrent same-
+	// statement misses may replace each other, hence <=).
+	rcs := srv.engine.ResultCacheStats()
+	pcs := srv.engine.CacheStats()
+	totalQueries := int64(readers * queriesPerGo)
+	if rcs.Hits+rcs.Misses != totalQueries {
+		t.Errorf("result cache probes %d+%d != %d queries", rcs.Hits, rcs.Misses, totalQueries)
+	}
+	if pcs.Hits+pcs.Misses != rcs.Misses {
+		t.Errorf("plan cache probes %d+%d != %d result misses", pcs.Hits, pcs.Misses, rcs.Misses)
+	}
+	if resident := int64(rcs.Entries) + rcs.Evicted + rcs.Invalidated; resident > rcs.Misses {
+		t.Errorf("entries %d + evicted %d + invalidated %d exceed misses %d",
+			rcs.Entries, rcs.Evicted, rcs.Invalidated, rcs.Misses)
+	}
+	if rcs.Hits == 0 {
+		t.Error("stress run never hit the result cache")
+	}
+
+	// Deterministic invalidation check (the concurrent phase may or may
+	// not interleave a mutation between a put and the next probe):
+	// cache a result, mutate, probe again — the stale entry must be
+	// dropped and the recomputed result must carry the new version.
+	if code, _ := post("/api/query", map[string]string{"q": queryMix[0]}); code != http.StatusOK {
+		t.Fatalf("pre-invalidation query: %d", code)
+	}
+	invBefore := srv.engine.ResultCacheStats().Invalidated
+	if code, body := post("/api/recipes", map[string]interface{}{
+		"id": 0, "name": "final invalidation probe", "region": "ITA",
+		"source": "Epicurious", "ingredients": ingredients[:2],
+	}); code != http.StatusOK && code != http.StatusCreated {
+		t.Fatalf("final upsert: %d %v", code, body)
+	}
+	code, body := post("/api/query", map[string]string{"q": queryMix[0]})
+	if code != http.StatusOK {
+		t.Fatalf("post-invalidation query: %d", code)
+	}
+	if got := uint64(body["version"].(float64)); got != env.Store.Version() {
+		t.Errorf("post-mutation query version %d, store %d", got, env.Store.Version())
+	}
+	if after := srv.engine.ResultCacheStats().Invalidated; after != invBefore+1 {
+		t.Errorf("invalidations %d -> %d, want exactly one lazy drop", invBefore, after)
+	}
+
+	// The write-through backend must hold exactly the live corpus.
+	liveKeys := len(db.KeysWithPrefix("recipe/"))
+	if liveKeys != env.Store.Len() {
+		t.Errorf("backend holds %d recipe keys, corpus has %d live recipes", liveKeys, env.Store.Len())
+	}
+
+	// And the health endpoint reports the final corpus version.
+	req := httptest.NewRequest("GET", "/api/health", nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	var health map[string]interface{}
+	if err := json.Unmarshal(rr.Body.Bytes(), &health); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if v := uint64(health["corpusVersion"].(float64)); v != env.Store.Version() {
+		t.Errorf("health corpusVersion %d, store %d", v, env.Store.Version())
+	}
+	if _, ok := health["resultCache"].(map[string]interface{}); !ok {
+		t.Errorf("health lacks resultCache block: %v", health)
+	}
+}

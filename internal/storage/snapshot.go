@@ -1,8 +1,6 @@
 package storage
 
 import (
-	"bytes"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,11 +11,13 @@ import (
 
 // Snapshot layout. The corpus is stored one key per recipe plus two
 // metadata keys, so tools can read, patch or delete individual recipes
-// without rewriting the corpus.
+// without rewriting the corpus. The per-recipe wire format and key
+// scheme live in recipedb (shared with its write-through mutation
+// path); this file layers the whole-corpus save/load protocol on top.
 const (
 	formatKey     = "meta/format"
 	flavorCfgKey  = "meta/flavor-config"
-	recipePrefix  = "recipe/"
+	recipePrefix  = recipedb.RecipePrefix
 	formatVersion = "culinarydb-snapshot/1"
 )
 
@@ -25,74 +25,17 @@ const (
 var ErrSnapshot = errors.New("storage: bad snapshot")
 
 // recipeKey renders the key for one recipe ID.
-func recipeKey(id int) string { return fmt.Sprintf("%s%08d", recipePrefix, id) }
+func recipeKey(id int) string { return recipedb.RecipeKey(id) }
 
-// encodeRecipe serializes one recipe:
-//
-//	region  uvarint
-//	source  uvarint
-//	name    uvarint length + bytes
-//	nIngr   uvarint
-//	ids     nIngr plain uvarints, original order preserved
-func encodeRecipe(r *recipedb.Recipe) []byte {
-	var buf []byte
-	var tmp [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) {
-		n := binary.PutUvarint(tmp[:], v)
-		buf = append(buf, tmp[:n]...)
-	}
-	putUvarint(uint64(r.Region))
-	putUvarint(uint64(r.Source))
-	putUvarint(uint64(len(r.Name)))
-	buf = append(buf, r.Name...)
-	putUvarint(uint64(len(r.Ingredients)))
-	for _, id := range r.Ingredients {
-		putUvarint(uint64(id))
-	}
-	return buf
-}
+// encodeRecipe serializes one recipe (see recipedb.EncodeRecipe).
+func encodeRecipe(r *recipedb.Recipe) []byte { return recipedb.EncodeRecipe(r) }
 
-// decodeRecipe parses an encoded recipe body.
+// decodeRecipe parses an encoded recipe body, wrapping failures in
+// ErrSnapshot.
 func decodeRecipe(data []byte) (name string, region recipedb.Region, source recipedb.Source, ids []flavor.ID, err error) {
-	r := bytes.NewReader(data)
-	read := func() uint64 {
-		if err != nil {
-			return 0
-		}
-		var v uint64
-		v, err = binary.ReadUvarint(r)
-		return v
-	}
-	region = recipedb.Region(read())
-	source = recipedb.Source(read())
-	nameLen := read()
+	name, region, source, ids, err = recipedb.DecodeRecipe(data)
 	if err != nil {
 		return "", 0, 0, nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
-	}
-	if nameLen > uint64(r.Len()) {
-		return "", 0, 0, nil, fmt.Errorf("%w: name length %d exceeds remaining %d", ErrSnapshot, nameLen, r.Len())
-	}
-	nameBuf := make([]byte, nameLen)
-	if _, rerr := r.Read(nameBuf); rerr != nil {
-		return "", 0, 0, nil, fmt.Errorf("%w: %v", ErrSnapshot, rerr)
-	}
-	name = string(nameBuf)
-	n := read()
-	if err != nil {
-		return "", 0, 0, nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
-	}
-	if n > uint64(r.Len()) { // each ID takes >= 1 byte
-		return "", 0, 0, nil, fmt.Errorf("%w: ingredient count %d exceeds remaining bytes", ErrSnapshot, n)
-	}
-	ids = make([]flavor.ID, n)
-	for i := range ids {
-		ids[i] = flavor.ID(read())
-	}
-	if err != nil {
-		return "", 0, 0, nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
-	}
-	if r.Len() != 0 {
-		return "", 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshot, r.Len())
 	}
 	return name, region, source, ids, nil
 }
@@ -110,19 +53,24 @@ func SaveCorpus(db *Store, corpus *recipedb.Store) error {
 	if err := db.Put(flavorCfgKey, cfg); err != nil {
 		return err
 	}
-	// Drop recipes from any previous, larger snapshot.
+	// Drop recipes from any previous, larger snapshot, plus keys whose
+	// slot the corpus has since tombstoned.
 	for _, key := range db.KeysWithPrefix(recipePrefix) {
 		var id int
-		if _, err := fmt.Sscanf(key, recipePrefix+"%d", &id); err == nil && id < corpus.Len() {
+		if _, err := fmt.Sscanf(key, recipePrefix+"%d", &id); err == nil &&
+			id < corpus.Slots() && !corpus.Recipe(id).Deleted {
 			continue
 		}
 		if err := db.Delete(key); err != nil {
 			return err
 		}
 	}
-	for i := 0; i < corpus.Len(); i++ {
+	for i := 0; i < corpus.Slots(); i++ {
 		r := corpus.Recipe(i)
-		if err := db.Put(recipeKey(i), encodeRecipe(r)); err != nil {
+		if r.Deleted {
+			continue
+		}
+		if err := db.Put(recipeKey(i), encodeRecipe(&r)); err != nil {
 			return fmt.Errorf("storage: saving recipe %d: %w", i, err)
 		}
 	}
@@ -164,7 +112,11 @@ func LoadCorpus(db *Store, catalog *flavor.Catalog) (*recipedb.Store, error) {
 	}
 	corpus := recipedb.NewStore(catalog)
 	keys := db.KeysWithPrefix(recipePrefix)
-	for _, key := range keys { // sorted, so IDs load in order
+	for _, key := range keys { // sorted, so IDs load in ascending order
+		var id int
+		if _, err := fmt.Sscanf(key, recipePrefix+"%d", &id); err != nil {
+			return nil, fmt.Errorf("%w: recipe key %q", ErrSnapshot, key)
+		}
 		raw, err := db.Get(key)
 		if err != nil {
 			return nil, err
@@ -173,7 +125,9 @@ func LoadCorpus(db *Store, catalog *flavor.Catalog) (*recipedb.Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("storage: recipe %s: %w", key, err)
 		}
-		if _, err := corpus.Add(name, region, source, ids); err != nil {
+		// Upsert with the explicit ID tombstones any gap left by
+		// deleted recipes, so reloaded IDs match the saved corpus.
+		if _, _, _, err := corpus.Upsert(id, name, region, source, ids); err != nil {
 			return nil, fmt.Errorf("storage: recipe %s: %w", key, err)
 		}
 	}

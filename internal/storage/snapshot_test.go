@@ -50,7 +50,7 @@ func TestRecipeEncodeDecodeRoundTrip(t *testing.T) {
 	corpus := testCorpus(t, catalog)
 	for i := 0; i < corpus.Len(); i++ {
 		r := corpus.Recipe(i)
-		name, region, source, ids, err := decodeRecipe(encodeRecipe(r))
+		name, region, source, ids, err := decodeRecipe(encodeRecipe(&r))
 		if err != nil {
 			t.Fatalf("decode recipe %d: %v", i, err)
 		}
@@ -83,7 +83,8 @@ func TestDecodeRecipeRejectsGarbage(t *testing.T) {
 	// Trailing bytes after a valid body must be rejected.
 	catalog := testCatalog(t)
 	corpus := testCorpus(t, catalog)
-	good := encodeRecipe(corpus.Recipe(0))
+	first := corpus.Recipe(0)
+	good := encodeRecipe(&first)
 	if _, _, _, _, err := decodeRecipe(append(good, 0)); !errors.Is(err, ErrSnapshot) {
 		t.Errorf("trailing byte: err = %v, want ErrSnapshot", err)
 	}
@@ -202,5 +203,77 @@ func TestSnapshotSurvivesReopenAndCompact(t *testing.T) {
 	}
 	if loaded.Len() != corpus.Len() {
 		t.Errorf("loaded %d, want %d", loaded.Len(), corpus.Len())
+	}
+}
+
+// TestMutatedCorpusRoundTrip is the restart story for the mutable
+// corpus: save a snapshot, bind the store to the engine, mutate
+// through the write-through path (upsert, delete, insert), reopen and
+// reload — the reloaded corpus must match slot for slot, including the
+// tombstoned gap.
+func TestMutatedCorpusRoundTrip(t *testing.T) {
+	catalog := testCatalog(t)
+	corpus := testCorpus(t, catalog)
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCorpus(db, corpus); err != nil {
+		t.Fatal(err)
+	}
+	corpus.SetBackend(db)
+
+	// Mutate: replace slot 1, delete slot 2, append a new recipe.
+	r0 := corpus.Recipe(0)
+	if _, _, _, err := corpus.Upsert(1, "replaced dish", recipedb.France, recipedb.Epicurious, r0.Ingredients); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := corpus.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	newID, _, _, err := corpus.Upsert(-1, "appended dish", recipedb.Korea, recipedb.TarlaDalal, r0.Ingredients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	loaded, err := LoadCorpus(db2, catalog)
+	if err != nil {
+		t.Fatalf("LoadCorpus after mutations: %v", err)
+	}
+	if loaded.Len() != corpus.Len() || loaded.Slots() != corpus.Slots() {
+		t.Fatalf("reload Len/Slots = %d/%d, want %d/%d",
+			loaded.Len(), loaded.Slots(), corpus.Len(), corpus.Slots())
+	}
+	for i := 0; i < corpus.Slots(); i++ {
+		a, b := corpus.Recipe(i), loaded.Recipe(i)
+		if a.Deleted != b.Deleted {
+			t.Errorf("slot %d deleted mismatch: %v vs %v", i, a.Deleted, b.Deleted)
+			continue
+		}
+		if a.Deleted {
+			continue
+		}
+		if a.Name != b.Name || a.Region != b.Region || a.Source != b.Source || a.Size() != b.Size() {
+			t.Errorf("slot %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if !loaded.Recipe(2).Deleted {
+		t.Error("tombstoned slot 2 revived on reload")
+	}
+	if got := loaded.Recipe(newID); got.Name != "appended dish" || got.Region != recipedb.Korea {
+		t.Errorf("appended recipe reloaded as %+v", got)
+	}
+	// Region indexes must be rebuilt consistently with the slots.
+	if got := loaded.RegionRecipes(recipedb.France); len(got) == 0 {
+		t.Error("replaced recipe missing from France index")
 	}
 }
