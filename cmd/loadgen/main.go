@@ -1,0 +1,616 @@
+// Command loadgen is a closed-loop HTTP load generator for the culinary
+// API server: the standing "heavy traffic" harness the ROADMAP calls
+// for. Each worker issues one request at a time (closed loop — offered
+// load adapts to server latency, so overload manifests as shed 429/503
+// responses, not an unbounded client backlog) drawn from a weighted mix
+// of traffic shapes: CQL queries, recipe/region reads, full-text
+// searches, and recipe mutations (upsert + delete).
+//
+//	loadgen [-addr http://localhost:8080] [-duration 60s] [-concurrency 16]
+//	        [-mix query=40,read=30,search=20,mutation=10] [-seed 1]
+//	        [-out BENCH_load.json] [-name LoadSoak/mixed] [-strict]
+//
+// The run records p50/p99 latency over successful requests, throughput,
+// error rate and shed rate, and writes them as rows in the unified
+// cmd/benchjson schema (ns_per_op = the percentile) so the CI
+// bench-regression gate diffs soak results like any other benchmark.
+//
+// Every non-2xx response is checked against the structured error
+// envelope {"error":{"code","message"}}; with -strict the process
+// exits 1 when any 4xx/5xx body violates the contract, when any 5xx
+// other than a deliberate 503 shed appears, or when /api/health fails
+// to report the traffic block the soak asserts on. That makes a short
+// soak a pass/fail regression test, not just a measurement.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "server base URL")
+		duration    = flag.Duration("duration", 60*time.Second, "soak length")
+		concurrency = flag.Int("concurrency", 16, "closed-loop workers")
+		mixSpec     = flag.String("mix", "query=40,read=30,search=20,mutation=10", "traffic mix weights")
+		seed        = flag.Int64("seed", 1, "workload RNG seed")
+		out         = flag.String("out", "", "benchjson rows destination (default stdout)")
+		name        = flag.String("name", "LoadSoak/mixed", "benchmark row name prefix")
+		strict      = flag.Bool("strict", true, "exit 1 on contract violations (unexpected 5xx, malformed error envelopes, missing health traffic block)")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := runLoad(loadConfig{
+		BaseURL:     strings.TrimRight(*addr, "/"),
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Mix:         mix,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprint(os.Stderr, rep.summary(*name))
+
+	rows, err := rep.benchRows(*name)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(rows)
+	} else if err := os.WriteFile(*out, rows, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if *strict {
+		if msgs := rep.violations(); len(msgs) > 0 {
+			for _, m := range msgs {
+				fmt.Fprintln(os.Stderr, "loadgen: VIOLATION:", m)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "loadgen: contract clean (no unexpected 5xx, all error bodies enveloped)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}
+
+// shape names index the mix weights.
+const (
+	shapeQuery    = "query"
+	shapeRead     = "read"
+	shapeSearch   = "search"
+	shapeMutation = "mutation"
+)
+
+var shapeOrder = []string{shapeQuery, shapeRead, shapeSearch, shapeMutation}
+
+// parseMix reads "query=40,read=30,...". Unknown shapes are errors;
+// omitted shapes get weight 0; the total must be positive.
+func parseMix(spec string) (map[string]int, error) {
+	mix := map[string]int{shapeQuery: 0, shapeRead: 0, shapeSearch: 0, shapeMutation: 0}
+	total := 0
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want shape=weight)", part)
+		}
+		if _, known := mix[k]; !known {
+			return nil, fmt.Errorf("unknown traffic shape %q (shapes: %s)", k, strings.Join(shapeOrder, ", "))
+		}
+		var w int
+		if _, err := fmt.Sscanf(v, "%d", &w); err != nil || w < 0 {
+			return nil, fmt.Errorf("bad weight %q for shape %q", v, k)
+		}
+		mix[k] = w
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("mix %q has no positive weights", spec)
+	}
+	return mix, nil
+}
+
+// loadConfig parameterizes one soak run.
+type loadConfig struct {
+	BaseURL     string
+	Duration    time.Duration
+	Concurrency int
+	Mix         map[string]int
+	Seed        int64
+}
+
+// report aggregates one run's outcome.
+type report struct {
+	Duration           time.Duration
+	Succeeded          int64 // 2xx
+	Expected4          int64 // 4xx carrying a valid envelope (incl. 413/429)
+	Shed429            int64
+	Shed503            int64
+	Timeout504         int64
+	Unexpected5        int64 // 5xx other than 503 sheds
+	EnvelopeViolations int64
+	violationSamples   []string
+
+	latencies []time.Duration // successful requests only
+
+	HealthTraffic map[string]interface{} // /api/health "traffic" block, post-run
+}
+
+// percentile returns the pth percentile (0..100) of successful-request
+// latency; 0 with no samples. Callers sort r.latencies first.
+func (r *report) percentile(p float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(r.latencies)-1))
+	return r.latencies[idx]
+}
+
+func (r *report) total() int64 {
+	// Shed429 already rides inside Expected4; Shed503 is its own bucket.
+	return r.Succeeded + r.Expected4 + r.Shed503 + r.Unexpected5 + r.EnvelopeViolations + r.Timeout504
+}
+
+// benchRows renders the run in the cmd/benchjson flat schema: one row
+// per gated percentile, extra metrics riding on the p50 row.
+func (r *report) benchRows(name string) ([]byte, error) {
+	total := r.total()
+	qps := 0.0
+	if r.Duration > 0 {
+		qps = float64(total) / r.Duration.Seconds()
+	}
+	shedRate, errRate := 0.0, 0.0
+	if total > 0 {
+		shedRate = float64(r.Shed429+r.Shed503) / float64(total)
+		errRate = float64(r.Unexpected5+r.EnvelopeViolations) / float64(total)
+	}
+	rows := []map[string]interface{}{
+		{
+			"name":       name + "/p50",
+			"iterations": total,
+			"ns_per_op":  float64(r.percentile(50).Nanoseconds()),
+			"qps":        qps,
+			"error-rate": errRate,
+			"shed-rate":  shedRate,
+		},
+		{
+			"name":       name + "/p99",
+			"iterations": total,
+			"ns_per_op":  float64(r.percentile(99).Nanoseconds()),
+		},
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// summary renders the human-readable run report.
+func (r *report) summary(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen %s: %d requests in %v (%.0f req/s)\n",
+		name, r.total(), r.Duration.Round(time.Millisecond), float64(r.total())/r.Duration.Seconds())
+	fmt.Fprintf(&b, "  ok=%d expected4xx=%d (429=%d) shed503=%d timeout504=%d unexpected5xx=%d envelopeViolations=%d\n",
+		r.Succeeded, r.Expected4, r.Shed429, r.Shed503, r.Timeout504, r.Unexpected5, r.EnvelopeViolations)
+	fmt.Fprintf(&b, "  latency p50=%v p99=%v (over %d successes)\n",
+		r.percentile(50).Round(time.Microsecond), r.percentile(99).Round(time.Microsecond), len(r.latencies))
+	if r.HealthTraffic != nil {
+		if tj, err := json.Marshal(r.HealthTraffic); err == nil {
+			fmt.Fprintf(&b, "  health traffic: %s\n", tj)
+		}
+	}
+	return b.String()
+}
+
+// violations lists the strict-mode contract failures.
+func (r *report) violations() []string {
+	var out []string
+	if r.Succeeded == 0 {
+		out = append(out, "no request succeeded")
+	}
+	if r.Unexpected5 > 0 {
+		out = append(out, fmt.Sprintf("%d unexpected 5xx responses (only deliberate 503 sheds are allowed)", r.Unexpected5))
+	}
+	if r.EnvelopeViolations > 0 {
+		out = append(out, fmt.Sprintf("%d error responses without a valid {\"error\":{\"code\",\"message\"}} envelope", r.EnvelopeViolations))
+	}
+	for _, s := range r.violationSamples {
+		out = append(out, "  sample: "+s)
+	}
+	if r.HealthTraffic == nil {
+		out = append(out, "/api/health reported no \"traffic\" block")
+	}
+	return out
+}
+
+// corpusInfo is the workload vocabulary harvested at bootstrap.
+type corpusInfo struct {
+	ingredients []string
+	regions     []string
+	sources     []string
+	slots       int
+}
+
+// bootstrap waits for the server and harvests ingredient names, region
+// codes and source labels to parameterize the workload.
+func bootstrap(client *http.Client, base string) (*corpusInfo, error) {
+	var lastErr error
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/api/health")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				lastErr = nil
+				break
+			}
+			lastErr = fmt.Errorf("health: status %d", resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("server never became healthy: %w", lastErr)
+	}
+
+	resp, err := client.Get(base + "/api/recipes?limit=100")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Total   int `json:"total"`
+		Recipes []struct {
+			ID          int      `json:"id"`
+			Region      string   `json:"region"`
+			Source      string   `json:"source"`
+			Ingredients []string `json:"ingredients"`
+		} `json:"recipes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("harvesting corpus vocabulary: %w", err)
+	}
+	info := &corpusInfo{slots: body.Total}
+	seenIng := map[string]bool{}
+	seenReg := map[string]bool{}
+	seenSrc := map[string]bool{}
+	for _, rec := range body.Recipes {
+		if !seenReg[rec.Region] {
+			seenReg[rec.Region] = true
+			info.regions = append(info.regions, rec.Region)
+		}
+		if !seenSrc[rec.Source] {
+			seenSrc[rec.Source] = true
+			info.sources = append(info.sources, rec.Source)
+		}
+		for _, ing := range rec.Ingredients {
+			if !seenIng[ing] {
+				seenIng[ing] = true
+				info.ingredients = append(info.ingredients, ing)
+			}
+		}
+	}
+	if len(info.ingredients) < 5 || len(info.regions) == 0 || len(info.sources) == 0 {
+		return nil, fmt.Errorf("corpus vocabulary too small (ingredients=%d regions=%d sources=%d)",
+			len(info.ingredients), len(info.regions), len(info.sources))
+	}
+	return info, nil
+}
+
+// runLoad executes one closed-loop soak and aggregates the report.
+func runLoad(cfg loadConfig) (*report, error) {
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency * 2,
+			MaxIdleConnsPerHost: cfg.Concurrency * 2,
+		},
+	}
+	info, err := bootstrap(client, cfg.BaseURL)
+	if err != nil {
+		return nil, err
+	}
+
+	var picks []string
+	for _, s := range shapeOrder {
+		for i := 0; i < cfg.Mix[s]; i++ {
+			picks = append(picks, s)
+		}
+	}
+
+	stop := time.Now().Add(cfg.Duration)
+	reports := make([]*report, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Concurrency; i++ {
+		w := &worker{
+			id:     i,
+			rng:    rand.New(rand.NewSource(cfg.Seed + int64(i))),
+			client: client,
+			base:   cfg.BaseURL,
+			info:   info,
+			picks:  picks,
+			rep:    &report{},
+		}
+		reports[i] = w.rep
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(stop)
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+
+	total := &report{Duration: time.Since(start)}
+	for _, r := range reports {
+		total.Succeeded += r.Succeeded
+		total.Expected4 += r.Expected4
+		total.Shed429 += r.Shed429
+		total.Shed503 += r.Shed503
+		total.Timeout504 += r.Timeout504
+		total.Unexpected5 += r.Unexpected5
+		total.EnvelopeViolations += r.EnvelopeViolations
+		total.latencies = append(total.latencies, r.latencies...)
+		if len(total.violationSamples) < 5 {
+			total.violationSamples = append(total.violationSamples, r.violationSamples...)
+		}
+	}
+	if len(total.violationSamples) > 5 {
+		total.violationSamples = total.violationSamples[:5]
+	}
+	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+
+	// Post-run health snapshot: the soak asserts the traffic block is
+	// present so /api/health stays a valid overload dashboard.
+	if resp, err := client.Get(cfg.BaseURL + "/api/health"); err == nil {
+		var health map[string]interface{}
+		if json.NewDecoder(resp.Body).Decode(&health) == nil {
+			if tb, ok := health["traffic"].(map[string]interface{}); ok {
+				total.HealthTraffic = tb
+			}
+		}
+		resp.Body.Close()
+	}
+	return total, nil
+}
+
+// worker is one closed-loop client.
+type worker struct {
+	id     int
+	rng    *rand.Rand
+	client *http.Client
+	base   string
+	info   *corpusInfo
+	picks  []string
+	rep    *report
+
+	created []int // recipe IDs this worker upserted and may delete
+	seq     int
+}
+
+func (w *worker) run(stop time.Time) {
+	for time.Now().Before(stop) {
+		switch w.picks[w.rng.Intn(len(w.picks))] {
+		case shapeQuery:
+			w.query()
+		case shapeRead:
+			w.read()
+		case shapeSearch:
+			w.search()
+		case shapeMutation:
+			w.mutate()
+		}
+	}
+}
+
+func (w *worker) ingredient() string {
+	return w.info.ingredients[w.rng.Intn(len(w.info.ingredients))]
+}
+
+func (w *worker) region() string {
+	return w.info.regions[w.rng.Intn(len(w.info.regions))]
+}
+
+// query issues one CQL statement: a rotating blend of the hot
+// dashboard aggregate (result-cache friendly) and parameterized
+// statements that force real scans.
+func (w *worker) query() {
+	var q string
+	switch w.rng.Intn(4) {
+	case 0:
+		q = "SELECT region, count(*) FROM recipes GROUP BY region"
+	case 1:
+		q = fmt.Sprintf("SELECT name, size FROM recipes WHERE region = '%s' LIMIT 10", w.region())
+	case 2:
+		q = fmt.Sprintf("SELECT count(*) FROM recipes WHERE has('%s')", w.ingredient())
+	default:
+		q = fmt.Sprintf("SELECT avg(size) FROM recipes WHERE region = '%s'", w.region())
+	}
+	w.do("POST", "/api/query", map[string]interface{}{"q": q})
+}
+
+func (w *worker) read() {
+	switch w.rng.Intn(3) {
+	case 0:
+		w.do("GET", fmt.Sprintf("/api/recipes?limit=20&offset=%d", w.rng.Intn(200)), nil)
+	case 1:
+		w.do("GET", "/api/regions", nil)
+	default:
+		if w.info.slots > 0 {
+			w.do("GET", fmt.Sprintf("/api/recipes/%d", w.rng.Intn(w.info.slots)), nil)
+		}
+	}
+}
+
+func (w *worker) search() {
+	q := w.ingredient()
+	if w.rng.Intn(2) == 0 {
+		q += " " + w.ingredient()
+	}
+	w.do("GET", "/api/search?q="+strings.ReplaceAll(q, " ", "+")+"&limit=10", nil)
+}
+
+// mutate upserts a small synthetic recipe, occasionally deleting one
+// of this worker's own earlier creations so tombstone churn (and the
+// result-cache invalidation it causes) stays in the mix.
+func (w *worker) mutate() {
+	if len(w.created) > 4 && w.rng.Intn(3) == 0 {
+		id := w.created[len(w.created)-1]
+		w.created = w.created[:len(w.created)-1]
+		w.do("DELETE", fmt.Sprintf("/api/recipes/%d", id), nil)
+		return
+	}
+	n := 2 + w.rng.Intn(4)
+	seen := map[string]bool{}
+	var ings []string
+	for len(ings) < n {
+		ing := w.ingredient()
+		if !seen[ing] {
+			seen[ing] = true
+			ings = append(ings, ing)
+		}
+	}
+	w.seq++
+	status, body := w.do("POST", "/api/recipes", map[string]interface{}{
+		"name":        fmt.Sprintf("loadgen w%d #%d", w.id, w.seq),
+		"region":      w.region(),
+		"source":      w.info.sources[w.rng.Intn(len(w.info.sources))],
+		"ingredients": ings,
+	})
+	if status == http.StatusCreated {
+		var resp struct {
+			ID int `json:"id"`
+		}
+		if json.Unmarshal(body, &resp) == nil {
+			w.created = append(w.created, resp.ID)
+		}
+	}
+}
+
+// do issues one request, classifies the response, and validates the
+// envelope contract on every error status.
+func (w *worker) do(method, path string, body interface{}) (int, []byte) {
+	var reader io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil
+		}
+		reader = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, w.base+path, reader)
+	if err != nil {
+		return 0, nil
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := w.client.Do(req)
+	if err != nil {
+		// Transport-level failure (refused, client timeout): counted
+		// as an unexpected failure — a draining server must finish
+		// accepted requests, and a healthy one must keep accepting.
+		w.rep.Unexpected5++
+		w.note("transport error on %s %s: %v", method, path, err)
+		return 0, nil
+	}
+	elapsed := time.Since(start)
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+
+	status := resp.StatusCode
+	switch {
+	case status >= 200 && status < 300:
+		w.rep.Succeeded++
+		w.rep.latencies = append(w.rep.latencies, elapsed)
+	case status == http.StatusTooManyRequests:
+		w.classifyError(status, raw, resp, method, path)
+	case status == http.StatusServiceUnavailable:
+		w.classifyError(status, raw, resp, method, path)
+	case status == http.StatusGatewayTimeout:
+		w.classifyError(status, raw, resp, method, path)
+	case status >= 500:
+		w.rep.Unexpected5++
+		w.note("unexpected %d on %s %s: %.200s", status, method, path, raw)
+	default: // other 4xx
+		w.classifyError(status, raw, resp, method, path)
+	}
+	return status, raw
+}
+
+// classifyError buckets an expected error status after validating the
+// envelope (and, for 429/503, the Retry-After contract).
+func (w *worker) classifyError(status int, raw []byte, resp *http.Response, method, path string) {
+	if !validEnvelope(raw) {
+		w.rep.EnvelopeViolations++
+		w.note("%d on %s %s has no valid error envelope: %.200s", status, method, path, raw)
+		return
+	}
+	switch status {
+	case http.StatusTooManyRequests:
+		w.rep.Shed429++
+		w.rep.Expected4++
+		if resp.Header.Get("Retry-After") == "" {
+			w.rep.EnvelopeViolations++
+			w.note("429 on %s %s missing Retry-After", method, path)
+		}
+	case http.StatusServiceUnavailable:
+		w.rep.Shed503++
+		if resp.Header.Get("Retry-After") == "" {
+			w.rep.EnvelopeViolations++
+			w.note("503 on %s %s missing Retry-After", method, path)
+		}
+	case http.StatusGatewayTimeout:
+		w.rep.Timeout504++
+	default:
+		w.rep.Expected4++
+	}
+}
+
+func (w *worker) note(format string, args ...interface{}) {
+	if len(w.rep.violationSamples) < 3 {
+		w.rep.violationSamples = append(w.rep.violationSamples, fmt.Sprintf(format, args...))
+	}
+}
+
+// validEnvelope checks the structured error contract: the body must be
+// {"error":{"code","message"}} with a non-empty code.
+func validEnvelope(raw []byte) bool {
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return false
+	}
+	return env.Error.Code != ""
+}

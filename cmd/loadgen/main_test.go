@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"culinary/internal/experiments"
+	"culinary/internal/httpmw"
+	"culinary/internal/server"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("query=40,read=30,search=20,mutation=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix[shapeQuery] != 40 || mix[shapeRead] != 30 || mix[shapeSearch] != 20 || mix[shapeMutation] != 10 {
+		t.Fatalf("mix = %v", mix)
+	}
+
+	mix, err = parseMix("read=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix[shapeRead] != 1 || mix[shapeQuery] != 0 {
+		t.Fatalf("partial mix = %v", mix)
+	}
+
+	for _, bad := range []string{"", "query", "bogus=5", "query=-1", "query=0,read=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	r := &report{}
+	if r.percentile(99) != 0 {
+		t.Fatal("empty report percentile != 0")
+	}
+	for i := 1; i <= 100; i++ {
+		r.latencies = append(r.latencies, time.Duration(i)*time.Millisecond)
+	}
+	if p := r.percentile(50); p < 49*time.Millisecond || p > 52*time.Millisecond {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := r.percentile(99); p < 98*time.Millisecond || p > 100*time.Millisecond {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := r.percentile(100); p != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", p)
+	}
+}
+
+func TestValidEnvelope(t *testing.T) {
+	good := [][]byte{
+		[]byte(`{"error":{"code":"rate_limited","message":"slow down"}}`),
+		[]byte(`{"error":{"code":"overloaded","message":"x"},"extra":1}`),
+	}
+	for _, g := range good {
+		if !validEnvelope(g) {
+			t.Errorf("validEnvelope(%s) = false", g)
+		}
+	}
+	bad := [][]byte{
+		[]byte(`not json`),
+		[]byte(`{}`),
+		[]byte(`{"error":"string"}`),
+		[]byte(`{"error":{"message":"code missing"}}`),
+		[]byte(`404 page not found`),
+	}
+	for _, b := range bad {
+		if validEnvelope(b) {
+			t.Errorf("validEnvelope(%s) = true", b)
+		}
+	}
+}
+
+func TestBenchRowsSchema(t *testing.T) {
+	r := &report{
+		Duration:  2 * time.Second,
+		Succeeded: 90,
+		Expected4: 6,
+		Shed429:   4,
+		Shed503:   2,
+	}
+	for i := 0; i < 90; i++ {
+		r.latencies = append(r.latencies, time.Duration(i+1)*time.Millisecond)
+	}
+	raw, err := r.benchRows("LoadSoak/mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]interface{}
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatalf("benchRows output is not a JSON array: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0]["name"] != "LoadSoak/mixed/p50" || rows[1]["name"] != "LoadSoak/mixed/p99" {
+		t.Fatalf("row names = %v, %v", rows[0]["name"], rows[1]["name"])
+	}
+	for i, row := range rows {
+		if row["ns_per_op"].(float64) <= 0 {
+			t.Errorf("row %d ns_per_op = %v", i, row["ns_per_op"])
+		}
+		if row["iterations"].(float64) != 98 { // 90 + 6 + 2 (503s are not 4xx)
+			t.Errorf("row %d iterations = %v", i, row["iterations"])
+		}
+	}
+	if rows[0]["shed-rate"].(float64) <= 0 {
+		t.Errorf("p50 row shed-rate = %v, want > 0", rows[0]["shed-rate"])
+	}
+	if rows[0]["error-rate"].(float64) != 0 {
+		t.Errorf("p50 row error-rate = %v, want 0", rows[0]["error-rate"])
+	}
+}
+
+// TestShortSoakAgainstRealServer runs the full closed loop for a
+// couple of seconds against an in-process armored server and asserts
+// the strict-mode contract holds: traffic flows, every error response
+// is enveloped, and the health traffic block is captured.
+func TestShortSoakAgainstRealServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak needs a real corpus")
+	}
+	env, err := experiments.NewEnv(experiments.TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Store:            env.Store,
+		Analyzer:         env.Analyzer,
+		NullRecipes:      500,
+		Seed:             7,
+		ResultCacheBytes: -1,
+		Traffic: &httpmw.Config{
+			// Tight enough that a 4-worker closed loop trips some 429s
+			// (exercising the shed paths), loose enough that plenty of
+			// traffic still succeeds.
+			ReadRPS:       200,
+			ReadBurst:     50,
+			MutationRPS:   50,
+			MutationBurst: 20,
+			MaxInFlight:   32,
+			RetryAfter:    time.Second,
+			MaxBodyBytes:  1 << 20,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	mix, err := parseMix("query=40,read=30,search=20,mutation=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runLoad(loadConfig{
+		BaseURL:     ts.URL,
+		Duration:    2 * time.Second,
+		Concurrency: 4,
+		Mix:         mix,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if msgs := rep.violations(); len(msgs) > 0 {
+		t.Fatalf("strict-mode violations: %v\nsummary:\n%s", msgs, rep.summary("test"))
+	}
+	if rep.Succeeded < 20 {
+		t.Fatalf("only %d requests succeeded in 2s: %s", rep.Succeeded, rep.summary("test"))
+	}
+	if rep.percentile(99) <= 0 {
+		t.Fatal("no latency distribution recorded")
+	}
+	if _, ok := rep.HealthTraffic["admitted"]; !ok {
+		t.Fatalf("health traffic block missing admitted counter: %v", rep.HealthTraffic)
+	}
+	if raw, err := rep.benchRows("LoadSoak/test"); err != nil || len(raw) == 0 {
+		t.Fatalf("benchRows: %v", err)
+	}
+}

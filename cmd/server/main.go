@@ -7,6 +7,22 @@
 //	       [-db-shards n] [-db-sync] [-db-mmap] [-db-read-cache-bytes n]
 //	       [-db-compact-interval d] [-db-compact-garbage-ratio f]
 //	       [-query-result-cache-bytes n]
+//	       [-max-body-bytes n] [-rate-limit-rps f] [-rate-limit-mutation-rps f]
+//	       [-max-inflight n] [-request-timeout d] [-shutdown-grace d]
+//
+// The HTTP front is armored for production traffic: per-IP token-bucket
+// rate limiting with separate read/mutation budgets (X-RateLimit-*
+// headers, 429 + Retry-After on rejection), request bodies capped at
+// -max-body-bytes (structured 413), per-request deadlines
+// (-request-timeout) propagated into query execution so slow scans
+// abort, and an in-flight concurrency gate (-max-inflight) that sheds
+// overload with 503 + Retry-After instead of queueing unboundedly —
+// with a grace multiplier while the result cache is cold. Every
+// 4xx/5xx body is the structured envelope {"error":{"code","message"}}.
+// The listener runs behind read-header/idle timeouts (no slowloris),
+// and SIGTERM/SIGINT drain in-flight requests for up to -shutdown-grace
+// before the process exits. /api/health (exempt from limits) reports
+// the stack's counters under "traffic".
 //
 // With -db, the corpus is loaded from (or, when absent, generated and
 // saved into) a storage snapshot directory, so restarts skip corpus
@@ -43,15 +59,19 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"culinary/internal/flavor"
+	"culinary/internal/httpmw"
 	"culinary/internal/pairing"
 	"culinary/internal/query"
 	"culinary/internal/recipedb"
@@ -74,6 +94,13 @@ func main() {
 		dbCompact = flag.Duration("db-compact-interval", time.Minute, "background incremental compaction period (0 disables)")
 		dbGarbage = flag.Float64("db-compact-garbage-ratio", 0.5, "dead-byte fraction at which a sealed segment is compacted")
 		resCache  = flag.Int64("query-result-cache-bytes", query.DefaultResultCacheBytes, "CQL result cache byte budget, keyed by (statement, corpus version) (0 disables)")
+
+		maxBody    = flag.Int64("max-body-bytes", 1<<20, "request body size cap; oversized bodies get a structured 413 (0 disables)")
+		readRPS    = flag.Float64("rate-limit-rps", 500, "per-IP rate limit for read traffic, requests/second (burst 2x; 0 disables)")
+		mutRPS     = flag.Float64("rate-limit-mutation-rps", 100, "per-IP rate limit for corpus mutations, requests/second (burst 2x; 0 disables)")
+		maxInf     = flag.Int("max-inflight", 256, "in-flight request bound; excess load is shed with 503 + Retry-After (0 disables)")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline, propagated into query execution (0 disables)")
+		grace      = flag.Duration("shutdown-grace", 15*time.Second, "drain window for in-flight requests on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 	dbOpts := storage.Options{
@@ -117,13 +144,56 @@ func main() {
 		Logger:           logger,
 		DB:               db,
 		ResultCacheBytes: *resCache,
+		Traffic: &httpmw.Config{
+			ReadRPS:        *readRPS,
+			ReadBurst:      *readRPS * 2,
+			MutationRPS:    *mutRPS,
+			MutationBurst:  *mutRPS * 2,
+			MaxInFlight:    *maxInf,
+			RetryAfter:     time.Second,
+			MaxBodyBytes:   *maxBody,
+			RequestTimeout: *reqTimeout,
+		},
 	})
 	if err != nil {
 		fatal(err)
 	}
+
+	// A configured http.Server instead of bare ListenAndServe: the
+	// read-header and idle timeouts close slowloris connections, and
+	// Shutdown drains in-flight requests on SIGTERM so a deploy never
+	// drops a response mid-flight. WriteTimeout stays generous — the
+	// pairing endpoint legitimately runs for seconds; the per-request
+	// deadline middleware bounds handler time far tighter.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 	logger.Printf("listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	select {
+	case err := <-errCh:
 		fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills hard
+		logger.Printf("shutdown signal received; draining for up to %v", *grace)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			logger.Printf("drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		logger.Printf("drained cleanly")
 	}
 }
 

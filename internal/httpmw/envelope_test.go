@@ -1,0 +1,99 @@
+package httpmw
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestEnvelopeFallbackWrapsMuxErrors asserts the fallback converts the
+// ServeMux's plain-text 404/405 pages into the structured envelope
+// while preserving protocol headers (Allow on 405).
+func TestEnvelopeFallbackWrapsMuxErrors(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/only-get", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	h := EnvelopeFallback(mux)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/nope", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	if code := decodeEnvelope(t, rr.Body.Bytes()); code != CodeNotFound {
+		t.Fatalf("code = %q, want %q", code, CodeNotFound)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/api/only-get", nil))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", rr.Code)
+	}
+	if rr.Header().Get("Allow") == "" {
+		t.Fatal("405 lost its Allow header")
+	}
+	if code := decodeEnvelope(t, rr.Body.Bytes()); code != CodeMethod {
+		t.Fatalf("code = %q, want %q", code, CodeMethod)
+	}
+}
+
+// TestEnvelopeFallbackPassesJSONThrough asserts handler-authored JSON
+// errors and success bodies are untouched.
+func TestEnvelopeFallbackPassesJSONThrough(t *testing.T) {
+	h := EnvelopeFallback(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/err" {
+			WriteError(w, http.StatusUnprocessableEntity, CodeUnprocessable, "custom detail")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/err", nil))
+	if rr.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var env Envelope
+	if err := json.Unmarshal(rr.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Message != "custom detail" {
+		t.Fatalf("handler's own envelope was rewritten: %+v", env)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/ok", nil))
+	if rr.Code != http.StatusOK || rr.Body.String() != `{"ok":true}` {
+		t.Fatalf("success body mangled: %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+// TestWriteErrorDefaultsCode asserts the status→code fallback.
+func TestWriteErrorDefaultsCode(t *testing.T) {
+	cases := map[int]string{
+		http.StatusBadRequest:            CodeBadRequest,
+		http.StatusNotFound:              CodeNotFound,
+		http.StatusRequestEntityTooLarge: CodeTooLarge,
+		http.StatusUnprocessableEntity:   CodeUnprocessable,
+		http.StatusTooManyRequests:       CodeRateLimited,
+		http.StatusInternalServerError:   CodeInternal,
+		http.StatusServiceUnavailable:    CodeOverloaded,
+		http.StatusGatewayTimeout:        CodeTimeout,
+	}
+	for status, want := range cases {
+		rr := httptest.NewRecorder()
+		WriteError(rr, status, "", "msg")
+		if rr.Code != status {
+			t.Fatalf("status %d: wrote %d", status, rr.Code)
+		}
+		if code := decodeEnvelope(t, rr.Body.Bytes()); code != want {
+			t.Fatalf("status %d: code %q, want %q", status, code, want)
+		}
+	}
+}

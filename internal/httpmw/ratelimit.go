@@ -1,0 +1,210 @@
+package httpmw
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxBuckets bounds the per-IP bucket map; when exceeded, the next
+// Allow sweeps buckets that have been idle long enough to have fully
+// refilled (forgetting them loses no admission state).
+const maxBuckets = 65536
+
+// Limiter is a keyed token-bucket rate limiter: each key (client IP)
+// owns a bucket of capacity burst refilled at rate tokens/second. It
+// is safe for concurrent use and never over-admits: a token is
+// consumed atomically under the lock or the request is rejected.
+type Limiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	denied atomic.Int64
+
+	// now is injectable for tests; defaults to time.Now.
+	now func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter admitting rate requests/second with the
+// given burst capacity per key. burst < 1 is raised to max(1, rate) so
+// a nonzero rate always admits single requests.
+func NewLimiter(rate, burst float64) *Limiter {
+	if burst < 1 {
+		burst = math.Max(1, rate)
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   burst,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// Decision is the outcome of one admission attempt.
+type Decision struct {
+	OK bool
+	// Limit is the bucket capacity (X-RateLimit-Limit).
+	Limit int
+	// Remaining is the whole tokens left after this request
+	// (X-RateLimit-Remaining).
+	Remaining int
+	// Reset is the time until the bucket is full again
+	// (X-RateLimit-Reset, rounded up to seconds on the wire).
+	Reset time.Duration
+	// RetryAfter is how long until one token is available; zero when
+	// OK. Rounded up to seconds for the Retry-After header.
+	RetryAfter time.Duration
+}
+
+// Allow consumes one token from key's bucket if available.
+func (l *Limiter) Allow(key string) Decision {
+	now := l.now()
+	l.mu.Lock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		dt := now.Sub(b.last).Seconds()
+		if dt > 0 {
+			b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+			b.last = now
+		}
+	}
+	d := Decision{Limit: int(l.burst)}
+	if b.tokens >= 1 {
+		b.tokens--
+		d.OK = true
+	} else if l.rate > 0 {
+		d.RetryAfter = secondsDur((1 - b.tokens) / l.rate)
+	} else {
+		d.RetryAfter = time.Hour // rate 0: effectively never
+	}
+	d.Remaining = int(b.tokens)
+	if l.rate > 0 {
+		d.Reset = secondsDur((l.burst - b.tokens) / l.rate)
+	}
+	l.mu.Unlock()
+	if !d.OK {
+		l.denied.Add(1)
+	}
+	return d
+}
+
+func secondsDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// sweepLocked drops buckets idle long enough to have refilled
+// completely; callers hold l.mu.
+func (l *Limiter) sweepLocked(now time.Time) {
+	idle := time.Hour
+	if l.rate > 0 {
+		idle = secondsDur(l.burst/l.rate) + time.Minute
+	}
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > idle {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// LimiterStats is a point-in-time limiter snapshot for /api/health.
+type LimiterStats struct {
+	Rate   float64 `json:"rps"`
+	Burst  float64 `json:"burst"`
+	Tokens float64 `json:"tokens"` // available tokens summed over buckets
+	Keys   int     `json:"keys"`
+	Denied int64   `json:"denied"`
+}
+
+// Stats snapshots the limiter. Tokens is computed at the stored refill
+// marks (a lower bound; buckets also refill lazily on access).
+func (l *Limiter) Stats() LimiterStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := LimiterStats{Rate: l.rate, Burst: l.burst, Keys: len(l.buckets), Denied: l.denied.Load()}
+	for _, b := range l.buckets {
+		s.Tokens += b.tokens
+	}
+	return s
+}
+
+// ClientIP extracts the bucket key for a request: the host part of
+// RemoteAddr. Proxy headers (X-Forwarded-For) are deliberately not
+// trusted; terminate them at the proxy and run one limiter per edge.
+func ClientIP(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// RateLimit enforces read and mutation budgets per client IP.
+// isMutation classifies requests (nil means every non-GET/HEAD
+// request is a mutation); exempt requests (nil = none) bypass both
+// budgets. Every limited response carries the X-RateLimit-* headers;
+// a rejection is a structured 429 with Retry-After.
+func RateLimit(next http.Handler, read, mutation *Limiter,
+	isMutation, exempt func(*http.Request) bool) http.Handler {
+	if isMutation == nil {
+		isMutation = func(r *http.Request) bool {
+			return r.Method != http.MethodGet && r.Method != http.MethodHead
+		}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exempt != nil && exempt(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		l := read
+		if isMutation(r) {
+			l = mutation
+		}
+		if l == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		d := l.Allow(ClientIP(r))
+		h := w.Header()
+		h.Set("X-RateLimit-Limit", strconv.Itoa(d.Limit))
+		h.Set("X-RateLimit-Remaining", strconv.Itoa(d.Remaining))
+		h.Set("X-RateLimit-Reset", strconv.Itoa(ceilSeconds(d.Reset)))
+		if !d.OK {
+			h.Set("Retry-After", strconv.Itoa(ceilSeconds(d.RetryAfter)))
+			WriteError(w, http.StatusTooManyRequests, CodeRateLimited,
+				"rate limit exceeded; retry after the Retry-After interval")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// ceilSeconds renders a duration as whole seconds, rounding up so a
+// client honoring the header never retries early; minimum 1 for any
+// positive duration.
+func ceilSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	s := int(d / time.Second)
+	if d%time.Second != 0 || s == 0 {
+		s++
+	}
+	return s
+}

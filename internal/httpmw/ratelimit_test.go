@@ -1,0 +1,236 @@
+package httpmw
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// decodeEnvelope asserts a response body is the structured envelope
+// and returns the code.
+func decodeEnvelope(t *testing.T, body []byte) string {
+	t.Helper()
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("body %q is not the error envelope: %v", body, err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope %+v missing code or message", env)
+	}
+	return env.Error.Code
+}
+
+// TestLimiterNeverOverAdmits hammers one bucket from many goroutines
+// with a frozen clock: admissions must equal the burst capacity
+// exactly — the token ledger is atomic under contention, so racing
+// requests cannot mint extra tokens.
+func TestLimiterNeverOverAdmits(t *testing.T) {
+	const burst = 50
+	l := NewLimiter(10, burst)
+	frozen := time.Now()
+	l.now = func() time.Time { return frozen }
+
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if l.Allow("10.0.0.1").OK {
+					admitted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != burst {
+		t.Fatalf("admitted %d of 1600 requests, want exactly the burst %d", got, burst)
+	}
+	st := l.Stats()
+	if st.Denied != 1600-burst {
+		t.Fatalf("denied = %d, want %d", st.Denied, 1600-burst)
+	}
+}
+
+// TestLimiterRefills advances the injected clock and asserts tokens
+// return at the configured rate, capped at burst.
+func TestLimiterRefills(t *testing.T) {
+	l := NewLimiter(10, 5) // 10 tokens/s, burst 5
+	now := time.Now()
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 5; i++ {
+		if d := l.Allow("k"); !d.OK {
+			t.Fatalf("request %d within burst rejected", i)
+		}
+	}
+	if d := l.Allow("k"); d.OK {
+		t.Fatal("6th request admitted from an empty bucket")
+	} else if d.RetryAfter <= 0 {
+		t.Fatal("rejection carries no RetryAfter")
+	}
+
+	now = now.Add(200 * time.Millisecond) // refills 2 tokens
+	for i := 0; i < 2; i++ {
+		if d := l.Allow("k"); !d.OK {
+			t.Fatalf("request %d after refill rejected", i)
+		}
+	}
+	if d := l.Allow("k"); d.OK {
+		t.Fatal("admitted beyond the refilled amount")
+	}
+
+	now = now.Add(time.Hour) // cap at burst, not rate*dt
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if l.Allow("k").OK {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("after a long idle, admitted %d, want the burst cap 5", admitted)
+	}
+}
+
+// TestLimiterKeysAreIndependent asserts one client's storm cannot
+// starve another's bucket.
+func TestLimiterKeysAreIndependent(t *testing.T) {
+	l := NewLimiter(1, 2)
+	frozen := time.Now()
+	l.now = func() time.Time { return frozen }
+	for i := 0; i < 10; i++ {
+		l.Allow("attacker")
+	}
+	if !l.Allow("victim").OK {
+		t.Fatal("victim's fresh bucket was rejected")
+	}
+}
+
+// TestRateLimitHeaderContract drives the middleware over HTTP shape:
+// every limited response carries X-RateLimit-*, and the 429 adds
+// Retry-After plus the structured envelope with code rate_limited.
+func TestRateLimitHeaderContract(t *testing.T) {
+	read := NewLimiter(1, 2)
+	frozen := time.Now()
+	read.now = func() time.Time { return frozen }
+	h := RateLimit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), read, nil, func(*http.Request) bool { return false }, nil)
+
+	get := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", "/api/recipes", nil)
+		req.RemoteAddr = "192.0.2.7:1234"
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		return rr
+	}
+
+	for i := 0; i < 2; i++ {
+		rr := get()
+		if rr.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rr.Code)
+		}
+		if rr.Header().Get("X-RateLimit-Limit") != "2" {
+			t.Fatalf("X-RateLimit-Limit = %q, want 2", rr.Header().Get("X-RateLimit-Limit"))
+		}
+		want := strconv.Itoa(1 - i)
+		if rr.Header().Get("X-RateLimit-Remaining") != want {
+			t.Fatalf("request %d: X-RateLimit-Remaining = %q, want %s", i, rr.Header().Get("X-RateLimit-Remaining"), want)
+		}
+		if rr.Header().Get("X-RateLimit-Reset") == "" {
+			t.Fatal("missing X-RateLimit-Reset")
+		}
+	}
+
+	rr := get()
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rr.Code)
+	}
+	ra, err := strconv.Atoi(rr.Header().Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", rr.Header().Get("Retry-After"))
+	}
+	if code := decodeEnvelope(t, rr.Body.Bytes()); code != CodeRateLimited {
+		t.Fatalf("envelope code = %q, want %q", code, CodeRateLimited)
+	}
+}
+
+// TestRateLimitBudgetSplit asserts mutations draw from their own
+// bucket: exhausting the mutation budget leaves reads flowing.
+func TestRateLimitBudgetSplit(t *testing.T) {
+	frozen := time.Now()
+	read := NewLimiter(100, 100)
+	read.now = func() time.Time { return frozen }
+	mutation := NewLimiter(1, 1)
+	mutation.now = func() time.Time { return frozen }
+	h := RateLimit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), read, mutation, nil, nil)
+
+	do := func(method string) int {
+		req := httptest.NewRequest(method, "/api/recipes", nil)
+		req.RemoteAddr = "192.0.2.9:999"
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		return rr.Code
+	}
+	if do("POST") != http.StatusOK {
+		t.Fatal("first mutation rejected")
+	}
+	if do("POST") != http.StatusTooManyRequests {
+		t.Fatal("second mutation admitted past the budget")
+	}
+	for i := 0; i < 10; i++ {
+		if do("GET") != http.StatusOK {
+			t.Fatalf("read %d throttled by the exhausted mutation budget", i)
+		}
+	}
+}
+
+// TestRateLimitConcurrentContract floods the middleware with -race on
+// and checks global accounting: admitted + denied == issued, and
+// admitted never exceeds the burst (frozen clock).
+func TestRateLimitConcurrentContract(t *testing.T) {
+	const burst = 64
+	l := NewLimiter(1, burst)
+	frozen := time.Now()
+	l.now = func() time.Time { return frozen }
+	var served atomic.Int64
+	h := RateLimit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}), l, l, nil, nil)
+
+	const goroutines, per = 8, 50
+	var denied atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				req := httptest.NewRequest("GET", fmt.Sprintf("/x/%d", i), nil)
+				req.RemoteAddr = "198.51.100.3:42"
+				rr := httptest.NewRecorder()
+				h.ServeHTTP(rr, req)
+				if rr.Code == http.StatusTooManyRequests {
+					denied.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if served.Load() != burst {
+		t.Fatalf("served %d, want exactly burst %d", served.Load(), burst)
+	}
+	if served.Load()+denied.Load() != goroutines*per {
+		t.Fatalf("served %d + denied %d != issued %d", served.Load(), denied.Load(), goroutines*per)
+	}
+}

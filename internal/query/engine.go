@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -19,7 +20,18 @@ var (
 	// ErrNoScore is returned when a query uses 'score' on an engine
 	// built without a pairing analyzer.
 	ErrNoScore = errors.New("query: score requires a pairing analyzer")
+	// ErrCanceled wraps a context cancellation or deadline expiry
+	// observed mid-execution: the scan aborted and the partial result
+	// was discarded (and never cached). Callers map it to a structured
+	// timeout error; errors.Is(err, context.DeadlineExceeded) still
+	// distinguishes deadlines from explicit cancels.
+	ErrCanceled = errors.New("query: execution canceled")
 )
+
+// cancelCheckInterval is how many visited recipes pass between context
+// checks during a scan — frequent enough that a canceled query aborts
+// within microseconds, rare enough to keep the per-row cost invisible.
+const cancelCheckInterval = 512
 
 // Engine executes parsed queries against a recipe corpus. It is safe
 // for concurrent use; hot statements are served from an internal plan
@@ -98,14 +110,25 @@ func (r *Result) Table(title string) *report.Table {
 	return t
 }
 
-// Run executes a CQL statement. A result-cache hit (same normalized
-// statement, same corpus version) returns the shared materialized
-// Result without planning or scanning; a plan-cache hit skips Parse
-// and bind; misses plan from scratch and populate both caches.
-// Statements that fail to parse or bind are never cached. Execution
-// happens inside one corpus read epoch, so the returned Result is a
-// consistent snapshot stamped with its corpus version.
+// Run executes a CQL statement with no deadline; see RunContext.
 func (e *Engine) Run(input string) (*Result, error) {
+	return e.RunContext(context.Background(), input)
+}
+
+// RunContext executes a CQL statement. A result-cache hit (same
+// normalized statement, same corpus version) returns the shared
+// materialized Result without planning or scanning; a plan-cache hit
+// skips Parse and bind; misses plan from scratch and populate both
+// caches. Statements that fail to parse or bind are never cached.
+// Execution happens inside one corpus read epoch, so the returned
+// Result is a consistent snapshot stamped with its corpus version.
+//
+// The scan checks ctx every cancelCheckInterval rows: when the context
+// is canceled or its deadline passes, execution aborts promptly with
+// an error wrapping ErrCanceled (and the context's cause), the read
+// epoch is released, and nothing is cached. No goroutines are spawned,
+// so a canceled query leaks nothing.
+func (e *Engine) RunContext(ctx context.Context, input string) (*Result, error) {
 	key := normalizeStatement(input)
 	if e.results != nil {
 		if res, ok := e.results.get(key, e.store.Version()); ok {
@@ -128,7 +151,7 @@ func (e *Engine) Run(input string) (*Result, error) {
 	var res *Result
 	var execErr error
 	e.store.Read(func(v *recipedb.View) {
-		res, execErr = e.exec(p.q, p.c, v)
+		res, execErr = e.exec(ctx, p.q, p.c, v)
 	})
 	if execErr != nil {
 		return nil, execErr
@@ -471,7 +494,7 @@ func (e *Engine) Exec(q *Query) (*Result, error) {
 	var res *Result
 	var execErr error
 	e.store.Read(func(v *recipedb.View) {
-		res, execErr = e.exec(q, c, v)
+		res, execErr = e.exec(context.Background(), q, c, v)
 	})
 	return res, execErr
 }
@@ -479,7 +502,7 @@ func (e *Engine) Exec(q *Query) (*Result, error) {
 // exec executes a bound plan against one corpus view. q and c are
 // treated as immutable, so cached plans execute concurrently without
 // copying; v pins the (version, snapshot) pair for the whole run.
-func (e *Engine) exec(q *Query, c *compiledExpr, v *recipedb.View) (*Result, error) {
+func (e *Engine) exec(ctx context.Context, q *Query, c *compiledExpr, v *recipedb.View) (*Result, error) {
 	items, hasAgg, hasPlain, err := expandItems(q.Items)
 	if err != nil {
 		return nil, err
@@ -513,11 +536,11 @@ func (e *Engine) exec(q *Query, c *compiledExpr, v *recipedb.View) (*Result, err
 	var execErr error
 	switch {
 	case q.GroupBy != nil:
-		execErr = e.execGrouped(q, c, items, plan, res, v)
+		execErr = e.execGrouped(ctx, q, c, items, plan, res, v)
 	case hasAgg:
-		execErr = e.execAggregate(q, c, items, plan, res, v)
+		execErr = e.execAggregate(ctx, q, c, items, plan, res, v)
 	default:
-		execErr = e.execScan(q, c, items, plan, res, v)
+		execErr = e.execScan(ctx, q, c, items, plan, res, v)
 	}
 	if execErr != nil {
 		return nil, execErr
@@ -547,10 +570,18 @@ func (e *Engine) exec(q *Query, c *compiledExpr, v *recipedb.View) (*Result, err
 	return res, nil
 }
 
-// forEach visits candidate recipes, honoring the chosen index.
-func (e *Engine) forEach(plan scanPlan, res *Result, v *recipedb.View, fn func(*recipedb.Recipe) error) error {
+// forEach visits candidate recipes, honoring the chosen index and
+// checking ctx every cancelCheckInterval visits so a slow scan aborts
+// promptly once its deadline passes.
+func (e *Engine) forEach(ctx context.Context, plan scanPlan, res *Result, v *recipedb.View, fn func(*recipedb.Recipe) error) error {
+	done := ctx.Done()
 	if plan.useIngredient {
-		for _, rid := range v.IngredientRecipes(plan.ingredient) {
+		for i, rid := range v.IngredientRecipes(plan.ingredient) {
+			if done != nil && i%cancelCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("%w: %w", ErrCanceled, err)
+				}
+			}
 			rec := v.Recipe(rid)
 			if plan.region != recipedb.World && rec.Region != plan.region {
 				continue // region check is free; skip before counting
@@ -563,10 +594,18 @@ func (e *Engine) forEach(plan scanPlan, res *Result, v *recipedb.View, fn func(*
 		return nil
 	}
 	var visitErr error
+	visited := 0
 	v.ForEachInRegion(plan.region, func(rec *recipedb.Recipe) {
 		if visitErr != nil {
 			return
 		}
+		if done != nil && visited%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				visitErr = fmt.Errorf("%w: %w", ErrCanceled, err)
+				return
+			}
+		}
+		visited++
 		res.Scanned++
 		visitErr = fn(rec)
 	})
@@ -574,10 +613,10 @@ func (e *Engine) forEach(plan scanPlan, res *Result, v *recipedb.View, fn func(*
 }
 
 // execScan streams plain projections.
-func (e *Engine) execScan(q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result, v *recipedb.View) error {
+func (e *Engine) execScan(ctx context.Context, q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result, v *recipedb.View) error {
 	// Fast path: with no ORDER BY the LIMIT can stop the scan early.
 	stopEarly := q.OrderBy == "" && q.Limit >= 0
-	return e.forEach(plan, res, v, func(rec *recipedb.Recipe) error {
+	return e.forEach(ctx, plan, res, v, func(rec *recipedb.Recipe) error {
 		if stopEarly && len(res.Rows) >= q.Limit {
 			return nil
 		}
@@ -680,9 +719,9 @@ func (e *Engine) accumulate(items []SelectItem, states []aggState, rec *recipedb
 }
 
 // execAggregate computes a single aggregate row.
-func (e *Engine) execAggregate(q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result, v *recipedb.View) error {
+func (e *Engine) execAggregate(ctx context.Context, q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result, v *recipedb.View) error {
 	states := make([]aggState, len(items))
-	err := e.forEach(plan, res, v, func(rec *recipedb.Recipe) error {
+	err := e.forEach(ctx, plan, res, v, func(rec *recipedb.Recipe) error {
 		ok, err := e.matches(c, rec)
 		if err != nil || !ok {
 			return err
@@ -701,7 +740,7 @@ func (e *Engine) execAggregate(q *Query, c *compiledExpr, items []SelectItem, pl
 }
 
 // execGrouped computes GROUP BY rows.
-func (e *Engine) execGrouped(q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result, v *recipedb.View) error {
+func (e *Engine) execGrouped(ctx context.Context, q *Query, c *compiledExpr, items []SelectItem, plan scanPlan, res *Result, v *recipedb.View) error {
 	type group struct {
 		key    Value
 		states []aggState
@@ -709,7 +748,7 @@ func (e *Engine) execGrouped(q *Query, c *compiledExpr, items []SelectItem, plan
 	groups := make(map[string]*group)
 	var order []string
 
-	err := e.forEach(plan, res, v, func(rec *recipedb.Recipe) error {
+	err := e.forEach(ctx, plan, res, v, func(rec *recipedb.Recipe) error {
 		ok, err := e.matches(c, rec)
 		if err != nil || !ok {
 			return err

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -39,9 +38,8 @@ type upsertRequest struct {
 
 func (s *Server) handleUpsertRecipe(w http.ResponseWriter, r *http.Request) {
 	var req upsertRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest,
-			"body must be JSON {\"name\", \"region\", \"source\", \"ingredients\": [...], \"id\"?}")
+	if !s.decodeJSON(w, r, &req,
+		"body must be JSON {\"name\", \"region\", \"source\", \"ingredients\": [...], \"id\"?}") {
 		return
 	}
 	if strings.TrimSpace(req.Name) == "" {

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
@@ -29,8 +28,7 @@ type completeEntry struct {
 
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req completeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "body must be JSON {\"region\": \"ITA\", \"ingredients\": [...]}")
+	if !s.decodeJSON(w, r, &req, "body must be JSON {\"region\": \"ITA\", \"ingredients\": [...]}") {
 		return
 	}
 	region, err := recipedb.ParseRegion(strings.ToUpper(req.Region))
@@ -135,8 +133,7 @@ type tasteRequest struct {
 // recipe?" — as a normalized descriptor-weight vector.
 func (s *Server) handleTaste(w http.ResponseWriter, r *http.Request) {
 	var req tasteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "body must be JSON {\"ingredients\": [...]}")
+	if !s.decodeJSON(w, r, &req, "body must be JSON {\"ingredients\": [...]}") {
 		return
 	}
 	ids, unknown, err := s.resolveIngredients(req.Ingredients)

@@ -17,6 +17,7 @@ import (
 
 	"culinary/internal/classify"
 	"culinary/internal/flavor"
+	"culinary/internal/httpmw"
 	"culinary/internal/pairing"
 	"culinary/internal/query"
 	"culinary/internal/recipedb"
@@ -46,7 +47,26 @@ type Config struct {
 	// by normalized statement and corpus version). 0 disables it;
 	// negative selects query.DefaultResultCacheBytes.
 	ResultCacheBytes int64
+	// Traffic, when non-nil, arms the httpmw production-traffic stack
+	// (rate limiting, body caps, per-request deadlines, load
+	// shedding) around every handler. Nil callbacks get server-aware
+	// defaults: IsMutation classifies POST/DELETE /api/recipes as
+	// mutations, Exempt passes /api/health, and Grace widens the
+	// in-flight gate while the result cache is cold. /api/health
+	// reports the stack's counters under "traffic".
+	Traffic *httpmw.Config
 }
+
+// DefaultColdGraceMultiplier widens the load-shed gate while the
+// result cache is cold: cold-cache queries run ~600× longer than
+// cached ones, so in-flight counts spike on exactly the traffic that
+// will warm the cache. Once the hit ratio crosses
+// coldCacheHitRatio the bound snaps back to the configured limit.
+const (
+	DefaultColdGraceMultiplier = 4.0
+	coldCacheHitRatio          = 0.5
+	coldCacheMinSamples        = 100
+)
 
 // Server routes API requests to the analysis stack. Construction builds
 // the search index and trains the classifier on the whole corpus, so
@@ -58,6 +78,7 @@ type Server struct {
 	engine      *query.Engine
 	classifier  *classify.Classifier
 	recommender *recommend.Recommender
+	traffic     *httpmw.Traffic
 	mux         *http.ServeMux
 }
 
@@ -84,10 +105,64 @@ func New(cfg Config) (*Server, error) {
 	if err := s.classifier.Train(cfg.Store, all); err != nil {
 		return nil, fmt.Errorf("server: training classifier: %w", err)
 	}
+	if cfg.Traffic != nil {
+		tc := *cfg.Traffic
+		if tc.IsMutation == nil {
+			tc.IsMutation = isMutationRequest
+		}
+		if tc.Exempt == nil {
+			tc.Exempt = isExemptRequest
+		}
+		if tc.Grace == nil {
+			tc.Grace = s.coldCacheGrace
+		}
+		s.traffic = httpmw.NewTraffic(tc)
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
 }
+
+// isMutationRequest splits the rate-limit budgets: only requests that
+// mutate the corpus draw from the (smaller) mutation budget; read-only
+// POST endpoints (query, classify, complete, taste) are cheap reads.
+func isMutationRequest(r *http.Request) bool {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead, http.MethodOptions:
+		return false
+	case http.MethodDelete:
+		return true
+	}
+	return strings.HasPrefix(r.URL.Path, "/api/recipes")
+}
+
+// isExemptRequest passes health probes around the limiter and the
+// load-shed gate: monitoring must answer precisely when the server is
+// saturated, and the soak harness asserts on its counters mid-storm.
+func isExemptRequest(r *http.Request) bool {
+	return r.URL.Path == "/api/health"
+}
+
+// coldCacheGrace is the default load-shed grace hook (see
+// DefaultColdGraceMultiplier). With the result cache disabled every
+// query pays full price all the time, so there is no warmup window to
+// be graceful about and the bound stays fixed.
+func (s *Server) coldCacheGrace() float64 {
+	rcs := s.engine.ResultCacheStats()
+	if !rcs.Enabled {
+		return 1
+	}
+	total := rcs.Hits + rcs.Misses
+	if total < coldCacheMinSamples || float64(rcs.Hits)/float64(total) < coldCacheHitRatio {
+		return DefaultColdGraceMultiplier
+	}
+	return 1
+}
+
+// Traffic exposes the armor stack's counters (nil when Config.Traffic
+// was nil); the load/soak harness asserts against these via
+// /api/health.
+func (s *Server) Traffic() *httpmw.Traffic { return s.traffic }
 
 // routes registers every endpoint.
 func (s *Server) routes() {
@@ -109,9 +184,21 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/taste", s.handleTaste)
 }
 
-// Handler returns the root handler with logging and panic recovery.
+// Handler returns the root handler. Chain, outermost first: panic
+// recovery → request log → [rate limit → load-shed gate → body cap →
+// deadline, when Config.Traffic is set] → envelope fallback → mux.
+// Rejections happen cheapest-first (a 429 costs one map probe; a 503
+// costs one atomic add) so overload never reaches the handlers, and
+// the envelope fallback guarantees even the mux's own 404/405 pages
+// honor the structured error contract.
 func (s *Server) Handler() http.Handler {
-	return s.recoverWrap(s.logWrap(s.mux))
+	var h http.Handler
+	if s.traffic != nil {
+		h = s.traffic.Wrap(s.mux) // includes the envelope fallback
+	} else {
+		h = httpmw.EnvelopeFallback(s.mux)
+	}
+	return s.recoverWrap(s.logWrap(h))
 }
 
 // logWrap logs one line per request when a logger is configured.
@@ -140,15 +227,32 @@ func (s *Server) recoverWrap(next http.Handler) http.Handler {
 	})
 }
 
-// errorBody is the uniform JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
+// writeError emits the structured error envelope
+// {"error":{"code","message"}} with the code derived from the status;
+// handlers needing a specific code call httpmw.WriteError directly.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	httpmw.WriteError(w, status, "", msg)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorBody{Error: msg})
+// decodeJSON decodes a JSON request body, answering 413 (structured,
+// counted) when the httpmw body cap tripped and 400 with the
+// endpoint's usage string on malformed JSON. Returns false when a
+// response was already written.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}, usage string) bool {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	if httpmw.IsMaxBytesError(err) {
+		if s.traffic != nil {
+			s.traffic.Note413()
+		}
+		httpmw.WriteError(w, http.StatusRequestEntityTooLarge, httpmw.CodeTooLarge,
+			"request body exceeds the configured size limit")
+		return false
+	}
+	writeError(w, http.StatusBadRequest, usage)
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -185,6 +289,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"evicted":     rcs.Evicted,
 			"invalidated": rcs.Invalidated,
 		},
+	}
+	if s.traffic != nil {
+		body["traffic"] = s.traffic.Stats()
 	}
 	if s.cfg.DB != nil {
 		st := s.cfg.DB.Stats()
@@ -544,16 +651,26 @@ type queryRequest struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "body must be JSON {\"q\": \"SELECT ...\"}")
+	if !s.decodeJSON(w, r, &req, "body must be JSON {\"q\": \"SELECT ...\"}") {
 		return
 	}
 	if strings.TrimSpace(req.Q) == "" {
 		writeError(w, http.StatusBadRequest, "empty query")
 		return
 	}
-	res, err := s.engine.Run(req.Q)
+	// The request context carries the per-request deadline installed
+	// by the middleware chain; the engine checks it mid-scan, so a
+	// slow query aborts here instead of piling up behind the corpus
+	// read lock.
+	res, err := s.engine.RunContext(r.Context(), req.Q)
 	if err != nil {
+		if errors.Is(err, query.ErrCanceled) {
+			if s.traffic != nil {
+				s.traffic.NoteTimeout()
+			}
+			httpmw.WriteError(w, http.StatusGatewayTimeout, httpmw.CodeTimeout, err.Error())
+			return
+		}
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
@@ -587,8 +704,7 @@ type classifyResponseEntry struct {
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	var req classifyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "body must be JSON {\"ingredients\": [...]}")
+	if !s.decodeJSON(w, r, &req, "body must be JSON {\"ingredients\": [...]}") {
 		return
 	}
 	if len(req.Ingredients) == 0 {
