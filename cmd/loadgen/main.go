@@ -48,6 +48,7 @@ func main() {
 		out         = flag.String("out", "", "benchjson rows destination (default stdout)")
 		name        = flag.String("name", "LoadSoak/mixed", "benchmark row name prefix")
 		strict      = flag.Bool("strict", true, "exit 1 on contract violations (unexpected 5xx, malformed error envelopes, missing health traffic block)")
+		tolerate    = flag.Bool("tolerate-degraded", false, "accept 503 storage_unavailable responses as expected read-only degradation (envelope and Retry-After still enforced); without it any storage_unavailable is a contract violation")
 	)
 	flag.Parse()
 
@@ -56,11 +57,12 @@ func main() {
 		fatal(err)
 	}
 	rep, err := runLoad(loadConfig{
-		BaseURL:     strings.TrimRight(*addr, "/"),
-		Duration:    *duration,
-		Concurrency: *concurrency,
-		Mix:         mix,
-		Seed:        *seed,
+		BaseURL:          strings.TrimRight(*addr, "/"),
+		Duration:         *duration,
+		Concurrency:      *concurrency,
+		Mix:              mix,
+		Seed:             *seed,
+		TolerateDegraded: *tolerate,
 	})
 	if err != nil {
 		fatal(err)
@@ -140,6 +142,11 @@ type loadConfig struct {
 	Concurrency int
 	Mix         map[string]int
 	Seed        int64
+	// TolerateDegraded accepts 503 storage_unavailable as an expected
+	// outcome (the server's disk is being faulted deliberately, e.g.
+	// the CI ENOSPC soak). The envelope and Retry-After contracts are
+	// still enforced on those responses.
+	TolerateDegraded bool
 }
 
 // report aggregates one run's outcome.
@@ -149,6 +156,7 @@ type report struct {
 	Expected4          int64 // 4xx carrying a valid envelope (incl. 413/429)
 	Shed429            int64
 	Shed503            int64
+	Degraded503        int64 // 503 storage_unavailable under -tolerate-degraded
 	Timeout504         int64
 	Unexpected5        int64 // 5xx other than 503 sheds
 	EnvelopeViolations int64
@@ -170,8 +178,9 @@ func (r *report) percentile(p float64) time.Duration {
 }
 
 func (r *report) total() int64 {
-	// Shed429 already rides inside Expected4; Shed503 is its own bucket.
-	return r.Succeeded + r.Expected4 + r.Shed503 + r.Unexpected5 + r.EnvelopeViolations + r.Timeout504
+	// Shed429 already rides inside Expected4; Shed503 and Degraded503
+	// are their own buckets.
+	return r.Succeeded + r.Expected4 + r.Shed503 + r.Degraded503 + r.Unexpected5 + r.EnvelopeViolations + r.Timeout504
 }
 
 // benchRows renders the run in the cmd/benchjson flat schema: one row
@@ -214,8 +223,8 @@ func (r *report) summary(name string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "loadgen %s: %d requests in %v (%.0f req/s)\n",
 		name, r.total(), r.Duration.Round(time.Millisecond), float64(r.total())/r.Duration.Seconds())
-	fmt.Fprintf(&b, "  ok=%d expected4xx=%d (429=%d) shed503=%d timeout504=%d unexpected5xx=%d envelopeViolations=%d\n",
-		r.Succeeded, r.Expected4, r.Shed429, r.Shed503, r.Timeout504, r.Unexpected5, r.EnvelopeViolations)
+	fmt.Fprintf(&b, "  ok=%d expected4xx=%d (429=%d) shed503=%d degraded503=%d timeout504=%d unexpected5xx=%d envelopeViolations=%d\n",
+		r.Succeeded, r.Expected4, r.Shed429, r.Shed503, r.Degraded503, r.Timeout504, r.Unexpected5, r.EnvelopeViolations)
 	fmt.Fprintf(&b, "  latency p50=%v p99=%v (over %d successes)\n",
 		r.percentile(50).Round(time.Microsecond), r.percentile(99).Round(time.Microsecond), len(r.latencies))
 	if r.HealthTraffic != nil {
@@ -349,13 +358,14 @@ func runLoad(cfg loadConfig) (*report, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Concurrency; i++ {
 		w := &worker{
-			id:     i,
-			rng:    rand.New(rand.NewSource(cfg.Seed + int64(i))),
-			client: client,
-			base:   cfg.BaseURL,
-			info:   info,
-			picks:  picks,
-			rep:    &report{},
+			id:               i,
+			rng:              rand.New(rand.NewSource(cfg.Seed + int64(i))),
+			client:           client,
+			base:             cfg.BaseURL,
+			info:             info,
+			picks:            picks,
+			rep:              &report{},
+			tolerateDegraded: cfg.TolerateDegraded,
 		}
 		reports[i] = w.rep
 		wg.Add(1)
@@ -373,6 +383,7 @@ func runLoad(cfg loadConfig) (*report, error) {
 		total.Expected4 += r.Expected4
 		total.Shed429 += r.Shed429
 		total.Shed503 += r.Shed503
+		total.Degraded503 += r.Degraded503
 		total.Timeout504 += r.Timeout504
 		total.Unexpected5 += r.Unexpected5
 		total.EnvelopeViolations += r.EnvelopeViolations
@@ -402,13 +413,14 @@ func runLoad(cfg loadConfig) (*report, error) {
 
 // worker is one closed-loop client.
 type worker struct {
-	id     int
-	rng    *rand.Rand
-	client *http.Client
-	base   string
-	info   *corpusInfo
-	picks  []string
-	rep    *report
+	id               int
+	rng              *rand.Rand
+	client           *http.Client
+	base             string
+	info             *corpusInfo
+	picks            []string
+	rep              *report
+	tolerateDegraded bool
 
 	created []int // recipe IDs this worker upserted and may delete
 	seq     int
@@ -582,7 +594,19 @@ func (w *worker) classifyError(status int, raw []byte, resp *http.Response, meth
 			w.note("429 on %s %s missing Retry-After", method, path)
 		}
 	case http.StatusServiceUnavailable:
-		w.rep.Shed503++
+		if envelopeCode(raw) == "storage_unavailable" {
+			// The storage engine's write path is degraded, not the
+			// request pipeline. Only acceptable when the caller said
+			// the disk is being faulted on purpose.
+			if !w.tolerateDegraded {
+				w.rep.Unexpected5++
+				w.note("503 storage_unavailable on %s %s without -tolerate-degraded", method, path)
+				return
+			}
+			w.rep.Degraded503++
+		} else {
+			w.rep.Shed503++
+		}
 		if resp.Header.Get("Retry-After") == "" {
 			w.rep.EnvelopeViolations++
 			w.note("503 on %s %s missing Retry-After", method, path)
@@ -603,6 +627,12 @@ func (w *worker) note(format string, args ...interface{}) {
 // validEnvelope checks the structured error contract: the body must be
 // {"error":{"code","message"}} with a non-empty code.
 func validEnvelope(raw []byte) bool {
+	return envelopeCode(raw) != ""
+}
+
+// envelopeCode extracts the machine-readable code from an error
+// envelope, or "" when the body is not a valid envelope.
+func envelopeCode(raw []byte) string {
 	var env struct {
 		Error struct {
 			Code    string `json:"code"`
@@ -610,7 +640,7 @@ func validEnvelope(raw []byte) bool {
 		} `json:"error"`
 	}
 	if err := json.Unmarshal(raw, &env); err != nil {
-		return false
+		return ""
 	}
-	return env.Error.Code != ""
+	return env.Error.Code
 }

@@ -3,12 +3,14 @@ package main
 import (
 	"encoding/json"
 	"net/http/httptest"
+	"syscall"
 	"testing"
 	"time"
 
 	"culinary/internal/experiments"
 	"culinary/internal/httpmw"
 	"culinary/internal/server"
+	"culinary/internal/storage"
 )
 
 func TestParseMix(t *testing.T) {
@@ -185,5 +187,97 @@ func TestShortSoakAgainstRealServer(t *testing.T) {
 	}
 	if raw, err := rep.benchRows("LoadSoak/test"); err != nil || len(raw) == 0 {
 		t.Fatalf("benchRows: %v", err)
+	}
+}
+
+// TestSoakToleratesDegradedStorage soaks a server whose storage write
+// path is wedged by an injected disk-full fault. With
+// -tolerate-degraded, mutations land in the Degraded503 bucket (with
+// the envelope and Retry-After contracts still enforced) and the run
+// stays violation-free; without it the same responses are contract
+// violations — the mode is an explicit opt-in, not a loophole.
+func TestSoakToleratesDegradedStorage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak needs a real corpus")
+	}
+	env, err := experiments.NewEnv(experiments.TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := storage.NewErrInjector()
+	db, err := storage.Open(t.TempDir(), storage.Options{
+		SyncEveryPut:   true,
+		FaultInjection: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := storage.SaveCorpus(db, env.Store); err != nil {
+		t.Fatal(err)
+	}
+	env.Store.SetBackend(db)
+	srv, err := server.New(server.Config{
+		Store:    env.Store,
+		Analyzer: env.Analyzer,
+		Seed:     7,
+		DB:       db,
+		Traffic: &httpmw.Config{
+			// Generous limits: this soak is about the storage
+			// degradation path, not the shed paths.
+			ReadRPS:      10000,
+			MutationRPS:  10000,
+			MaxInFlight:  256,
+			RetryAfter:   time.Second,
+			MaxBodyBytes: 1 << 20,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Wedge the write path before any load arrives.
+	inj.Arm(syscall.ENOSPC, storage.FaultCreate, storage.FaultWrite, storage.FaultSync)
+
+	mix, err := parseMix("query=30,read=30,search=10,mutation=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := loadConfig{
+		BaseURL:          ts.URL,
+		Duration:         2 * time.Second,
+		Concurrency:      4,
+		Mix:              mix,
+		Seed:             42,
+		TolerateDegraded: true,
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs := rep.violations(); len(msgs) > 0 {
+		t.Fatalf("tolerate-degraded violations: %v\nsummary:\n%s", msgs, rep.summary("test"))
+	}
+	if rep.Degraded503 == 0 {
+		t.Fatalf("no mutation hit the degraded path: %s", rep.summary("test"))
+	}
+	if rep.Succeeded == 0 {
+		t.Fatalf("reads failed to serve while degraded: %s", rep.summary("test"))
+	}
+
+	// The same traffic without the opt-in must be a contract violation.
+	cfg.TolerateDegraded = false
+	cfg.Duration = 500 * time.Millisecond
+	rep, err = runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unexpected5 == 0 {
+		t.Fatalf("storage_unavailable accepted without -tolerate-degraded: %s", rep.summary("test"))
+	}
+	if len(rep.violations()) == 0 {
+		t.Fatal("expected strict-mode violations without -tolerate-degraded")
 	}
 }

@@ -93,6 +93,8 @@ func main() {
 		dbCache   = flag.Int64("db-read-cache-bytes", 32<<20, "hot-key value cache byte budget (0 disables)")
 		dbCompact = flag.Duration("db-compact-interval", time.Minute, "background incremental compaction period (0 disables)")
 		dbGarbage = flag.Float64("db-compact-garbage-ratio", 0.5, "dead-byte fraction at which a sealed segment is compacted")
+		dbScrub   = flag.Duration("db-scrub-interval", 30*time.Second, "background segment scrub pacing, one sealed segment per tick (0 disables)")
+		dbProbe   = flag.Duration("db-write-probe-interval", 5*time.Second, "write-path recovery probe period while degraded (0 disables auto-recovery)")
 		resCache  = flag.Int64("query-result-cache-bytes", query.DefaultResultCacheBytes, "CQL result cache byte budget, keyed by (statement, corpus version) (0 disables)")
 
 		maxBody    = flag.Int64("max-body-bytes", 1<<20, "request body size cap; oversized bodies get a structured 413 (0 disables)")
@@ -110,6 +112,8 @@ func main() {
 		ReadCacheBytes:      *dbCache,
 		CompactInterval:     *dbCompact,
 		CompactGarbageRatio: *dbGarbage,
+		ScrubInterval:       *dbScrub,
+		WriteProbeInterval:  *dbProbe,
 	}
 
 	logger := log.New(os.Stderr, "server: ", log.LstdFlags)

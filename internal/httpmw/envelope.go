@@ -29,6 +29,12 @@ const (
 	CodeInternal      = "internal"
 	CodeOverloaded    = "overloaded"
 	CodeTimeout       = "timeout"
+	// CodeStorageUnavailable marks a 503 caused by the storage engine's
+	// write path being degraded by an I/O fault (disk full, write
+	// error). Reads keep serving; mutations should be retried after the
+	// Retry-After interval — the store recovers itself once the fault
+	// clears.
+	CodeStorageUnavailable = "storage_unavailable"
 )
 
 // ErrorDetail is the inner object of the error envelope.

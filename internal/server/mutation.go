@@ -6,9 +6,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"culinary/internal/flavor"
+	"culinary/internal/httpmw"
 	"culinary/internal/recipedb"
+	"culinary/internal/storage"
 )
 
 // Corpus mutation endpoints. Upserts and deletes flow through the
@@ -77,11 +80,11 @@ func (s *Server) handleUpsertRecipe(w http.ResponseWriter, r *http.Request) {
 	}
 	id, version, created, err := s.cfg.Store.Upsert(id, req.Name, region, source, ids)
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if !errors.Is(err, recipedb.ErrValidation) {
-			status = http.StatusInternalServerError // persistence failure
+		if errors.Is(err, recipedb.ErrValidation) {
+			writeError(w, http.StatusUnprocessableEntity, err.Error())
+			return
 		}
-		writeError(w, status, err.Error())
+		s.writePersistenceError(w, err)
 		return
 	}
 	if created {
@@ -94,6 +97,38 @@ func (s *Server) handleUpsertRecipe(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// storageRetryAfterSeconds is the Retry-After hint on storage_unavailable
+// responses. The store's background probe retries recovery on a much
+// shorter period, so by the time a well-behaved client comes back the
+// write path is up again if the fault has cleared.
+const storageRetryAfterSeconds = 1
+
+// writePersistenceError maps a recipedb persistence failure onto the
+// structured envelope. Degraded-storage conditions — the store's write
+// path wedged by an I/O fault, a full or quota-limited disk, a wedged
+// compactor — are a retryable 503 with code storage_unavailable and a
+// Retry-After hint: reads still serve and the store heals itself once
+// the fault clears, so clients should back off and retry rather than
+// treat the corpus as broken. Anything else is an opaque 500; the
+// underlying error text stays in the server log instead of leaking
+// filesystem paths and internal state to clients.
+func (s *Server) writePersistenceError(w http.ResponseWriter, err error) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("persistence failure: %v", err)
+	}
+	if errors.Is(err, storage.ErrWriteWedged) ||
+		errors.Is(err, storage.ErrCompactorWedged) ||
+		errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, syscall.EDQUOT) {
+		w.Header().Set("Retry-After", strconv.Itoa(storageRetryAfterSeconds))
+		httpmw.WriteError(w, http.StatusServiceUnavailable, httpmw.CodeStorageUnavailable,
+			"storage is temporarily unavailable for writes; retry after the Retry-After interval")
+		return
+	}
+	httpmw.WriteError(w, http.StatusInternalServerError, httpmw.CodeInternal,
+		"persisting the mutation failed")
+}
+
 func (s *Server) handleDeleteRecipe(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
@@ -102,11 +137,11 @@ func (s *Server) handleDeleteRecipe(w http.ResponseWriter, r *http.Request) {
 	}
 	version, err := s.cfg.Store.Remove(id)
 	if err != nil {
-		status := http.StatusInternalServerError // persistence failure
 		if errors.Is(err, recipedb.ErrNoRecipe) {
-			status = http.StatusNotFound
+			writeError(w, http.StatusNotFound, err.Error())
+			return
 		}
-		writeError(w, status, err.Error())
+		s.writePersistenceError(w, err)
 		return
 	}
 	writeJSON(w, map[string]interface{}{

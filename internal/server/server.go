@@ -297,6 +297,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		st := s.cfg.DB.Stats()
 		comp := s.cfg.DB.CompactionStats()
 		rs := s.cfg.DB.ReadStats()
+		hs := s.cfg.DB.HealthStats()
 		body["storage"] = map[string]interface{}{
 			"keys":      st.Keys,
 			"segments":  st.Segments,
@@ -321,6 +322,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 				"bytesReclaimed":    comp.BytesReclaimed,
 				"wedged":            comp.Wedged,
 				"lastError":         comp.LastError,
+			},
+			"health": map[string]interface{}{
+				"state":               hs.State,
+				"lastWriteError":      hs.LastWriteError,
+				"degradations":        hs.Degradations,
+				"recoveries":          hs.Recoveries,
+				"salvagedRecords":     hs.SalvagedRecords,
+				"quarantinedSegments": hs.QuarantinedSegments,
+				"scrub": map[string]interface{}{
+					"running":          hs.Scrub.Running,
+					"runs":             hs.Scrub.Runs,
+					"segmentsVerified": hs.Scrub.SegmentsVerified,
+					"bytesVerified":    hs.Scrub.BytesVerified,
+					"corruptionsFound": hs.Scrub.CorruptionsFound,
+					"recordsSalvaged":  hs.Scrub.RecordsSalvaged,
+					"recordsLost":      hs.Scrub.RecordsLost,
+					"lastError":        hs.Scrub.LastError,
+				},
 			},
 		}
 	}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -27,12 +28,35 @@ type commitReq struct {
 	// logged and the delete is a successful no-op.
 	skip bool
 	// written marks that the record's bytes reached the segment file;
-	// only written records are applied to the key directory.
+	// synced marks that an fsync covering them succeeded. A record is
+	// applied to the key directory only when written and — under
+	// SyncEveryPut — synced: an unsynced record would otherwise be
+	// visible despite its caller being told the write failed.
 	written bool
+	synced  bool
+	// err is this request's outcome, set by the leader: nil exactly when
+	// the record was applied (or resolved as a no-op), the batch error
+	// otherwise. Requests in one group can differ — a mid-batch fault
+	// fails only the records that did not reach the configured
+	// durability level.
+	err error
 	// Location assigned by the leader for logged records.
 	segID  uint64
 	off    int64
 	length int64
+}
+
+// result is what submit returns to this request's caller.
+func (r *commitReq) result() error {
+	if r.skip {
+		return nil
+	}
+	return r.err
+}
+
+// applied reports whether the record reached the key directory.
+func (r *commitReq) applied(syncEvery bool) bool {
+	return !r.skip && r.written && (r.synced || !syncEvery)
 }
 
 // commitGroup is a batch of requests committed by one leader.
@@ -63,6 +87,11 @@ func (s *Store) logRecord(key string, rec record) error {
 // submit drives req through group commit and waits until some leader
 // (possibly this goroutine) has committed the group containing it.
 func (s *Store) submit(req *commitReq) error {
+	// Fast-fail while the write path is degraded; the commit leader
+	// re-checks under the token, so this is advisory only.
+	if err := s.writeGate(); err != nil {
+		return err
+	}
 	select {
 	case s.commitTok <- struct{}{}:
 		// Leader fast path. When the previous commit saw concurrent
@@ -91,10 +120,7 @@ func (s *Store) submit(req *commitReq) error {
 			close(g.done)
 		}
 		<-s.commitTok
-		if req.skip {
-			return nil
-		}
-		return g.err
+		return req.result()
 	default:
 	}
 
@@ -124,10 +150,7 @@ func (s *Store) submit(req *commitReq) error {
 	case <-g.done:
 	}
 	<-g.done
-	if req.skip {
-		return nil
-	}
-	return g.err
+	return req.result()
 }
 
 // commitNext detaches the pending group and commits it. Caller holds
@@ -150,17 +173,33 @@ func (s *Store) commitNext() {
 // directory. Caller holds the commit token, so this is the only
 // goroutine mutating the active segment or shard maps.
 //
-// Failure semantics: a record whose bytes reached the segment file is
-// ALWAYS applied to the key directory, even when a later chunk, sync,
-// or rotation in the same batch fails — the in-memory directory must
-// mirror the log, or recovery would resurrect writes the runtime never
-// showed (and show deletes it reported as failed). Every caller in a
-// failed batch still receives the error: for the flushed prefix it
-// means "visible but durability unknown", the usual fsync-failure
-// contract of a write-ahead log.
+// Failure semantics: a record is applied to the key directory exactly
+// when its caller is acknowledged — its bytes reached the file and,
+// under SyncEveryPut, an fsync covering them succeeded. A mid-batch
+// fault therefore splits the group: the prefix that reached the
+// configured durability level is applied and those callers get nil;
+// every other caller gets the error and its record is never visible
+// (recovery trims the bytes; see health.go). Without SyncEveryPut the
+// ack level is "written", the usual WAL contract — visibility on ack,
+// durability at the next successful sync. Any I/O failure also
+// poisons the active segment and degrades the store to read-only
+// until recovery rotates a fresh segment (degradeWrites).
 func (s *Store) commit(g *commitGroup) error {
-	err := s.appendGroup(g)
+	err := s.writeGate()
+	if err == nil {
+		err = s.appendGroup(g)
+		if err != nil && !errors.Is(err, ErrClosed) {
+			s.degradeWrites(err)
+		}
+	}
 	s.applyGroup(g)
+	if err != nil {
+		for _, req := range g.reqs {
+			if !req.applied(s.opts.SyncEveryPut) {
+				req.err = err
+			}
+		}
+	}
 	return err
 }
 
@@ -210,8 +249,8 @@ func (s *Store) appendGroup(g *commitGroup) error {
 	}
 	chunk := s.commitBuf[:0]
 	chunkStart := s.active.size
-	chunkFirst := 0 // index in order of the first record in the open chunk
-	synced := true  // becomes false once unsynced bytes are written
+	chunkFirst := 0   // index in order of the first record in the open chunk
+	unsynced := false // becomes true once written bytes lack a covering sync
 	flush := func(upTo int) error {
 		if len(chunk) == 0 {
 			return nil
@@ -225,8 +264,18 @@ func (s *Store) appendGroup(g *commitGroup) error {
 		}
 		chunkFirst = upTo
 		chunk = chunk[:0]
-		synced = false
+		unsynced = true
 		return nil
+	}
+	// markSynced records that every written request is now covered by a
+	// successful fsync (rotation's seal or the final group sync).
+	markSynced := func() {
+		for _, r := range order {
+			if r.written {
+				r.synced = true
+			}
+		}
+		unsynced = false
 	}
 	for i, req := range order {
 		req.segID = s.active.id
@@ -242,7 +291,7 @@ func (s *Store) appendGroup(g *commitGroup) error {
 				s.stashCommitBuf(chunk)
 				return err
 			}
-			synced = true
+			markSynced()
 			chunkStart = 0
 		}
 	}
@@ -251,10 +300,13 @@ func (s *Store) appendGroup(g *commitGroup) error {
 	if err != nil {
 		return err
 	}
-	if s.opts.SyncEveryPut && !synced {
+	if s.opts.SyncEveryPut && unsynced {
 		if err := s.syncActive(); err != nil {
+			s.active.syncFailed.Store(true)
 			return fmt.Errorf("storage: fsync: %w", err)
 		}
+		s.active.syncedSize = s.active.size
+		markSynced()
 	}
 	return nil
 }
@@ -266,18 +318,31 @@ func (s *Store) appendGroup(g *commitGroup) error {
 // ext4). Elsewhere, and for test seams that are not *os.File, it is a
 // plain fsync.
 func (s *Store) syncActive() error {
+	if ef, ok := s.active.f.(*errFile); ok {
+		// Injected files take the datasync fast path too, but the
+		// injector must see the op first or FaultSync could never hit
+		// the group-commit sync.
+		if err, _ := ef.i.check(FaultSync); err != nil {
+			return err
+		}
+		return datasync(ef.f)
+	}
 	if f, ok := s.active.f.(*os.File); ok {
 		return datasync(f)
 	}
 	return s.active.f.Sync()
 }
 
-// applyGroup applies the written records' key-directory updates in log
-// order. Requests that never reached the file (skipped tombstones,
-// records after a failed flush) are left out.
+// applyGroup applies the acknowledged records' key-directory updates
+// in log order. Requests that never reached the file (skipped
+// tombstones, records after a failed flush) are left out, as are
+// written records whose covering fsync failed under SyncEveryPut —
+// their callers are told the write failed, so showing the record to
+// readers would acknowledge it through the back door.
 func (s *Store) applyGroup(g *commitGroup) {
+	syncEvery := s.opts.SyncEveryPut
 	for _, req := range g.reqs {
-		if req.skip || !req.written {
+		if !req.applied(syncEvery) {
 			continue
 		}
 		sh := s.shardFor(req.key)
@@ -347,8 +412,22 @@ func (s *Store) rotate() error {
 			return err
 		}
 	}
+	return s.newActiveSegment()
+}
+
+// newActiveSegment creates, preallocates and installs a fresh active
+// segment without touching its predecessor. rotate seals the old one
+// first; write recovery instead leaves the poisoned predecessor in
+// place until its salvageable tail has been copied out (health.go).
+func (s *Store) newActiveSegment() error {
 	next := s.nextSegID.Add(1)
 	path := segmentPath(s.dir, next)
+	inj := s.opts.FaultInjection
+	if inj != nil {
+		if err, _ := inj.check(FaultCreate); err != nil {
+			return fmt.Errorf("storage: creating segment: %w", err)
+		}
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: creating segment: %w", err)
@@ -362,17 +441,33 @@ func (s *Store) rotate() error {
 	// the new file: fdatasync/fsync of the file alone does not persist
 	// its directory entry, and a crash could otherwise drop the whole
 	// segment — and every SyncEveryPut write it acknowledged — at Open.
-	if err := syncDir(s.dir); err != nil {
+	if err := s.syncDirActive(); err != nil {
 		f.Close()
 		os.Remove(path)
 		return fmt.Errorf("storage: syncing dir after segment create: %w", err)
 	}
-	seg := &segment{id: next, path: path, f: f, rank: next}
+	var sf segfile = f
+	if inj != nil {
+		sf = inj.wrapFile(f)
+	}
+	seg := &segment{id: next, path: path, f: sf, rank: next}
 	s.segMu.Lock()
 	s.segments[next] = seg
 	s.active = seg
 	s.segMu.Unlock()
 	return nil
+}
+
+// syncDirActive fsyncs the store directory on the write path, routed
+// through the injector when one is configured. The compaction seam has
+// its own hook (fsOps.syncDir) so the crash harness stays undisturbed.
+func (s *Store) syncDirActive() error {
+	if inj := s.opts.FaultInjection; inj != nil {
+		if err, _ := inj.check(FaultSyncDir); err != nil {
+			return err
+		}
+	}
+	return syncDir(s.dir)
 }
 
 // sealActive finalizes the active segment on rotation: the
@@ -386,14 +481,19 @@ func (s *Store) rotate() error {
 // replaying it.
 func (s *Store) sealActive() error {
 	old := s.active
-	if f, ok := old.f.(*os.File); ok {
+	if f := osFile(old.f); f != nil {
 		if err := f.Truncate(old.size); err != nil {
 			return fmt.Errorf("storage: trimming sealed segment: %w", err)
 		}
 	}
 	if err := old.f.Sync(); err != nil {
+		// The failed fsync forfeits this file: dirty pages may now be
+		// marked clean, so a retried fsync could claim durability the
+		// disk never provided. Recovery must rotate away from it.
+		old.syncFailed.Store(true)
 		return fmt.Errorf("storage: syncing sealed segment: %w", err)
 	}
+	old.syncedSize = old.size
 	s.mapSegment(old)
 	return nil
 }

@@ -139,6 +139,16 @@ func (s *Store) compactSegments(victims []*segment) error {
 		return a.off < b.off
 	})
 
+	return s.rewritePlan(victims, victimIDs, plan, maxRank)
+}
+
+// rewritePlan runs phases 2–6 of a segment rewrite: stage outputs,
+// commit the manifest, rename, publish, flip the key directory, retire
+// the victims. Shared by compaction (plan = surviving records from a
+// full victim scan) and scrub salvage (plan = keydir-verified records
+// of a corrupt segment). Caller holds compactMu and has pinned the
+// victims; plan must be sorted in (seg order, offset) order.
+func (s *Store) rewritePlan(victims []*segment, victimIDs map[uint64]bool, plan []copyPlan, maxRank uint64) error {
 	// Phase 2: write the staged outputs.
 	outputs, err := s.writeCompactionOutputs(plan, maxRank)
 	if err != nil {
@@ -318,6 +328,7 @@ func (s *Store) writeCompactionOutputs(plan []copyPlan, rank uint64) ([]*segment
 		if err := o.f.Sync(); err != nil {
 			return outputs, fmt.Errorf("storage: syncing compaction output: %w", err)
 		}
+		o.syncedSize = o.size
 	}
 	return outputs, nil
 }
@@ -426,6 +437,12 @@ func (s *Store) Compact() error {
 	if s.compactor.wedged.Load() {
 		return ErrCompactorWedged
 	}
+	// A degraded write path refuses explicit compaction too: rotation
+	// would seal (and fsync) the poisoned active segment, and output
+	// writes would hit the same failing disk. Recover first.
+	if err := s.writeGate(); err != nil {
+		return err
+	}
 
 	// Seal the active segment (if it holds anything) so its garbage is
 	// collectable too.
@@ -437,6 +454,12 @@ func (s *Store) Compact() error {
 	var rerr error
 	if s.active.size > 0 {
 		rerr = s.rotate()
+		if rerr != nil && !errors.Is(rerr, ErrClosed) {
+			// Same contract as a commit-path failure: the active segment
+			// is poisoned and mutations wedge until recovery rotates
+			// away from it (a failed seal fsync must never be retried).
+			s.degradeWrites(rerr)
+		}
 	}
 	<-s.commitTok
 	if rerr != nil {

@@ -126,7 +126,10 @@ func (s *Store) compactLoop(interval time.Duration, ratio float64, stop, done ch
 func (s *Store) compactOnce(ratio float64) (int, error) {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
-	if s.compactor.wedged.Load() || s.closed.Load() {
+	// Skipping while the write path is degraded is load-bearing, not
+	// just polite: compaction output writes would hit the same failing
+	// disk, and rotation would fsync the poisoned active segment.
+	if s.compactor.wedged.Load() || s.closed.Load() || s.Health() != HealthHealthy {
 		return 0, nil
 	}
 	victims := s.selectVictims(ratio)
@@ -147,7 +150,10 @@ func (s *Store) selectVictims(ratio float64) []*segment {
 	defer s.segMu.RUnlock()
 	var victims []*segment
 	for _, seg := range s.segments {
-		if seg == s.active || seg.size == 0 {
+		if seg == s.active || seg.size == 0 || seg.quarantined.Load() {
+			// A quarantined segment's scan would fail on the corruption;
+			// scrub salvage retires it through its own keydir-driven
+			// plan instead.
 			continue
 		}
 		if seg.garbageRatio() >= ratio {

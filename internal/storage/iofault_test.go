@@ -1,0 +1,478 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Runtime I/O fault matrix. Unlike the crash harness (fault_test.go),
+// where the process dies at the fault, these tests inject exactly one
+// failing filesystem operation into a live store and assert the
+// degradation contract:
+//
+//   - every acknowledged write stays readable, in process and across
+//     reopen;
+//   - no failed write's value is ever served to a reader in process;
+//   - after a failed fsync the store never silently retries it — Sync
+//     fails until TryRecoverWrites rotates to a fresh segment;
+//   - reopen reconciles file bytes against the keydir: unacknowledged
+//     bytes are either trimmed or consistently replayed, never served
+//     half-visible.
+
+var errInjectedIO = errors.New("injected io error")
+
+// ioOp records one operation of the canonical fault sequence along
+// with the error the caller observed.
+type ioOp struct {
+	kind string // "put", "del", "compact", "sync"
+	key  string
+	val  string
+	err  error
+}
+
+// runFaultSequence drives the canonical write/rotate/compact/manifest
+// sequence. MaxSegmentBytes is small enough that the puts rotate
+// several times, the deletes create garbage, and Compact rewrites
+// through the fs seam (staging, manifest, renames, unlinks, dir
+// fsyncs). Every mutation's error is recorded; once a fault lands,
+// later mutations fail fast with ErrWriteWedged, which is part of the
+// contract under test.
+func runFaultSequence(s *Store) []ioOp {
+	var ops []ioOp
+	val := func(i, gen int) string {
+		return fmt.Sprintf("value-%02d-gen%d-%s", i, gen, strings.Repeat("x", 120))
+	}
+	for gen := 0; gen < 2; gen++ {
+		for i := 0; i < 12; i++ {
+			k := fmt.Sprintf("key-%02d", i)
+			v := val(i, gen)
+			ops = append(ops, ioOp{"put", k, v, s.Put(k, []byte(v))})
+		}
+	}
+	for i := 0; i < 4; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		ops = append(ops, ioOp{"del", k, "", s.Delete(k)})
+	}
+	ops = append(ops, ioOp{"compact", "", "", s.Compact()})
+	for i := 6; i < 12; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		v := val(i, 2)
+		ops = append(ops, ioOp{"put", k, v, s.Put(k, []byte(v))})
+	}
+	ops = append(ops, ioOp{"sync", "", "", s.Sync()})
+	return ops
+}
+
+// ackedState folds the acknowledged mutations into the state the
+// caller was promised: key -> value for live keys.
+func ackedState(ops []ioOp) map[string]string {
+	state := make(map[string]string)
+	for _, op := range ops {
+		if op.err != nil {
+			continue
+		}
+		switch op.kind {
+		case "put":
+			state[op.key] = op.val
+		case "del":
+			delete(state, op.key)
+		}
+	}
+	return state
+}
+
+// sequenceKeys is every key the canonical sequence touches.
+func sequenceKeys() []string {
+	keys := make([]string, 0, 12)
+	for i := 0; i < 12; i++ {
+		keys = append(keys, fmt.Sprintf("key-%02d", i))
+	}
+	return keys
+}
+
+// verifyAcked asserts the store serves exactly the acknowledged state:
+// acked values readable and correct, everything else absent. Readers
+// must keep working while the write path is degraded, so this runs
+// before recovery.
+func verifyAcked(t *testing.T, s *Store, expected map[string]string, when string) {
+	t.Helper()
+	for _, k := range sequenceKeys() {
+		got, err := s.Get(k)
+		want, live := expected[k]
+		switch {
+		case live && err != nil:
+			t.Fatalf("%s: Get(%q) = error %v, want acked value", when, k, err)
+		case live && string(got) != want:
+			t.Fatalf("%s: Get(%q) = %q, want acked %q", when, k, got, want)
+		case !live && !errors.Is(err, ErrNotFound):
+			t.Fatalf("%s: Get(%q) = (%q, %v), want ErrNotFound — a failed or deleted write is visible", when, k, got, err)
+		}
+	}
+}
+
+// verifyReopened asserts the reopened store's state is explainable:
+// for each key, either the acknowledged state, or — only for the
+// single operation that failed at the disk (not gated by
+// ErrWriteWedged, so its bytes may have reached the file) — the state
+// that operation would have produced. Unacknowledged bytes replaying
+// consistently is allowed; anything else is corruption or data loss.
+func verifyReopened(t *testing.T, s *Store, ops []ioOp, extra map[string]string) {
+	t.Helper()
+	acked := ackedState(ops)
+	for k, v := range extra {
+		acked[k] = v
+	}
+	// The one mutation whose bytes may have hit the file before the
+	// error: the first failure not short-circuited by the write gate.
+	resurrect := make(map[string]ioOp)
+	for _, op := range ops {
+		if op.err == nil || errors.Is(op.err, ErrWriteWedged) {
+			continue
+		}
+		if op.kind == "put" || op.kind == "del" {
+			resurrect[op.key] = op
+		}
+	}
+	keys := sequenceKeys()
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		got, err := s.Get(k)
+		want, live := acked[k]
+		if err == nil && live && string(got) == want {
+			continue // acked state
+		}
+		if r, ok := resurrect[k]; ok {
+			if r.kind == "put" && err == nil && string(got) == r.val {
+				continue // failed put's bytes replayed consistently
+			}
+			if r.kind == "del" && errors.Is(err, ErrNotFound) {
+				continue // failed delete's tombstone replayed consistently
+			}
+		}
+		if !live && errors.Is(err, ErrNotFound) {
+			continue
+		}
+		t.Fatalf("reopen: Get(%q) = (%q, %v), want acked %q (live=%v) or the failed op's result", k, got, err, want, live)
+	}
+}
+
+// matrixPoint runs the canonical sequence against a store whose nth
+// filesystem operation fails, then checks the full contract: degraded
+// reads, recovery, post-recovery writes, clean close, and reopen
+// reconciliation.
+func matrixPoint(t *testing.T, n int, injErr error, short bool) (degraded bool) {
+	t.Helper()
+	dir := t.TempDir()
+	inj := NewErrInjector()
+	s, err := Open(dir, Options{
+		MaxSegmentBytes: 1 << 10,
+		SyncEveryPut:    true,
+		FaultInjection:  inj,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	inj.FailOp(n, injErr, short)
+	ops := runFaultSequence(s)
+	if inj.Injected() == 0 {
+		t.Fatalf("fault point %d never fired", n)
+	}
+	expected := ackedState(ops)
+
+	// Readers serve the acknowledged state even while degraded.
+	verifyAcked(t, s, expected, "in-process")
+
+	inj.Clear()
+	extra := map[string]string{}
+	if s.Health() != HealthHealthy {
+		degraded = true
+		// The fault is gone, but a degraded store must not silently
+		// resume — in particular it must never re-fsync a file whose
+		// fsync failed (the kernel may have dropped the dirty pages).
+		if err := s.Sync(); err == nil {
+			t.Fatalf("Sync succeeded while degraded: a failed fsync was silently retried")
+		}
+		if err := s.Put("gated", []byte("x")); !errors.Is(err, ErrWriteWedged) {
+			t.Fatalf("degraded Put error = %v, want ErrWriteWedged", err)
+		}
+		if err := s.TryRecoverWrites(); err != nil {
+			t.Fatalf("TryRecoverWrites after clearing fault: %v", err)
+		}
+		if got := s.Health(); got != HealthHealthy {
+			t.Fatalf("Health after recovery = %v, want healthy", got)
+		}
+	}
+	// Post-recovery (or never-degraded) writes must work and be durable.
+	extra["post/recovery"] = "back-in-business"
+	if err := s.Put("post/recovery", []byte(extra["post/recovery"])); err != nil {
+		t.Fatalf("post-recovery Put: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("post-recovery Sync: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after recovery: %v", err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	verifyReopened(t, s2, ops, extra)
+	return degraded
+}
+
+// TestIOFaultMatrix sweeps one injected error over every filesystem
+// operation in the write/rotate/compact/manifest sequence. A dry run
+// with an unreachable fault point counts the operations; each matrix
+// point then replays the identical (deterministic) sequence with
+// exactly that operation failing.
+func TestIOFaultMatrix(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewErrInjector()
+	s, err := Open(dir, Options{
+		MaxSegmentBytes: 1 << 10,
+		SyncEveryPut:    true,
+		FaultInjection:  inj,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	inj.FailOp(1<<30, nil, false) // unreachable: count only
+	for _, op := range runFaultSequence(s) {
+		if op.err != nil {
+			t.Fatalf("dry run: %s %q failed: %v", op.kind, op.key, op.err)
+		}
+	}
+	total := inj.Ops()
+	s.Close()
+	if total < 20 {
+		t.Fatalf("dry run counted only %d fs operations; sequence too small for a meaningful matrix", total)
+	}
+
+	sweeps := []struct {
+		name  string
+		err   error
+		short bool
+	}{
+		{"eio", errInjectedIO, false},
+		{"enospc-torn", syscall.ENOSPC, true},
+	}
+	counters := struct {
+		Points     int `json:"points"`
+		Degraded   int `json:"degraded"`
+		Recovered  int `json:"recovered"`
+		Reopened   int `json:"reopened"`
+		FsOpsSwept int `json:"fs_ops_swept"`
+	}{FsOpsSwept: total}
+	for _, sw := range sweeps {
+		t.Run(sw.name, func(t *testing.T) {
+			for n := 0; n < total; n++ {
+				n := n
+				t.Run(fmt.Sprintf("op%03d", n), func(t *testing.T) {
+					degraded := matrixPoint(t, n, sw.err, sw.short)
+					counters.Points++
+					counters.Reopened++
+					if degraded {
+						counters.Degraded++
+						counters.Recovered++
+					}
+				})
+			}
+		})
+	}
+	if out := os.Getenv("FAULT_MATRIX_OUT"); out != "" && !t.Failed() {
+		b, _ := json.MarshalIndent(counters, "", "  ")
+		if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+			t.Logf("writing fault matrix artifact: %v", err)
+		}
+	}
+}
+
+// TestFailedFsyncNeverRetried pins the fsyncgate rule in isolation:
+// after an fsync fails, the store must not fsync that file again —
+// not via Sync, not via rotation, not at Close. Durability comes back
+// only through a fresh segment.
+func TestFailedFsyncNeverRetried(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewErrInjector()
+	s, err := Open(dir, Options{SyncEveryPut: true, FaultInjection: inj})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	if err := s.Put("durable", []byte("v1")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	inj.Arm(errInjectedIO, FaultSync)
+	if err := s.Put("victim", []byte("v2")); err == nil {
+		t.Fatal("Put with failing fsync succeeded")
+	}
+	if got := s.Health(); got != HealthReadOnly {
+		t.Fatalf("Health = %v, want readOnly", got)
+	}
+	poisoned := s.active
+	if !poisoned.syncFailed.Load() {
+		t.Fatal("active segment not marked syncFailed")
+	}
+	inj.Clear()
+
+	// The poisoned file's fsync must not be retried even though the
+	// fault is gone: recovery rotates away from it instead.
+	if err := s.TryRecoverWrites(); err != nil {
+		t.Fatalf("TryRecoverWrites: %v", err)
+	}
+	if s.active == poisoned {
+		t.Fatal("recovery kept the poisoned segment active instead of rotating")
+	}
+	if !poisoned.syncFailed.Load() {
+		t.Fatal("recovery cleared syncFailed: the file could be fsynced again")
+	}
+	// Durability is live again on the fresh segment.
+	if err := s.Put("victim", []byte("v3")); err != nil {
+		t.Fatalf("post-recovery Put: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("post-recovery Sync: %v", err)
+	}
+}
+
+// TestDegradedServesReadsAndAutoRecovers is the ENOSPC soak in
+// miniature: a persistently full disk degrades mutations to typed
+// errors while reads keep serving, and the background probe restores
+// the write path once space comes back — no operator action.
+func TestDegradedServesReadsAndAutoRecovers(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewErrInjector()
+	s, err := Open(dir, Options{
+		SyncEveryPut:       true,
+		FaultInjection:     inj,
+		WriteProbeInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("seed-%d", i)
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatalf("seed Put: %v", err)
+		}
+	}
+
+	inj.Arm(syscall.ENOSPC, FaultCreate, FaultWrite, FaultSync)
+	if err := s.Put("full", []byte("x")); err == nil {
+		t.Fatal("Put on full disk succeeded")
+	}
+	if got := s.Health(); got != HealthReadOnly {
+		t.Fatalf("Health = %v, want readOnly", got)
+	}
+	// Mutations fail typed; the probe keeps retrying against the armed
+	// fault and must not flap the store healthy.
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Put("still-full", []byte("x")); !errors.Is(err, ErrWriteWedged) {
+		t.Fatalf("degraded Put error = %v, want ErrWriteWedged", err)
+	}
+	// Reads serve throughout.
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("seed-%d", i)
+		if v, err := s.Get(k); err != nil || string(v) != k {
+			t.Fatalf("degraded Get(%q) = (%q, %v)", k, v, err)
+		}
+	}
+
+	inj.Clear()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Health() != HealthHealthy {
+		if time.Now().After(deadline) {
+			t.Fatal("write probe did not restore the store after the fault cleared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.Put("resumed", []byte("y")); err != nil {
+		t.Fatalf("Put after auto-recovery: %v", err)
+	}
+	st := s.HealthStats()
+	if st.Degradations == 0 || st.Recoveries == 0 {
+		t.Fatalf("HealthStats = %+v, want degradations and recoveries counted", st)
+	}
+}
+
+// TestRecoverySalvagesAckedUnsyncedTail covers the !SyncEveryPut
+// window: records acknowledged but not yet fsynced live only in the
+// poisoned segment's unsynced tail. Recovery must copy them to the
+// fresh segment before truncating, or acknowledged writes would be
+// lost.
+func TestRecoverySalvagesAckedUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewErrInjector()
+	s, err := Open(dir, Options{FaultInjection: inj}) // SyncEveryPut off
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	// Acked but unsynced: no rotation, no Sync call.
+	want := make(map[string]string)
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("tail-%d", i)
+		v := fmt.Sprintf("unsynced-value-%d", i)
+		if err := s.Put(k, []byte(v)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		want[k] = v
+	}
+	if err := s.Delete("tail-0"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	delete(want, "tail-0")
+
+	inj.Arm(errInjectedIO, FaultWrite)
+	if err := s.Put("boom", []byte("x")); err == nil {
+		t.Fatal("Put with failing write succeeded")
+	}
+	inj.Clear()
+	if err := s.TryRecoverWrites(); err != nil {
+		t.Fatalf("TryRecoverWrites: %v", err)
+	}
+	if s.HealthStats().SalvagedRecords == 0 {
+		t.Fatal("recovery salvaged no records; the acked unsynced tail was dropped")
+	}
+	for k, v := range want {
+		if got, err := s.Get(k); err != nil || string(got) != v {
+			t.Fatalf("post-salvage Get(%q) = (%q, %v), want %q", k, got, err, v)
+		}
+	}
+	if _, err := s.Get("tail-0"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("post-salvage Get(tail-0) err = %v, want ErrNotFound (tombstone lost in salvage)", err)
+	}
+	// The salvaged copies are now durable: survive a clean close/reopen.
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	for k, v := range want {
+		if got, err := s2.Get(k); err != nil || string(got) != v {
+			t.Fatalf("reopened Get(%q) = (%q, %v), want %q", k, got, err, v)
+		}
+	}
+	if _, err := s2.Get("tail-0"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("reopened Get(tail-0) err = %v, want ErrNotFound", err)
+	}
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"testing"
@@ -236,4 +237,146 @@ func countTombstones(t *testing.T, dir, key string) int {
 		}
 	}
 	return n
+}
+
+// TestReopenAfterPoison crashes the process while the write path is
+// degraded by a runtime I/O fault — no recovery, no clean Close — and
+// asserts the reopened store reconciles file bytes against the
+// acknowledgment contract: every acknowledged write is present and
+// correct, and the failed write is either fully absent or fully
+// replayed, never half-visible or corrupting the replay.
+func TestReopenAfterPoison(t *testing.T) {
+	cases := []struct {
+		name string
+		sync bool // SyncEveryPut
+		tear bool // the failing write persists half its bytes
+	}{
+		{"unsyncedTail", false, false},
+		{"unsyncedTailTorn", false, true},
+		{"syncEveryPut", true, false},
+		{"syncEveryPutTorn", true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			inj := NewErrInjector()
+			s, err := Open(dir, Options{
+				MaxSegmentBytes: 1 << 10,
+				SyncEveryPut:    tc.sync,
+				FaultInjection:  inj,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acked := make(map[string]string)
+			for i := 0; i < 25; i++ {
+				k := fmt.Sprintf("acked-%02d", i)
+				v := fmt.Sprintf("value-%02d-%s", i, string(bytes.Repeat([]byte{'p'}, 100)))
+				if err := s.Put(k, []byte(v)); err != nil {
+					t.Fatalf("Put: %v", err)
+				}
+				acked[k] = v
+			}
+			if err := s.Delete("acked-00"); err != nil {
+				t.Fatal(err)
+			}
+			delete(acked, "acked-00")
+
+			inj.Arm(errInjectedIO, FaultWrite)
+			if tc.tear {
+				inj.Clear()
+				// One-shot torn write: half the frame's bytes land.
+				inj.FailOp(0, errInjectedIO, true)
+			}
+			failedVal := "failed-" + string(bytes.Repeat([]byte{'q'}, 100))
+			if err := s.Put("poisoned", []byte(failedVal)); err == nil {
+				t.Fatal("Put through failing write succeeded")
+			}
+			if got := s.Health(); got == HealthHealthy {
+				t.Fatalf("Health = %v after failed write, want degraded", got)
+			}
+			// Acked state still serves while degraded.
+			for k, v := range acked {
+				if got, err := s.Get(k); err != nil || string(got) != v {
+					t.Fatalf("degraded Get(%q) = (%q, %v), want %q", k, got, err, v)
+				}
+			}
+
+			// Process dies here: no TryRecoverWrites, no Close.
+			crashClose(s)
+
+			s2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("reopen after poisoned crash: %v", err)
+			}
+			defer s2.Close()
+			for k, v := range acked {
+				if got, err := s2.Get(k); err != nil || string(got) != v {
+					t.Fatalf("reopened Get(%q) = (%q, %v), want acked %q", k, got, err, v)
+				}
+			}
+			if _, err := s2.Get("acked-00"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("reopened Get(acked-00) err = %v, want ErrNotFound (acked delete lost)", err)
+			}
+			// The failed write: all or nothing.
+			switch got, err := s2.Get("poisoned"); {
+			case err == nil && string(got) == failedVal:
+				// Unacked bytes replayed consistently — allowed.
+			case errors.Is(err, ErrNotFound):
+				// Trimmed — allowed.
+			default:
+				t.Fatalf("reopened Get(poisoned) = (%q, %v): failed write is half-visible", got, err)
+			}
+			// The replay reconciled cleanly: writes work on the reopened
+			// store and a full fold sees no decode errors.
+			if err := s2.Put("after-crash", []byte("ok")); err != nil {
+				t.Fatalf("Put on reopened store: %v", err)
+			}
+			if err := s2.Fold(func(string, []byte) error { return nil }); err != nil {
+				t.Fatalf("Fold over reopened store: %v", err)
+			}
+		})
+	}
+}
+
+// TestReopenAfterRecoveredPoison: degrade, recover in-process (which
+// salvages the acked unsynced tail onto a fresh segment), then crash
+// WITHOUT a clean Close. The salvaged records were fsynced by recovery,
+// so they must survive the crash.
+func TestReopenAfterRecoveredPoison(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewErrInjector()
+	s, err := Open(dir, Options{FaultInjection: inj}) // SyncEveryPut off
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := make(map[string]string)
+	for i := 0; i < 12; i++ {
+		k := fmt.Sprintf("tail-%02d", i)
+		v := fmt.Sprintf("unsynced-%02d", i)
+		if err := s.Put(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		acked[k] = v
+	}
+	inj.Arm(errInjectedIO, FaultWrite)
+	if err := s.Put("boom", []byte("x")); err == nil {
+		t.Fatal("Put through failing write succeeded")
+	}
+	inj.Clear()
+	if err := s.TryRecoverWrites(); err != nil {
+		t.Fatalf("TryRecoverWrites: %v", err)
+	}
+	crashClose(s)
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	for k, v := range acked {
+		if got, err := s2.Get(k); err != nil || string(got) != v {
+			t.Fatalf("reopened Get(%q) = (%q, %v), want salvaged %q", k, got, err, v)
+		}
+	}
 }

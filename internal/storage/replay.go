@@ -82,7 +82,15 @@ func (s *Store) loadSegments(ids []uint64) error {
 		if err != nil {
 			return fmt.Errorf("storage: opening segment: %w", err)
 		}
-		seg := &segment{id: id, path: path, f: f, size: sc.size, rank: s.man.rankOf(id)}
+		var sf segfile = f
+		if i == len(ids)-1 && s.opts.FaultInjection != nil {
+			// Only the recovered active segment is ever written again;
+			// sealed segments stay unwrapped (read-only, mappable).
+			sf = s.opts.FaultInjection.wrapFile(f)
+		}
+		// Replayed bytes are as durable as this disk gets: they were
+		// read back from it, so the durable boundary is the full size.
+		seg := &segment{id: id, path: path, f: sf, size: sc.size, rank: s.man.rankOf(id), syncedSize: sc.size}
 		s.segments[id] = seg
 		if i == len(ids)-1 {
 			s.active = seg

@@ -38,6 +38,30 @@ type segment struct {
 	// this file — the garbage statistic compaction selects victims by.
 	dead atomic.Int64
 
+	// syncedSize is the byte prefix known durable: advanced only after a
+	// successful fsync covering it (group-commit sync, rotation seal,
+	// explicit Sync), and set to the on-disk size at replay. Mutated only
+	// under the commit token, like size. When a write fault poisons the
+	// segment, recovery seals it at this boundary — everything beyond is
+	// either unacknowledged (SyncEveryPut) or salvaged into a fresh
+	// segment first.
+	syncedSize int64
+	// poisoned marks an active segment a write-path operation failed on;
+	// no further appends land in it, and write recovery seals it.
+	poisoned atomic.Bool
+	// syncFailed marks a file whose fsync returned an error. Such a file
+	// is never fsynced again: the kernel may have marked its dirty pages
+	// clean, so a retried fsync can return success without the bytes
+	// being durable (the "fsyncgate" trap). Durability is only restored
+	// by writing the bytes to a fresh segment.
+	syncFailed atomic.Bool
+	// quarantined marks a sealed segment the scrubber found corrupt:
+	// excluded from compaction victim selection (its scan would fail)
+	// until salvage rewrites what it can and retires it.
+	quarantined atomic.Bool
+	// scrubs counts completed CRC walks over this segment.
+	scrubs atomic.Uint64
+
 	// mapping, when set, is the segment's read-only memory mapping.
 	// It is installed exactly once, after the segment seals (rotation,
 	// Open, compaction publish) — never while appends can still extend

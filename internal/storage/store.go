@@ -66,6 +66,23 @@ type Options struct {
 	// to a 64 KiB floor so every shard can admit at least typical
 	// entries (a sub-floor budget would probe and miss forever).
 	ReadCacheBytes int64
+	// WriteProbeInterval starts a background probe that, while the
+	// write path is degraded by a runtime I/O fault (see health.go),
+	// periodically attempts TryRecoverWrites so mutations resume
+	// automatically once the fault clears. Zero (the default) disables
+	// the goroutine; TryRecoverWrites remains available for explicit
+	// recovery (and gives tests deterministic control).
+	WriteProbeInterval time.Duration
+	// ScrubInterval starts a background scrubber that CRC-walks one
+	// sealed segment per tick, quarantining and salvaging corrupt ones
+	// (see scrub.go). Zero (the default) disables the goroutine; Scrub
+	// remains available for explicit full passes.
+	ScrubInterval time.Duration
+	// FaultInjection, when set, routes every write-path and
+	// compaction/manifest filesystem operation through an error
+	// injector (see errfs.go). Testing only: it simulates EIO, ENOSPC,
+	// EDQUOT and torn writes while the process keeps running.
+	FaultInjection *ErrInjector
 }
 
 // readCacheMinBytes is the floor a nonzero ReadCacheBytes is raised
@@ -163,12 +180,17 @@ type Store struct {
 	active   *segment
 
 	// Compaction state: compactMu serializes compaction passes (the
-	// background goroutine and explicit Compact calls) and guards the
-	// in-memory manifest.
+	// background goroutine, explicit Compact calls, scrub salvage and
+	// write recovery) and guards the in-memory manifest.
 	compactMu sync.Mutex
 	man       manifest
 	compactor compactorState
 	cstats    compactionCounters
+
+	// Fault-tolerance state: the write-path health machine (health.go)
+	// and the background segment scrubber (scrub.go).
+	whealth writeHealth
+	scrub   scrubState
 
 	// Group-commit state: commitTok is a one-slot token channel whose
 	// holder is the only goroutine appending to the log; pending is the
@@ -232,6 +254,12 @@ func Open(dir string, opts Options) (*Store, error) {
 		segments:  make(map[uint64]*segment),
 		commitTok: make(chan struct{}, 1),
 	}
+	if opts.FaultInjection != nil {
+		// The injector wraps the compaction/manifest seam here and the
+		// active-segment operations inside rotate/syncActive, covering
+		// the whole write/rotate/compact/manifest sequence.
+		s.fs = opts.FaultInjection.wrapFS(s.fs)
+	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]keyLoc)
 	}
@@ -256,6 +284,12 @@ func Open(dir string, opts Options) (*Store, error) {
 	// the store runs. Preallocation resumes at the first rotation.
 	if opts.CompactInterval > 0 {
 		s.startCompactor(opts.CompactInterval, opts.CompactGarbageRatio)
+	}
+	if opts.WriteProbeInterval > 0 {
+		s.startWriteProbe(opts.WriteProbeInterval)
+	}
+	if opts.ScrubInterval > 0 {
+		s.startScrubber(opts.ScrubInterval)
 	}
 	return s, nil
 }
@@ -451,8 +485,8 @@ func (s *Store) mapSegment(seg *segment) {
 	if !s.opts.Mmap || seg == nil || seg.size <= 0 {
 		return
 	}
-	f, ok := seg.f.(*os.File)
-	if !ok {
+	f := osFile(seg.f)
+	if f == nil {
 		return
 	}
 	if b, err := mmapFile(f, seg.size); err == nil {
@@ -668,14 +702,28 @@ const (
 
 // Sync flushes the active segment to stable storage, ordered after
 // every previously completed write (fdatasync on linux — data plus the
-// metadata needed to read it back).
+// metadata needed to read it back). While the write path is degraded
+// Sync fails with ErrWriteWedged rather than fsyncing a file whose
+// fsync already failed — after a failed fsync the kernel may have
+// marked dirty pages clean, so a retry could claim durability the disk
+// never provided. Recovery re-establishes it with a fresh segment.
 func (s *Store) Sync() error {
 	s.commitTok <- struct{}{}
 	defer func() { <-s.commitTok }()
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	return s.syncActive()
+	if err := s.writeGate(); err != nil {
+		return err
+	}
+	if err := s.syncActive(); err != nil {
+		s.active.syncFailed.Store(true)
+		err = fmt.Errorf("storage: fsync: %w", err)
+		s.degradeWrites(err)
+		return err
+	}
+	s.active.syncedSize = s.active.size
+	return nil
 }
 
 // Stats reports store-level statistics.
@@ -780,6 +828,8 @@ func (s *Store) deadBytesTotal() int64 {
 // in-flight reads close once those reads release them.
 func (s *Store) Close() error {
 	s.stopCompactor()
+	s.stopWriteProbe()
+	s.stopScrubber()
 	s.commitTok <- struct{}{}
 	defer func() { <-s.commitTok }()
 	if s.closed.Load() {
@@ -795,6 +845,9 @@ func (s *Store) Close() error {
 	s.pendMu.Unlock()
 	if g != nil {
 		g.err = ErrClosed
+		for _, req := range g.reqs {
+			req.err = ErrClosed
+		}
 		close(g.done)
 	}
 
@@ -804,12 +857,18 @@ func (s *Store) Close() error {
 		// size again — the next Open then replays it without tail
 		// repair, and sealed-segment invariants (file size == data
 		// size) hold for mappings too.
-		if f, ok := s.active.f.(*os.File); ok {
+		if f := osFile(s.active.f); f != nil {
 			if err := f.Truncate(s.active.size); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
-		if err := s.active.f.Sync(); err != nil && firstErr == nil {
+		if s.active.syncFailed.Load() {
+			// Never re-fsync a file whose fsync failed (see health.go);
+			// surface the degradation instead of silently succeeding.
+			if firstErr == nil {
+				firstErr = s.wedgedErr()
+			}
+		} else if err := s.active.f.Sync(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
