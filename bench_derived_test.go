@@ -1,0 +1,92 @@
+// Derived-state maintenance benchmarks: the cost of bringing each
+// version-aware read model (classifier, recommender, search index) up
+// to the corpus head, and the incremental posting-list maintenance the
+// live search index does per mutation instead of a full rebuild. These
+// back the CI bench gate rows DerivedRebuild/* and
+// SearchIncrementalUpsert in BENCH_baseline.json.
+package culinary
+
+import (
+	"fmt"
+	"testing"
+
+	"culinary/internal/classify"
+	"culinary/internal/experiments"
+	"culinary/internal/recipedb"
+	"culinary/internal/recommend"
+	"culinary/internal/search"
+)
+
+// BenchmarkDerivedRebuild measures one full rebuild of each derived
+// model over the benchmark corpus — the work the background rebuild
+// loop pays per debounce interval while the corpus is mutating.
+func BenchmarkDerivedRebuild(b *testing.B) {
+	b.Run("classifier", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			benchEnv.Store.Read(func(v *recipedb.View) {
+				c := classify.New()
+				err = c.TrainView(v, v.LiveIDs())
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recommender", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var r *recommend.Recommender
+			benchEnv.Store.Read(func(v *recipedb.View) {
+				r = recommend.NewFromView(benchEnv.Analyzer, v)
+			})
+			if r.Version() != benchEnv.Store.Version() {
+				b.Fatal("rebuild landed at the wrong version")
+			}
+		}
+	})
+	b.Run("search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if search.Build(benchEnv.Store).DocCount() == 0 {
+				b.Fatal("empty index")
+			}
+		}
+	})
+}
+
+// BenchmarkSearchIncrementalUpsert measures the live index's per-
+// mutation maintenance: each store upsert re-tokenizes one recipe and
+// patches its posting lists inside the mutation critical section —
+// the price of the "acked upsert is searchable on the next request"
+// contract, which a full Build per mutation could never afford.
+func BenchmarkSearchIncrementalUpsert(b *testing.B) {
+	// A private corpus: the upserts below mutate it, and the shared
+	// benchEnv must stay pristine for the other benchmarks.
+	env, err := experiments.NewEnv(experiments.TestOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := search.NewLive(env.Store)
+	const slots = 64
+	if env.Store.Len() < slots*2 {
+		b.Fatal("corpus too small")
+	}
+	// Donor ingredient lists drawn from existing recipes keep the
+	// upserts valid without exercising catalog lookup in the loop.
+	donors := make([]recipedb.Recipe, slots)
+	for i := range donors {
+		donors[i] = env.Store.Recipe(slots + i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		donor := donors[i%slots]
+		_, _, _, err := env.Store.Upsert(i%slots, fmt.Sprintf("bench upsert %d", i),
+			donor.Region, donor.Source, donor.Ingredients)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if live.Version() != env.Store.Version() {
+		b.Fatalf("live index at version %d, store at %d", live.Version(), env.Store.Version())
+	}
+}

@@ -4,11 +4,13 @@
 // load adapts to server latency, so overload manifests as shed 429/503
 // responses, not an unbounded client backlog) drawn from a weighted mix
 // of traffic shapes: CQL queries, recipe/region reads, full-text
-// searches, and recipe mutations (upsert + delete).
+// searches, recipe mutations (upsert + delete), mutation-then-search
+// freshness probes (searchmut), and recommender completions
+// (recommend).
 //
 //	loadgen [-addr http://localhost:8080] [-duration 60s] [-concurrency 16]
-//	        [-mix query=40,read=30,search=20,mutation=10] [-seed 1]
-//	        [-out BENCH_load.json] [-name LoadSoak/mixed] [-strict]
+//	        [-mix query=35,read=25,search=15,mutation=10,searchmut=10,recommend=5]
+//	        [-seed 1] [-out BENCH_load.json] [-name LoadSoak/mixed] [-strict]
 //
 // The run records p50/p99 latency over successful requests, throughput,
 // error rate and shed rate, and writes them as rows in the unified
@@ -18,9 +20,13 @@
 // Every non-2xx response is checked against the structured error
 // envelope {"error":{"code","message"}}; with -strict the process
 // exits 1 when any 4xx/5xx body violates the contract, when any 5xx
-// other than a deliberate 503 shed appears, or when /api/health fails
-// to report the traffic block the soak asserts on. That makes a short
-// soak a pass/fail regression test, not just a measurement.
+// other than a deliberate 503 shed appears, when /api/health fails
+// to report the traffic block the soak asserts on, or when a derived
+// read model serves stale state: a searchmut probe whose acked upsert
+// is missing from the immediately following search, or a recommend
+// response whose modelVersion moves backwards within one worker. That
+// makes a short soak a pass/fail regression test, not just a
+// measurement.
 package main
 
 import (
@@ -43,7 +49,7 @@ func main() {
 		addr        = flag.String("addr", "http://localhost:8080", "server base URL")
 		duration    = flag.Duration("duration", 60*time.Second, "soak length")
 		concurrency = flag.Int("concurrency", 16, "closed-loop workers")
-		mixSpec     = flag.String("mix", "query=40,read=30,search=20,mutation=10", "traffic mix weights")
+		mixSpec     = flag.String("mix", "query=35,read=25,search=15,mutation=10,searchmut=10,recommend=5", "traffic mix weights")
 		seed        = flag.Int64("seed", 1, "workload RNG seed")
 		out         = flag.String("out", "", "benchjson rows destination (default stdout)")
 		name        = flag.String("name", "LoadSoak/mixed", "benchmark row name prefix")
@@ -97,18 +103,23 @@ func fatal(err error) {
 
 // shape names index the mix weights.
 const (
-	shapeQuery    = "query"
-	shapeRead     = "read"
-	shapeSearch   = "search"
-	shapeMutation = "mutation"
+	shapeQuery     = "query"
+	shapeRead      = "read"
+	shapeSearch    = "search"
+	shapeMutation  = "mutation"
+	shapeSearchMut = "searchmut" // upsert, then assert the ack is searchable
+	shapeRecommend = "recommend" // completion with modelVersion monotonicity
 )
 
-var shapeOrder = []string{shapeQuery, shapeRead, shapeSearch, shapeMutation}
+var shapeOrder = []string{shapeQuery, shapeRead, shapeSearch, shapeMutation, shapeSearchMut, shapeRecommend}
 
 // parseMix reads "query=40,read=30,...". Unknown shapes are errors;
 // omitted shapes get weight 0; the total must be positive.
 func parseMix(spec string) (map[string]int, error) {
-	mix := map[string]int{shapeQuery: 0, shapeRead: 0, shapeSearch: 0, shapeMutation: 0}
+	mix := map[string]int{
+		shapeQuery: 0, shapeRead: 0, shapeSearch: 0, shapeMutation: 0,
+		shapeSearchMut: 0, shapeRecommend: 0,
+	}
 	total := 0
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -160,7 +171,11 @@ type report struct {
 	Timeout504         int64
 	Unexpected5        int64 // 5xx other than 503 sheds
 	EnvelopeViolations int64
-	violationSamples   []string
+	// FreshnessViolations counts derived-state staleness observed on
+	// the wire: an acked upsert missing from the immediately following
+	// search, or a recommender modelVersion regressing within a worker.
+	FreshnessViolations int64
+	violationSamples    []string
 
 	latencies []time.Duration // successful requests only
 
@@ -223,8 +238,8 @@ func (r *report) summary(name string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "loadgen %s: %d requests in %v (%.0f req/s)\n",
 		name, r.total(), r.Duration.Round(time.Millisecond), float64(r.total())/r.Duration.Seconds())
-	fmt.Fprintf(&b, "  ok=%d expected4xx=%d (429=%d) shed503=%d degraded503=%d timeout504=%d unexpected5xx=%d envelopeViolations=%d\n",
-		r.Succeeded, r.Expected4, r.Shed429, r.Shed503, r.Degraded503, r.Timeout504, r.Unexpected5, r.EnvelopeViolations)
+	fmt.Fprintf(&b, "  ok=%d expected4xx=%d (429=%d) shed503=%d degraded503=%d timeout504=%d unexpected5xx=%d envelopeViolations=%d freshnessViolations=%d\n",
+		r.Succeeded, r.Expected4, r.Shed429, r.Shed503, r.Degraded503, r.Timeout504, r.Unexpected5, r.EnvelopeViolations, r.FreshnessViolations)
 	fmt.Fprintf(&b, "  latency p50=%v p99=%v (over %d successes)\n",
 		r.percentile(50).Round(time.Microsecond), r.percentile(99).Round(time.Microsecond), len(r.latencies))
 	if r.HealthTraffic != nil {
@@ -246,6 +261,9 @@ func (r *report) violations() []string {
 	}
 	if r.EnvelopeViolations > 0 {
 		out = append(out, fmt.Sprintf("%d error responses without a valid {\"error\":{\"code\",\"message\"}} envelope", r.EnvelopeViolations))
+	}
+	if r.FreshnessViolations > 0 {
+		out = append(out, fmt.Sprintf("%d derived-state freshness violations (stale search after acked mutation, or regressing modelVersion)", r.FreshnessViolations))
 	}
 	for _, s := range r.violationSamples {
 		out = append(out, "  sample: "+s)
@@ -387,6 +405,7 @@ func runLoad(cfg loadConfig) (*report, error) {
 		total.Timeout504 += r.Timeout504
 		total.Unexpected5 += r.Unexpected5
 		total.EnvelopeViolations += r.EnvelopeViolations
+		total.FreshnessViolations += r.FreshnessViolations
 		total.latencies = append(total.latencies, r.latencies...)
 		if len(total.violationSamples) < 5 {
 			total.violationSamples = append(total.violationSamples, r.violationSamples...)
@@ -424,6 +443,9 @@ type worker struct {
 
 	created []int // recipe IDs this worker upserted and may delete
 	seq     int
+	// lastModelVersion is the highest recommender modelVersion this
+	// worker has observed; it must never regress.
+	lastModelVersion uint64
 }
 
 func (w *worker) run(stop time.Time) {
@@ -437,6 +459,10 @@ func (w *worker) run(stop time.Time) {
 			w.search()
 		case shapeMutation:
 			w.mutate()
+		case shapeSearchMut:
+			w.searchMut()
+		case shapeRecommend:
+			w.recommend()
 		}
 	}
 }
@@ -523,6 +549,106 @@ func (w *worker) mutate() {
 			w.created = append(w.created, resp.ID)
 		}
 	}
+}
+
+// alphaToken encodes n in base-26 letters, so workload-generated
+// search tokens survive the tokenizer (purely alphabetic, >= 2 chars).
+func alphaToken(n int) string {
+	buf := []byte{'a' + byte(n%26)}
+	for n /= 26; n > 0; n /= 26 {
+		buf = append(buf, 'a'+byte(n%26))
+	}
+	return string(buf)
+}
+
+// searchMut is the mutation-visibility probe: upsert a recipe whose
+// name carries a token unique to this (worker, sequence) pair, then —
+// if the mutation was acked 2xx — assert the very next /api/search for
+// that token returns the acked recipe ID. A shed mutation (429/503)
+// acks nothing, so there is nothing to assert; a shed search leaves
+// freshness unobservable that round. A successful search missing the
+// acked ID is a freshness violation: the synchronous-index contract
+// broke on the wire.
+func (w *worker) searchMut() {
+	w.seq++
+	token := "zzfresh" + alphaToken(w.id) + "q" + alphaToken(w.seq)
+	n := 2 + w.rng.Intn(3)
+	seen := map[string]bool{}
+	var ings []string
+	for len(ings) < n {
+		ing := w.ingredient()
+		if !seen[ing] {
+			seen[ing] = true
+			ings = append(ings, ing)
+		}
+	}
+	status, body := w.do("POST", "/api/recipes", map[string]interface{}{
+		"name":        token + " probe",
+		"region":      w.region(),
+		"source":      w.info.sources[w.rng.Intn(len(w.info.sources))],
+		"ingredients": ings,
+	})
+	if status != http.StatusCreated && status != http.StatusOK {
+		return // not acked; nothing to assert
+	}
+	var ack struct {
+		ID int `json:"id"`
+	}
+	if json.Unmarshal(body, &ack) != nil {
+		return
+	}
+	w.created = append(w.created, ack.ID)
+
+	st, raw := w.do("GET", "/api/search?q="+token+"&limit=50", nil)
+	if st != http.StatusOK {
+		return // search shed; freshness unobservable this round
+	}
+	var sr struct {
+		Hits []struct {
+			Recipe struct {
+				ID int `json:"id"`
+			} `json:"recipe"`
+		} `json:"hits"`
+	}
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		w.rep.FreshnessViolations++
+		w.note("searchmut: unparseable search body for %q: %.200s", token, raw)
+		return
+	}
+	for _, h := range sr.Hits {
+		if h.Recipe.ID == ack.ID {
+			return
+		}
+	}
+	w.rep.FreshnessViolations++
+	w.note("searchmut: acked recipe %d missing from next search for %q (%d hits)", ack.ID, token, len(sr.Hits))
+}
+
+// recommend issues one completion and asserts the stamped modelVersion
+// never moves backwards within this worker: background rebuilds must
+// install strictly newer model epochs. A 422 (the drawn region may
+// have emptied out under mutation churn) carries no version to check.
+func (w *worker) recommend() {
+	status, raw := w.do("POST", "/api/complete", map[string]interface{}{
+		"region":      w.region(),
+		"ingredients": []string{w.ingredient(), w.ingredient()},
+		"k":           5,
+	})
+	if status != http.StatusOK {
+		return
+	}
+	var resp struct {
+		ModelVersion uint64 `json:"modelVersion"`
+	}
+	if json.Unmarshal(raw, &resp) != nil {
+		return
+	}
+	if resp.ModelVersion < w.lastModelVersion {
+		w.rep.FreshnessViolations++
+		w.note("recommend: modelVersion went backwards: %d after %d", resp.ModelVersion, w.lastModelVersion)
+		return
+	}
+	w.lastModelVersion = resp.ModelVersion
 }
 
 // do issues one request, classifies the response, and validates the

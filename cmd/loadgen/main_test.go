@@ -22,6 +22,14 @@ func TestParseMix(t *testing.T) {
 		t.Fatalf("mix = %v", mix)
 	}
 
+	mix, err = parseMix("searchmut=7,recommend=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix[shapeSearchMut] != 7 || mix[shapeRecommend] != 3 {
+		t.Fatalf("freshness mix = %v", mix)
+	}
+
 	mix, err = parseMix("read=1")
 	if err != nil {
 		t.Fatal(err)
@@ -155,10 +163,13 @@ func TestShortSoakAgainstRealServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	mix, err := parseMix("query=40,read=30,search=20,mutation=10")
+	// The default mix includes the searchmut and recommend freshness
+	// probes, so this soak also asserts the derived-state contract.
+	mix, err := parseMix("query=30,read=25,search=15,mutation=10,searchmut=15,recommend=5")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,13 +246,16 @@ func TestSoakToleratesDegradedStorage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	// Wedge the write path before any load arrives.
 	inj.Arm(syscall.ENOSPC, storage.FaultCreate, storage.FaultWrite, storage.FaultSync)
 
-	mix, err := parseMix("query=30,read=30,search=10,mutation=30")
+	// searchmut rides along: a 503-degraded upsert acks nothing, so the
+	// probe must skip cleanly instead of reporting staleness.
+	mix, err := parseMix("query=30,read=25,search=10,mutation=25,searchmut=10")
 	if err != nil {
 		t.Fatal(err)
 	}

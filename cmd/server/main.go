@@ -7,6 +7,7 @@
 //	       [-db-shards n] [-db-sync] [-db-mmap] [-db-read-cache-bytes n]
 //	       [-db-compact-interval d] [-db-compact-garbage-ratio f]
 //	       [-query-result-cache-bytes n]
+//	       [-classifier-rebuild-interval d] [-recommender-rebuild-interval d]
 //	       [-max-body-bytes n] [-rate-limit-rps f] [-rate-limit-mutation-rps f]
 //	       [-max-inflight n] [-request-timeout d] [-shutdown-grace d]
 //
@@ -40,6 +41,15 @@
 // reads or writes. -query-result-cache-bytes bounds the CQL engine's
 // result cache, keyed by (normalized statement, corpus version) so a
 // mutation fences every older cached result (0 disables it).
+//
+// Every derived read model is version-aware. The full-text search
+// index is maintained synchronously inside the mutation path, so an
+// acked POST/DELETE is visible to the next /api/search. The cuisine
+// classifier and the recommender rebuild in the background, debounced
+// to at most one rebuild per -classifier-rebuild-interval /
+// -recommender-rebuild-interval; their responses carry "modelVersion"
+// (the corpus version the model was trained at) and /api/health
+// reports per-model version, lag and rebuild counters under "derived".
 //
 // Endpoints (all JSON):
 //
@@ -97,6 +107,9 @@ func main() {
 		dbProbe   = flag.Duration("db-write-probe-interval", 5*time.Second, "write-path recovery probe period while degraded (0 disables auto-recovery)")
 		resCache  = flag.Int64("query-result-cache-bytes", query.DefaultResultCacheBytes, "CQL result cache byte budget, keyed by (statement, corpus version) (0 disables)")
 
+		clsRebuild = flag.Duration("classifier-rebuild-interval", 2*time.Second, "max classifier staleness under mutation: at most one background retrain per interval")
+		recRebuild = flag.Duration("recommender-rebuild-interval", 2*time.Second, "max recommender staleness under mutation: at most one background rebuild per interval")
+
 		maxBody    = flag.Int64("max-body-bytes", 1<<20, "request body size cap; oversized bodies get a structured 413 (0 disables)")
 		readRPS    = flag.Float64("rate-limit-rps", 500, "per-IP rate limit for read traffic, requests/second (burst 2x; 0 disables)")
 		mutRPS     = flag.Float64("rate-limit-mutation-rps", 100, "per-IP rate limit for corpus mutations, requests/second (burst 2x; 0 disables)")
@@ -141,13 +154,15 @@ func main() {
 	logger.Printf("corpus ready: %d recipes in %v", store.Len(), time.Since(t0).Round(time.Millisecond))
 
 	srv, err := server.New(server.Config{
-		Store:            store,
-		Analyzer:         analyzer,
-		NullRecipes:      *null,
-		Seed:             *seed,
-		Logger:           logger,
-		DB:               db,
-		ResultCacheBytes: *resCache,
+		Store:                      store,
+		Analyzer:                   analyzer,
+		NullRecipes:                *null,
+		Seed:                       *seed,
+		Logger:                     logger,
+		DB:                         db,
+		ResultCacheBytes:           *resCache,
+		ClassifierRebuildInterval:  *clsRebuild,
+		RecommenderRebuildInterval: *recRebuild,
 		Traffic: &httpmw.Config{
 			ReadRPS:        *readRPS,
 			ReadBurst:      *readRPS * 2,
@@ -162,6 +177,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer srv.Close()
 
 	// A configured http.Server instead of bare ListenAndServe: the
 	// read-header and idle timeouts close slowloris connections, and

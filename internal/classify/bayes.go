@@ -46,17 +46,28 @@ type Classifier struct {
 func New() *Classifier { return &Classifier{Alpha: 1} }
 
 // Train fits the model on the given recipe IDs of the store. Every
-// major region present in the training set becomes a class.
+// region present in the training set becomes a class; at least two
+// classes are required (a one-region corpus has nothing to
+// discriminate). Training reads the corpus under one read epoch.
 func (c *Classifier) Train(store *recipedb.Store, recipeIDs []int) error {
+	var err error
+	store.Read(func(v *recipedb.View) { err = c.TrainView(v, recipeIDs) })
+	return err
+}
+
+// TrainView is Train against an already-held corpus view — the entry
+// point for background rebuilds that must pin one (version, snapshot)
+// pair across the whole fit.
+func (c *Classifier) TrainView(v *recipedb.View, recipeIDs []int) error {
 	if c.Alpha <= 0 {
 		return fmt.Errorf("classify: Alpha %g must be positive", c.Alpha)
 	}
-	nItems := store.Catalog().Len()
+	nItems := v.Catalog().Len()
 	counts := make(map[recipedb.Region][]int)
 	docCount := make(map[recipedb.Region]int)
 	total := 0
 	for _, rid := range recipeIDs {
-		rec := store.Recipe(rid)
+		rec := v.Recipe(rid)
 		row := counts[rec.Region]
 		if row == nil {
 			row = make([]int, nItems)
@@ -70,6 +81,9 @@ func (c *Classifier) Train(store *recipedb.Store, recipeIDs []int) error {
 	}
 	if total == 0 {
 		return ErrNoData
+	}
+	if len(counts) < 2 {
+		return fmt.Errorf("%w: need >= 2 regions to discriminate, have %d", ErrNoData, len(counts))
 	}
 
 	c.regions = make([]recipedb.Region, 0, len(counts))

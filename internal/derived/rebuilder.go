@@ -1,0 +1,255 @@
+// Package derived maintains version-aware derived read models (the
+// Bayes classifier, the pairing recommender) over the mutable recipe
+// corpus. A Rebuilder owns one model: it builds it at construction
+// atomically with subscribing to the corpus mutation feed, then
+// rebuilds in the background whenever the corpus version moves,
+// debounced to at most one rebuild per interval. Every model carries
+// the corpus version it was built at, so serving layers can stamp
+// responses and report staleness — the same (statement,
+// corpus-version) fencing the query result cache uses.
+//
+// Rebuild failure is a first-class state, not a crash: a corpus that
+// temporarily cannot support a model (zero recipes, one region) makes
+// the model unavailable until the corpus changes again, and the
+// rebuild loop keeps running. The search index does not live here — it
+// is maintained synchronously inside the mutation critical section
+// (see search.NewLive), because "acked upsert is searchable" is a
+// guarantee, while model freshness is a bounded lag.
+package derived
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"culinary/internal/recipedb"
+)
+
+// ErrUnavailable is returned by Get while the model has no successful
+// build for the current corpus shape. It wraps the build error, so
+// errors.Is(err, ErrUnavailable) selects the degraded-serving path and
+// the cause stays inspectable.
+var ErrUnavailable = errors.New("derived: model unavailable")
+
+// DefaultInterval is the rebuild debounce when none is configured: at
+// most one background rebuild per 2s window.
+const DefaultInterval = 2 * time.Second
+
+// Build produces one model instance from a pinned corpus view.
+type Build[T any] func(v *recipedb.View) (T, error)
+
+// Stats is a point-in-time snapshot of a rebuilder's counters for
+// health reporting.
+type Stats struct {
+	Name      string
+	Available bool
+	// Version is the corpus version the served model was built from
+	// (0 when unavailable).
+	Version uint64
+	// BuiltVersion is the corpus version of the last build attempt,
+	// successful or not.
+	BuiltVersion uint64
+	Rebuilds     uint64
+	Failures     uint64
+	LastError    string
+	LastBuild    time.Duration
+	TotalBuild   time.Duration
+	Interval     time.Duration
+}
+
+// Rebuilder keeps one derived model fresh against the corpus.
+type Rebuilder[T any] struct {
+	name     string
+	store    *recipedb.Store
+	build    Build[T]
+	interval time.Duration
+
+	mu           sync.Mutex
+	cur          T
+	available    bool
+	version      uint64 // corpus version of the served model
+	builtVersion uint64 // corpus version of the last attempt
+	lastErr      error
+	rebuilds     uint64
+	failures     uint64
+	lastDur      time.Duration
+	totalDur     time.Duration
+
+	nudge    chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// New constructs the rebuilder, runs the initial build, and subscribes
+// to the corpus — all atomically under the corpus write lock, so no
+// mutation can slip between the initial snapshot and the first nudge.
+// An initial build failure leaves the model unavailable (it is not an
+// error: the corpus may legitimately be empty at startup). interval
+// <= 0 selects DefaultInterval; pass a negative interval to disable
+// the background loop entirely (tests drive Rebuild explicitly).
+func New[T any](name string, store *recipedb.Store, interval time.Duration, build Build[T]) *Rebuilder[T] {
+	background := interval >= 0
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	r := &Rebuilder[T]{
+		name:     name,
+		store:    store,
+		build:    build,
+		interval: interval,
+		nudge:    make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	store.Subscribe(
+		func(v *recipedb.View) { r.rebuildFromView(v) },
+		func(recipedb.Mutation) {
+			// Non-blocking: one pending nudge is enough, the loop
+			// re-reads the live version when it wakes.
+			select {
+			case r.nudge <- struct{}{}:
+			default:
+			}
+		},
+	)
+	if background {
+		go r.loop()
+	} else {
+		close(r.done)
+	}
+	return r
+}
+
+// rebuildFromView runs one build attempt against a pinned view and
+// installs the outcome.
+func (r *Rebuilder[T]) rebuildFromView(v *recipedb.View) {
+	start := time.Now()
+	model, err := r.build(v)
+	dur := time.Since(start)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v.Version < r.builtVersion {
+		// A concurrent Rebuild raced ahead with a newer snapshot;
+		// installing this one would move the served version backwards.
+		return
+	}
+	r.builtVersion = v.Version
+	r.lastDur = dur
+	r.totalDur += dur
+	if err != nil {
+		// The corpus shape no longer supports the model; serving the
+		// previous epoch would resurrect deleted data, so the model
+		// goes unavailable until a later corpus version builds clean.
+		var zero T
+		r.cur = zero
+		r.available = false
+		r.version = 0
+		r.lastErr = err
+		r.failures++
+		return
+	}
+	r.cur = model
+	r.available = true
+	r.version = v.Version
+	r.lastErr = nil
+	r.rebuilds++
+}
+
+// Rebuild synchronously rebuilds the model against the current corpus
+// if the served epoch is stale, and reports whether a build ran. Tests
+// use it to quiesce; the background loop funnels through it too.
+func (r *Rebuilder[T]) Rebuild() bool {
+	r.mu.Lock()
+	stale := r.builtVersion != r.store.Version()
+	r.mu.Unlock()
+	if !stale {
+		return false
+	}
+	r.store.Read(func(v *recipedb.View) { r.rebuildFromView(v) })
+	return true
+}
+
+// loop is the background rebuild driver: wake on nudge or tick, skip
+// if the corpus has not moved past the last attempt, and sleep one
+// full interval after every rebuild so a mutation storm costs at most
+// one build per interval.
+func (r *Rebuilder[T]) loop() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.nudge:
+		case <-ticker.C:
+		}
+		if r.Rebuild() {
+			// Debounce: drain the pending nudge (its mutation is
+			// covered by the build that just ran) and wait a tick.
+			select {
+			case <-r.nudge:
+			default:
+			}
+			select {
+			case <-r.stop:
+				return
+			case <-ticker.C:
+			}
+		}
+	}
+}
+
+// Get returns the served model and the corpus version it was built at.
+// While unavailable it returns ErrUnavailable wrapping the build error.
+func (r *Rebuilder[T]) Get() (T, uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.available {
+		var zero T
+		if r.lastErr != nil {
+			return zero, 0, fmt.Errorf("%w (%s): %w", ErrUnavailable, r.name, r.lastErr)
+		}
+		return zero, 0, fmt.Errorf("%w (%s)", ErrUnavailable, r.name)
+	}
+	return r.cur, r.version, nil
+}
+
+// Version returns the corpus version of the served model (0 when
+// unavailable).
+func (r *Rebuilder[T]) Version() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.version
+}
+
+// Stats snapshots the counters for /api/health.
+func (r *Rebuilder[T]) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		Name:         r.name,
+		Available:    r.available,
+		Version:      r.version,
+		BuiltVersion: r.builtVersion,
+		Rebuilds:     r.rebuilds,
+		Failures:     r.failures,
+		LastBuild:    r.lastDur,
+		TotalBuild:   r.totalDur,
+		Interval:     r.interval,
+	}
+	if r.lastErr != nil {
+		s.LastError = r.lastErr.Error()
+	}
+	return s
+}
+
+// Close stops the background loop and waits for it to exit. The model
+// remains readable (Get keeps serving the last epoch).
+func (r *Rebuilder[T]) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}

@@ -1,0 +1,171 @@
+package derived
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"culinary/internal/classify"
+	"culinary/internal/flavor"
+	"culinary/internal/recipedb"
+)
+
+func testStore(t *testing.T) (*recipedb.Store, func(slot int, region recipedb.Region)) {
+	t.Helper()
+	catalog, err := flavor.Build(flavor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := recipedb.NewStore(catalog)
+	ings := make([]flavor.ID, 0, 3)
+	for _, n := range []string{"tomato", "onion", "garlic"} {
+		id, ok := catalog.Lookup(n)
+		if !ok {
+			t.Fatalf("catalog lacks %q", n)
+		}
+		ings = append(ings, id)
+	}
+	upsert := func(slot int, region recipedb.Region) {
+		if _, _, _, err := store.Upsert(slot, fmt.Sprintf("Recipe %d %s", slot, region),
+			region, recipedb.Epicurious, ings); err != nil {
+			t.Fatalf("Upsert(%d, %s): %v", slot, region, err)
+		}
+	}
+	return store, upsert
+}
+
+// countModel is a trivial derived model: the live recipe count.
+func countModel(v *recipedb.View) (int, error) {
+	if v.Len() == 0 {
+		return 0, errors.New("empty corpus")
+	}
+	return v.Len(), nil
+}
+
+func TestRebuilderInitialBuildAndVersion(t *testing.T) {
+	store, upsert := testStore(t)
+	upsert(0, recipedb.USA)
+	upsert(1, recipedb.Italy)
+	r := New("count", store, -1, countModel)
+	defer r.Close()
+	n, v, err := r.Get()
+	if err != nil || n != 2 || v != store.Version() {
+		t.Fatalf("Get() = (%d, %d, %v), want (2, %d, nil)", n, v, err, store.Version())
+	}
+}
+
+func TestRebuilderUnavailableOnEmptyCorpusThenRecovers(t *testing.T) {
+	store, upsert := testStore(t)
+	r := New("count", store, -1, countModel)
+	defer r.Close()
+	if _, _, err := r.Get(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("empty corpus: err = %v, want ErrUnavailable", err)
+	}
+	if s := r.Stats(); s.Available || s.Failures != 1 {
+		t.Fatalf("stats after failed init: %+v", s)
+	}
+	upsert(0, recipedb.USA)
+	if !r.Rebuild() {
+		t.Fatal("Rebuild reported no work despite corpus change")
+	}
+	n, v, err := r.Get()
+	if err != nil || n != 1 || v != store.Version() {
+		t.Fatalf("after recovery: (%d, %d, %v)", n, v, err)
+	}
+}
+
+func TestRebuilderFailureDropsModel(t *testing.T) {
+	store, upsert := testStore(t)
+	upsert(0, recipedb.USA)
+	r := New("count", store, -1, countModel)
+	defer r.Close()
+	if _, err := store.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	r.Rebuild()
+	if _, _, err := r.Get(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("after corpus emptied: err = %v, want ErrUnavailable", err)
+	}
+	s := r.Stats()
+	if s.Available || s.Version != 0 || s.LastError == "" {
+		t.Fatalf("stats after drop: %+v", s)
+	}
+}
+
+func TestRebuilderSkipsWhenCorpusUnchanged(t *testing.T) {
+	store, upsert := testStore(t)
+	upsert(0, recipedb.USA)
+	r := New("count", store, -1, countModel)
+	defer r.Close()
+	if r.Rebuild() {
+		t.Fatal("Rebuild ran with an unchanged corpus")
+	}
+	// A failed attempt must not retry until the version moves, either.
+	if _, err := store.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	r.Rebuild()
+	fails := r.Stats().Failures
+	if r.Rebuild() {
+		t.Fatal("Rebuild retried a failed build with an unchanged corpus")
+	}
+	if got := r.Stats().Failures; got != fails {
+		t.Fatalf("failure count moved without a corpus change: %d -> %d", fails, got)
+	}
+}
+
+func TestRebuilderBackgroundLoopConverges(t *testing.T) {
+	store, upsert := testStore(t)
+	upsert(0, recipedb.USA)
+	r := New("count", store, 10*time.Millisecond, countModel)
+	defer r.Close()
+	upsert(1, recipedb.Italy)
+	upsert(2, recipedb.Japan)
+	want := store.Version()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, v, err := r.Get(); err == nil && v == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			n, v, err := r.Get()
+			t.Fatalf("loop never converged: (%d, %d, %v), want version %d", n, v, err, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n, _, _ := r.Get(); n != 3 {
+		t.Fatalf("converged model = %d, want 3", n)
+	}
+}
+
+// TestRebuilderClassifier exercises the real classifier build: one
+// region is not enough, two are.
+func TestRebuilderClassifier(t *testing.T) {
+	store, upsert := testStore(t)
+	upsert(0, recipedb.USA)
+	build := func(v *recipedb.View) (*classify.Classifier, error) {
+		c := classify.New()
+		if err := c.TrainView(v, v.LiveIDs()); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	r := New("classifier", store, -1, build)
+	defer r.Close()
+	if _, _, err := r.Get(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("one-region corpus: err = %v, want ErrUnavailable", err)
+	}
+	if r.Stats().LastError == "" {
+		t.Fatal("LastError not recorded")
+	}
+	upsert(1, recipedb.Italy)
+	r.Rebuild()
+	c, v, err := r.Get()
+	if err != nil || c == nil || v != store.Version() {
+		t.Fatalf("two-region corpus: (%v, %d, %v)", c, v, err)
+	}
+	if got := len(c.Regions()); got != 2 {
+		t.Fatalf("classifier trained on %d regions, want 2", got)
+	}
+}

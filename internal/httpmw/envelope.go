@@ -35,6 +35,12 @@ const (
 	// Retry-After interval — the store recovers itself once the fault
 	// clears.
 	CodeStorageUnavailable = "storage_unavailable"
+	// CodeModelUnavailable marks a 503 caused by a derived model
+	// (classifier, recommender) having no successful build for the
+	// current corpus shape — e.g. an empty or one-region corpus. Reads
+	// and search still serve; the model returns once the corpus
+	// supports it again, so clients should honor Retry-After.
+	CodeModelUnavailable = "model_unavailable"
 )
 
 // ErrorDetail is the inner object of the error envelope.

@@ -5,7 +5,10 @@
 // codecs for export and reload.
 package recipedb
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Region is one of the paper's 22 geo-cultural regions, the four minor
 // regions folded into only the aggregate analysis, or the WORLD
@@ -186,9 +189,11 @@ func AllRegions() []Region {
 }
 
 // ParseRegion resolves a region code (e.g. "INSC") to its Region.
+// Matching is case-insensitive so every caller — HTTP handlers, CQL,
+// CSV reload — accepts the same spellings without normalizing first.
 func ParseRegion(code string) (Region, error) {
 	for r := Region(0); r < numRegions; r++ {
-		if regionTable[r].code == code {
+		if strings.EqualFold(regionTable[r].code, code) {
 			return r, nil
 		}
 	}

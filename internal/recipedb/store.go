@@ -59,6 +59,51 @@ type Backend interface {
 	Delete(key string) error
 }
 
+// Mutation describes one applied corpus change, delivered to
+// subscribers synchronously under the write lock. Old is the live
+// recipe the mutation displaced (nil on insert), New the recipe now in
+// the slot (nil on delete). Both are value copies whose Ingredients
+// slices the store never writes again, so they may be read after
+// delivery — but not mutated, since Old shares its slice with copies
+// readers may hold.
+type Mutation struct {
+	// Version is the corpus version this mutation produced.
+	Version uint64
+	// ID is the slot the mutation addressed.
+	ID  int
+	Old *Recipe
+	New *Recipe
+}
+
+// Subscribe registers fn to observe every subsequent mutation. Both
+// init and the registration happen atomically under the write lock:
+// init sees a consistent corpus snapshot and no mutation between that
+// snapshot and the first fn delivery can be missed — the gap a
+// derived index would otherwise have to re-scan for. Subscribers run
+// synchronously inside Upsert/Remove, so fn must be fast, must not
+// call back into the Store, and must do its own locking against the
+// subscriber's readers. init may be nil.
+func (s *Store) Subscribe(init func(v *View), fn func(Mutation)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if init != nil {
+		init(&View{s: s, Version: s.version.Load()})
+	}
+	s.subs = append(s.subs, fn)
+}
+
+// notifyLocked delivers a mutation to every subscriber; callers hold
+// s.mu exclusively and have already bumped the version.
+func (s *Store) notifyLocked(id int, old, new *Recipe) {
+	if len(s.subs) == 0 {
+		return
+	}
+	m := Mutation{Version: s.version.Load(), ID: id, Old: old, New: new}
+	for _, fn := range s.subs {
+		fn(m)
+	}
+}
+
 // Store is an in-memory recipe corpus with region and ingredient
 // indexes. It is safe for concurrent use: reads take a shared lock,
 // mutations (Add, Upsert, Remove) serialize behind an exclusive lock
@@ -79,6 +124,11 @@ type Store struct {
 	// state changes (write-through): a failed write leaves the corpus
 	// untouched.
 	persist Backend
+
+	// subs are mutation subscribers, notified synchronously under the
+	// write lock so derived state observes mutations in version order
+	// and is current before the mutation is acknowledged.
+	subs []func(Mutation)
 }
 
 // NewStore creates an empty store bound to an ingredient catalog.
@@ -158,6 +208,20 @@ func (v *View) ForEachInRegion(r Region, fn func(*Recipe)) {
 	v.s.forEachInRegionLocked(r, fn)
 }
 
+// Catalog returns the (immutable) ingredient catalog.
+func (v *View) Catalog() *flavor.Catalog { return v.s.catalog }
+
+// LiveIDs returns the IDs of every live recipe, ascending.
+func (v *View) LiveIDs() []int { return v.s.liveIDsLocked() }
+
+// Regions returns the regions with at least one live recipe, sorted.
+func (v *View) Regions() []Region { return v.s.regionsLocked() }
+
+// BuildCuisine assembles the region's analytical view against this
+// snapshot; World pools every recipe. The result is self-contained and
+// safe to retain past the callback.
+func (v *View) BuildCuisine(r Region) *Cuisine { return v.s.buildCuisineLocked(r) }
+
 // forEachInRegionLocked iterates live recipes; callers hold s.mu.
 func (s *Store) forEachInRegionLocked(r Region, fn func(*Recipe)) {
 	if r == World {
@@ -236,11 +300,14 @@ func (s *Store) Upsert(id int, name string, region Region, source Source, ingred
 		s.recipes = append(s.recipes, Recipe{ID: len(s.recipes), Deleted: true})
 	}
 	created := true
+	var displaced *Recipe
 	if id == len(s.recipes) {
 		s.recipes = append(s.recipes, rec)
 		s.live++
 	} else {
 		if old := &s.recipes[id]; !old.Deleted {
+			oldCopy := *old
+			displaced = &oldCopy
 			s.unindexLocked(old)
 			created = false
 		} else {
@@ -250,6 +317,8 @@ func (s *Store) Upsert(id int, name string, region Region, source Source, ingred
 	}
 	s.indexLocked(&s.recipes[id])
 	s.version.Add(1)
+	newCopy := s.recipes[id]
+	s.notifyLocked(id, displaced, &newCopy)
 	return id, s.version.Load(), created, nil
 }
 
@@ -267,10 +336,12 @@ func (s *Store) Remove(id int) (uint64, error) {
 			return 0, fmt.Errorf("recipedb: deleting recipe %d: %w", id, err)
 		}
 	}
+	oldCopy := s.recipes[id]
 	s.unindexLocked(&s.recipes[id])
 	s.recipes[id] = Recipe{ID: id, Deleted: true}
 	s.live--
 	s.version.Add(1)
+	s.notifyLocked(id, &oldCopy, nil)
 	return s.version.Load(), nil
 }
 
@@ -376,6 +447,10 @@ func (s *Store) IngredientLists(ids []int) [][]flavor.ID {
 func (s *Store) LiveIDs() []int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.liveIDsLocked()
+}
+
+func (s *Store) liveIDsLocked() []int {
 	out := make([]int, 0, s.live)
 	for i := range s.recipes {
 		if !s.recipes[i].Deleted {
@@ -400,6 +475,10 @@ func (s *Store) RegionLen(r Region) int {
 func (s *Store) Regions() []Region {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.regionsLocked()
+}
+
+func (s *Store) regionsLocked() []Region {
 	out := make([]Region, 0, len(s.byRegion))
 	for r := range s.byRegion {
 		if len(s.byRegion[r]) > 0 {
@@ -454,6 +533,10 @@ type Cuisine struct {
 func (s *Store) BuildCuisine(r Region) *Cuisine {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.buildCuisineLocked(r)
+}
+
+func (s *Store) buildCuisineLocked(r Region) *Cuisine {
 	c := &Cuisine{
 		Region:         r,
 		IngredientFreq: make(map[flavor.ID]int),

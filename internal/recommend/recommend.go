@@ -21,17 +21,49 @@ import (
 // constraints.
 var ErrNoCandidates = errors.New("recommend: no candidates")
 
-// Recommender ranks completions and substitutions against one corpus.
+// Recommender ranks completions and substitutions against one corpus
+// snapshot. It is immutable after construction and safe for concurrent
+// use; Version reports the corpus version it was built from, so serving
+// layers can rebuild it epoch-by-epoch and stamp responses with the
+// model's version.
 type Recommender struct {
 	analyzer *pairing.Analyzer
-	store    *recipedb.Store
 	catalog  *flavor.Catalog
+	version  uint64
+	// cuisines holds the per-region analytical views (plus World) as of
+	// the snapshot; a region absent from the map had no live recipes.
+	cuisines map[recipedb.Region]*recipedb.Cuisine
 }
 
-// New builds a Recommender.
+// New builds a Recommender from the store's current state under one
+// read epoch.
 func New(analyzer *pairing.Analyzer, store *recipedb.Store) *Recommender {
-	return &Recommender{analyzer: analyzer, store: store, catalog: store.Catalog()}
+	var r *Recommender
+	store.Read(func(v *recipedb.View) { r = NewFromView(analyzer, v) })
+	return r
 }
+
+// NewFromView builds a Recommender against an already-held corpus view,
+// pinning every per-region cuisine to the same (version, snapshot)
+// pair — the entry point for background rebuilds.
+func NewFromView(analyzer *pairing.Analyzer, v *recipedb.View) *Recommender {
+	r := &Recommender{
+		analyzer: analyzer,
+		catalog:  v.Catalog(),
+		version:  v.Version,
+		cuisines: make(map[recipedb.Region]*recipedb.Cuisine),
+	}
+	for _, region := range v.Regions() {
+		r.cuisines[region] = v.BuildCuisine(region)
+	}
+	if v.Len() > 0 {
+		r.cuisines[recipedb.World] = v.BuildCuisine(recipedb.World)
+	}
+	return r
+}
+
+// Version returns the corpus version the recommender was built from.
+func (r *Recommender) Version() uint64 { return r.version }
 
 // Suggestion is one ranked completion candidate.
 type Suggestion struct {
@@ -85,8 +117,8 @@ func (r *Recommender) Complete(region recipedb.Region, partial []flavor.ID, opts
 	if sign == 0 {
 		sign = 1
 	}
-	c := r.store.BuildCuisine(region)
-	if c.NumRecipes() == 0 {
+	c := r.cuisines[region]
+	if c == nil || c.NumRecipes() == 0 {
 		return nil, fmt.Errorf("recommend: region %s has no recipes", region.Code())
 	}
 	present := make(map[flavor.ID]bool, len(partial))

@@ -3,13 +3,23 @@
 // expansion. The paper's online CulinaryDB front end offers recipe
 // search; this package is the equivalent capability for the Go library
 // and the HTTP server.
+//
+// The index is live: NewLive subscribes it to the store's mutation
+// feed and maintains the posting lists incrementally under the corpus
+// write lock, so a recipe is searchable the moment its upsert is
+// acknowledged and gone the moment its delete is. After quiescing, the
+// incrementally-maintained index is byte-identical (CanonicalDump) to
+// a fresh Build of the same corpus.
 package search
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
+	"culinary/internal/flavor"
 	"culinary/internal/recipedb"
 	"culinary/internal/textproc"
 )
@@ -25,53 +35,90 @@ const (
 	ModeAll
 )
 
-// posting is one document's entry in a term's posting list.
+// posting is one document's entry in a term's posting list. Lists stay
+// doc-ascending under incremental maintenance (binary insert), the
+// same order a fresh Build produces.
 type posting struct {
 	doc int // recipe ID
 	tf  int // term frequency within the document
 }
 
-// Index is an immutable inverted index over recipe names and ingredient
-// names. Build it once; all query methods are safe for concurrent use.
+// docMeta mirrors the per-slot liveness and region of the corpus, so
+// query-time filtering never has to lock the store — which would
+// invert the store-then-index lock order the mutation path uses.
+type docMeta struct {
+	live   bool
+	region recipedb.Region
+}
+
+// Index is an inverted index over recipe names and ingredient names.
+// Built once with Build it is a static snapshot; built with NewLive it
+// tracks the store. All methods are safe for concurrent use.
 type Index struct {
-	store    *recipedb.Store
+	catalog *flavor.Catalog
+
+	mu       sync.RWMutex
+	version  uint64 // corpus version the index state reflects
 	postings map[string][]posting
-	docLen   []int // tokens per document
+	docLen   []int // tokens per document slot
+	docs     []docMeta
 	nDocs    int
 	terms    []string // sorted vocabulary, for fuzzy expansion
 }
 
-// Build indexes every recipe in the store. Document text is the recipe
-// name plus all ingredient names; tokens are normalized and singularized
-// the same way the aliasing pipeline normalizes phrases, so "Tomatoes"
-// matches recipes using "tomato".
-func Build(store *recipedb.Store) *Index {
-	// Documents are addressed by recipe slot, so a corpus reloaded
-	// with tombstoned (deleted) slots keeps doc IDs aligned with
-	// recipe IDs; tombstones contribute no postings.
-	idx := &Index{
-		store:    store,
+func newIndex(catalog *flavor.Catalog) *Index {
+	return &Index{
+		catalog:  catalog,
 		postings: make(map[string][]posting),
-		docLen:   make([]int, store.Slots()),
-		nDocs:    store.Len(),
 	}
-	catalog := store.Catalog()
-	for docID := 0; docID < store.Slots(); docID++ {
-		rec := store.Recipe(docID)
+}
+
+// Build indexes every recipe in the store as a one-shot snapshot.
+// Document text is the recipe name plus all ingredient names; tokens
+// are normalized and singularized the same way the aliasing pipeline
+// normalizes phrases, so "Tomatoes" matches recipes using "tomato".
+func Build(store *recipedb.Store) *Index {
+	idx := newIndex(store.Catalog())
+	store.Read(func(v *recipedb.View) { idx.rebuildLocked(v) })
+	return idx
+}
+
+// NewLive builds the index and subscribes it to the store's mutation
+// feed in one atomic step: no mutation can land between the initial
+// build and the first incremental application. Maintenance is
+// synchronous with the mutation (inside the corpus write lock), which
+// is what makes "acked upsert is searchable by the next request" a
+// guarantee rather than a race.
+func NewLive(store *recipedb.Store) *Index {
+	idx := newIndex(store.Catalog())
+	store.Subscribe(
+		func(v *recipedb.View) { idx.rebuildLocked(v) },
+		idx.Apply,
+	)
+	return idx
+}
+
+// rebuildLocked replaces the whole index state from a corpus view.
+// Documents are addressed by recipe slot, so a corpus with tombstoned
+// (deleted) slots keeps doc IDs aligned with recipe IDs; tombstones
+// contribute no postings. Callers hold no idx lock contention yet
+// (construction) or must not: it takes the write lock itself.
+func (idx *Index) rebuildLocked(v *recipedb.View) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	idx.postings = make(map[string][]posting)
+	idx.docLen = make([]int, v.Slots())
+	idx.docs = make([]docMeta, v.Slots())
+	idx.nDocs = v.Len()
+	idx.version = v.Version
+	for docID := 0; docID < v.Slots(); docID++ {
+		rec := v.Recipe(docID)
 		if rec.Deleted {
 			continue
 		}
+		idx.docs[docID] = docMeta{live: true, region: rec.Region}
 		counts := make(map[string]int)
-		add := func(text string) {
-			for _, tok := range tokenize(text) {
-				counts[tok]++
-				idx.docLen[docID]++
-			}
-		}
-		add(rec.Name)
-		for _, ing := range rec.Ingredients {
-			add(catalog.Ingredient(ing).Name)
-		}
+		idx.countTokens(rec, func(n int) { idx.docLen[docID] += n }, counts)
 		for term, tf := range counts {
 			idx.postings[term] = append(idx.postings[term], posting{doc: docID, tf: tf})
 		}
@@ -81,7 +128,125 @@ func Build(store *recipedb.Store) *Index {
 		idx.terms = append(idx.terms, term)
 	}
 	sort.Strings(idx.terms)
-	return idx
+}
+
+// countTokens tokenizes a recipe's document text into counts and
+// reports the token total through addLen.
+func (idx *Index) countTokens(rec *recipedb.Recipe, addLen func(int), counts map[string]int) {
+	n := 0
+	add := func(text string) {
+		for _, tok := range tokenize(text) {
+			counts[tok]++
+			n++
+		}
+	}
+	add(rec.Name)
+	for _, ing := range rec.Ingredients {
+		add(idx.catalog.Ingredient(ing).Name)
+	}
+	addLen(n)
+}
+
+// Apply folds one corpus mutation into the index. It is the store
+// subscriber: called synchronously under the corpus write lock, in
+// version order. Mutations at or below the index's version (already
+// covered by the initial build) are ignored.
+func (idx *Index) Apply(m recipedb.Mutation) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	if m.Version <= idx.version {
+		return
+	}
+	if m.Old != nil {
+		idx.removeDocLocked(m.Old)
+	}
+	if m.New != nil {
+		idx.addDocLocked(m.New)
+	}
+	idx.version = m.Version
+}
+
+// addDocLocked indexes one recipe, growing the slot tables if the
+// mutation extended the corpus (intermediate gap slots stay empty,
+// exactly as a fresh Build leaves tombstones).
+func (idx *Index) addDocLocked(rec *recipedb.Recipe) {
+	for len(idx.docLen) <= rec.ID {
+		idx.docLen = append(idx.docLen, 0)
+		idx.docs = append(idx.docs, docMeta{})
+	}
+	counts := make(map[string]int)
+	idx.countTokens(rec, func(n int) { idx.docLen[rec.ID] = n }, counts)
+	for term, tf := range counts {
+		plist, existed := idx.postings[term]
+		idx.postings[term] = insertPosting(plist, posting{doc: rec.ID, tf: tf})
+		if !existed {
+			idx.insertTermLocked(term)
+		}
+	}
+	idx.docs[rec.ID] = docMeta{live: true, region: rec.Region}
+	idx.nDocs++
+}
+
+// removeDocLocked unindexes one recipe by re-tokenizing its document
+// text — the recipe copy in the mutation preserves exactly what was
+// indexed. Terms whose posting list empties leave the vocabulary, so
+// fuzzy expansion never resurrects deleted-only terms and the
+// vocabulary matches a fresh Build byte for byte.
+func (idx *Index) removeDocLocked(rec *recipedb.Recipe) {
+	counts := make(map[string]int)
+	idx.countTokens(rec, func(int) {}, counts)
+	for term := range counts {
+		plist := removePosting(idx.postings[term], rec.ID)
+		if len(plist) == 0 {
+			delete(idx.postings, term)
+			idx.removeTermLocked(term)
+		} else {
+			idx.postings[term] = plist
+		}
+	}
+	idx.docLen[rec.ID] = 0
+	idx.docs[rec.ID] = docMeta{}
+	idx.nDocs--
+}
+
+// insertTermLocked adds a term to the sorted vocabulary slice.
+func (idx *Index) insertTermLocked(term string) {
+	i := sort.SearchStrings(idx.terms, term)
+	idx.terms = append(idx.terms, "")
+	copy(idx.terms[i+1:], idx.terms[i:])
+	idx.terms[i] = term
+}
+
+// removeTermLocked drops a term from the sorted vocabulary slice.
+func (idx *Index) removeTermLocked(term string) {
+	i := sort.SearchStrings(idx.terms, term)
+	if i < len(idx.terms) && idx.terms[i] == term {
+		idx.terms = append(idx.terms[:i], idx.terms[i+1:]...)
+	}
+}
+
+// insertPosting keeps the list doc-ascending (replacing an existing
+// entry for the same doc, which cannot happen from the mutation path
+// but keeps the operation idempotent).
+func insertPosting(list []posting, p posting) []posting {
+	i := sort.Search(len(list), func(i int) bool { return list[i].doc >= p.doc })
+	if i < len(list) && list[i].doc == p.doc {
+		list[i] = p
+		return list
+	}
+	list = append(list, posting{})
+	copy(list[i+1:], list[i:])
+	list[i] = p
+	return list
+}
+
+// removePosting drops the entry for doc, preserving order.
+func removePosting(list []posting, doc int) []posting {
+	i := sort.Search(len(list), func(i int) bool { return list[i].doc >= doc })
+	if i >= len(list) || list[i].doc != doc {
+		return list
+	}
+	return append(list[:i], list[i+1:]...)
 }
 
 // tokenize normalizes free text into index terms.
@@ -98,10 +263,27 @@ func tokenize(text string) []string {
 }
 
 // Vocabulary returns the number of distinct terms.
-func (idx *Index) Vocabulary() int { return len(idx.postings) }
+func (idx *Index) Vocabulary() int {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return len(idx.postings)
+}
 
 // DocCount returns the number of indexed recipes.
-func (idx *Index) DocCount() int { return idx.nDocs }
+func (idx *Index) DocCount() int {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.nDocs
+}
+
+// Version returns the corpus version the index currently reflects.
+// For a live index this equals the store version once the mutation
+// that produced it has returned (maintenance is synchronous).
+func (idx *Index) Version() uint64 {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.version
+}
 
 // Hit is one ranked search result.
 type Hit struct {
@@ -132,13 +314,22 @@ type Options struct {
 // Search tokenizes the query and returns ranked hits. Ties break by
 // recipe ID for determinism.
 func (idx *Index) Search(query string, opts Options) []Hit {
+	hits, _ := idx.SearchVersion(query, opts)
+	return hits
+}
+
+// SearchVersion is Search plus the corpus version the results reflect,
+// for clients that fence responses against the live corpus. The whole
+// ranking runs under one read epoch of the index, so the (hits,
+// version) pair is consistent.
+func (idx *Index) SearchVersion(query string, opts Options) ([]Hit, uint64) {
 	limit := opts.Limit
 	if limit <= 0 {
 		limit = 10
 	}
 	terms := tokenize(query)
 	if len(terms) == 0 {
-		return nil
+		return nil, idx.Version()
 	}
 	// Deduplicate query terms.
 	seen := make(map[string]struct{}, len(terms))
@@ -152,6 +343,9 @@ func (idx *Index) Search(query string, opts Options) []Hit {
 	}
 	terms = uniq
 
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+
 	type accum struct {
 		score   float64
 		matched int
@@ -160,7 +354,7 @@ func (idx *Index) Search(query string, opts Options) []Hit {
 	for _, term := range terms {
 		plist := idx.postings[term]
 		if len(plist) == 0 && opts.Fuzzy {
-			plist = idx.fuzzyPostings(term)
+			plist = idx.fuzzyPostingsLocked(term)
 		}
 		if len(plist) == 0 {
 			continue
@@ -179,25 +373,23 @@ func (idx *Index) Search(query string, opts Options) []Hit {
 	}
 
 	hits := make([]Hit, 0, len(scores))
-	// Region and tombstone checks read the live store (the corpus may
-	// have been mutated since Build) under one read epoch; filtering
-	// deleted recipes here, before the limit cut, keeps the result
-	// count full when top-ranked recipes have been deleted.
-	idx.store.Read(func(v *recipedb.View) {
-		for doc, a := range scores {
-			if opts.Mode == ModeAll && a.matched < len(terms) {
-				continue
-			}
-			rec := v.Recipe(doc)
-			if rec.Deleted {
-				continue
-			}
-			if opts.HasRegion && opts.Region != recipedb.World && rec.Region != opts.Region {
-				continue
-			}
-			hits = append(hits, Hit{RecipeID: doc, Score: a.score, Matched: a.matched})
+	// Liveness and region come from the index's own per-slot metadata,
+	// maintained in the same critical section as the postings — a live
+	// index never ranks a deleted recipe, and it never needs to lock
+	// the store at query time.
+	for doc, a := range scores {
+		if opts.Mode == ModeAll && a.matched < len(terms) {
+			continue
 		}
-	})
+		meta := idx.docs[doc]
+		if !meta.live {
+			continue
+		}
+		if opts.HasRegion && opts.Region != recipedb.World && meta.region != opts.Region {
+			continue
+		}
+		hits = append(hits, Hit{RecipeID: doc, Score: a.score, Matched: a.matched})
+	}
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Score != hits[j].Score {
 			return hits[i].Score > hits[j].Score
@@ -207,13 +399,14 @@ func (idx *Index) Search(query string, opts Options) []Hit {
 	if len(hits) > limit {
 		hits = hits[:limit]
 	}
-	return hits
+	return hits, idx.version
 }
 
-// fuzzyPostings merges the posting lists of vocabulary terms within one
-// edit of term. A shared first letter is required, which keeps the
-// candidate scan cheap and avoids absurd matches.
-func (idx *Index) fuzzyPostings(term string) []posting {
+// fuzzyPostingsLocked merges the posting lists of vocabulary terms
+// within one edit of term; callers hold idx.mu. A shared first letter
+// is required, which keeps the candidate scan cheap and avoids absurd
+// matches.
+func (idx *Index) fuzzyPostingsLocked(term string) []posting {
 	if len(term) == 0 {
 		return nil
 	}
@@ -249,6 +442,35 @@ func (idx *Index) fuzzyPostings(term string) []posting {
 	return out
 }
 
+// CanonicalDump serializes the complete index state deterministically:
+// slot tables in slot order, vocabulary in sorted-terms order, posting
+// lists exactly as stored (NOT re-sorted — so the dump also witnesses
+// the doc-ascending invariant incremental maintenance must preserve).
+// Two indexes over the same corpus state produce identical bytes; the
+// equivalence tests diff a live index against a fresh Build with it.
+func (idx *Index) CanonicalDump() []byte {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "version=%d nDocs=%d slots=%d terms=%d\n",
+		idx.version, idx.nDocs, len(idx.docLen), len(idx.terms))
+	for i := range idx.docLen {
+		m := idx.docs[i]
+		fmt.Fprintf(&b, "doc %d len=%d live=%t region=%d\n", i, idx.docLen[i], m.live, int(m.region))
+	}
+	for _, term := range idx.terms {
+		fmt.Fprintf(&b, "term %q:", term)
+		for _, p := range idx.postings[term] {
+			fmt.Fprintf(&b, " %d/%d", p.doc, p.tf)
+		}
+		b.WriteByte('\n')
+	}
+	// The map must agree with the sorted slice: any divergence is a
+	// maintenance bug the diff should surface, so record both sizes.
+	fmt.Fprintf(&b, "postings=%d\n", len(idx.postings))
+	return []byte(b.String())
+}
+
 // TermStats describes one vocabulary term for diagnostics.
 type TermStats struct {
 	Term string
@@ -262,6 +484,8 @@ type TermStats struct {
 // what dominates the corpus vocabulary (typically the staple
 // ingredients, mirroring Fig 3b's popularity ranking).
 func (idx *Index) TopTerms(k int) []TermStats {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
 	stats := make([]TermStats, 0, len(idx.postings))
 	for term, plist := range idx.postings {
 		total := 0

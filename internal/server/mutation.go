@@ -16,17 +16,14 @@ import (
 
 // Corpus mutation endpoints. Upserts and deletes flow through the
 // recipedb store, which persists each mutation to the attached storage
-// backend (when one is bound) before updating the in-memory indexes
-// and bumping the corpus version — the version fence the query
-// engine's result cache keys against, so mutations invalidate cached
-// results without any explicit sweep.
-//
-// The derived read models built at server construction (full-text
-// search index, cuisine classifier, recommender, pairing analyzer
-// snapshots) are NOT rebuilt per mutation: they describe the corpus as
-// of startup, which is the documented trade-off until online index
-// maintenance lands. The CQL engine, recipe listings and per-region
-// statistics always reflect the live corpus.
+// backend (when one is bound) before updating the in-memory indexes,
+// bumping the corpus version — the version fence the query engine's
+// result cache keys against — and notifying the mutation subscribers:
+// the search index applies the change synchronously inside the same
+// critical section (so an acked mutation is visible to the next
+// search), and the classifier/recommender rebuilders schedule a
+// debounced background rebuild. See internal/server/README.md for the
+// per-endpoint freshness contract.
 
 // upsertRequest is the POST /api/recipes body. ID is optional: absent
 // (or null) inserts a new recipe; an existing slot ID replaces that
@@ -59,13 +56,32 @@ func (s *Server) handleUpsertRecipe(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	if len(req.Ingredients) == 0 {
+		writeError(w, http.StatusUnprocessableEntity, "ingredients list is empty")
+		return
+	}
+	// Duplicates — same spelling in any case, or different spellings
+	// resolving to the same catalog entity — collapse silently to the
+	// first occurrence instead of bouncing off the store's duplicate
+	// check.
 	ids := make([]flavor.ID, 0, len(req.Ingredients))
+	seenName := make(map[string]bool, len(req.Ingredients))
+	seenID := make(map[flavor.ID]bool, len(req.Ingredients))
 	for _, name := range req.Ingredients {
+		if key := strings.ToLower(strings.TrimSpace(name)); seenName[key] {
+			continue
+		} else {
+			seenName[key] = true
+		}
 		id, ok := s.catalog.Lookup(name)
 		if !ok {
 			writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("unknown ingredient %q", name))
 			return
 		}
+		if seenID[id] {
+			continue
+		}
+		seenID[id] = true
 		ids = append(ids, id)
 	}
 	id := -1

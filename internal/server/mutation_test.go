@@ -22,10 +22,16 @@ func mutableServer(t *testing.T) (*Server, http.Handler) {
 		NullRecipes:      200,
 		Seed:             3,
 		ResultCacheBytes: 1 << 20,
+		// Negative: no background rebuild loops — tests that need the
+		// models current after a mutation call RebuildDerived, keeping
+		// freshness deterministic instead of timing-dependent.
+		ClassifierRebuildInterval:  -1,
+		RecommenderRebuildInterval: -1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	return s, s.Handler()
 }
 
@@ -92,6 +98,50 @@ func TestUpsertRecipeEndpoint(t *testing.T) {
 	})
 	if code != http.StatusNotFound {
 		t.Errorf("huge id: %d %v", code, body)
+	}
+}
+
+// TestUpsertEmptyIngredients422 pins the regression: an empty (or
+// absent) ingredients list must be an explicit structured 422, not
+// whatever the store's generic validation happens to say.
+func TestUpsertEmptyIngredients422(t *testing.T) {
+	_, h := mutableServer(t)
+	for _, body := range []map[string]interface{}{
+		{"name": "x", "region": "ITA", "source": "Epicurious", "ingredients": []string{}},
+		{"name": "x", "region": "ITA", "source": "Epicurious"},
+	} {
+		code, resp := do(t, h, "POST", "/api/recipes", body)
+		if code != http.StatusUnprocessableEntity {
+			t.Fatalf("empty ingredients %v: %d %v", body, code, resp)
+		}
+		errObj := resp["error"].(map[string]interface{})
+		if errObj["code"] != "unprocessable" {
+			t.Errorf("error code = %v, want unprocessable", errObj["code"])
+		}
+		if msg := errObj["message"].(string); msg != "ingredients list is empty" {
+			t.Errorf("message = %q", msg)
+		}
+	}
+}
+
+// TestUpsertDeduplicatesIngredients pins the regression: duplicates —
+// case variants of one spelling, or spellings resolving to the same
+// catalog entity — collapse silently instead of failing the upsert.
+func TestUpsertDeduplicatesIngredients(t *testing.T) {
+	s, h := mutableServer(t)
+	code, body := do(t, h, "POST", "/api/recipes", map[string]interface{}{
+		"name":        "deduped pasta",
+		"region":      "ITA",
+		"source":      "Epicurious",
+		"ingredients": []string{"tomato", "Tomato", "TOMATO", "garlic", " tomato ", "olive oil", "garlic"},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("deduped upsert rejected: %d %v", code, body)
+	}
+	id := int(body["id"].(float64))
+	rec := s.cfg.Store.Recipe(id)
+	if len(rec.Ingredients) != 3 {
+		t.Fatalf("stored %d ingredients, want 3 (tomato, garlic, olive oil): %v", len(rec.Ingredients), rec.Ingredients)
 	}
 }
 

@@ -31,7 +31,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req, "body must be JSON {\"region\": \"ITA\", \"ingredients\": [...]}") {
 		return
 	}
-	region, err := recipedb.ParseRegion(strings.ToUpper(req.Region))
+	region, err := recipedb.ParseRegion(req.Region)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -48,7 +48,12 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if k > 50 {
 		k = 50
 	}
-	sugs, err := s.recommender.Complete(region, ids, recommend.CompleteOptions{K: k})
+	model, modelVersion, err := s.recommender.Get()
+	if err != nil {
+		s.writeModelUnavailable(w, err)
+		return
+	}
+	sugs, err := model.Complete(region, ids, recommend.CompleteOptions{K: k})
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -67,6 +72,9 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]interface{}{
 		"region":      region.Code(),
 		"suggestions": out,
+		// modelVersion is the corpus version the recommender's cuisine
+		// snapshots were built at.
+		"modelVersion": modelVersion,
 	}
 	if len(unknown) > 0 {
 		resp["unknownIngredients"] = unknown
@@ -101,7 +109,12 @@ func (s *Server) handleSubstitute(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("anycategory"); raw == "1" || strings.EqualFold(raw, "true") {
 		opts.RequireSameCategory = false
 	}
-	subs, err := s.recommender.Substitutes(id, opts)
+	model, modelVersion, err := s.recommender.Get()
+	if err != nil {
+		s.writeModelUnavailable(w, err)
+		return
+	}
+	subs, err := model.Substitutes(id, opts)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -117,8 +130,9 @@ func (s *Server) handleSubstitute(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, map[string]interface{}{
-		"ingredient":  name,
-		"substitutes": out,
+		"ingredient":   name,
+		"substitutes":  out,
+		"modelVersion": modelVersion,
 	})
 }
 

@@ -14,8 +14,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"culinary/internal/classify"
+	"culinary/internal/derived"
 	"culinary/internal/flavor"
 	"culinary/internal/httpmw"
 	"culinary/internal/pairing"
@@ -55,6 +57,14 @@ type Config struct {
 	// in-flight gate while the result cache is cold. /api/health
 	// reports the stack's counters under "traffic".
 	Traffic *httpmw.Config
+	// ClassifierRebuildInterval debounces the classifier's background
+	// rebuilds: at most one per interval while the corpus is mutating.
+	// 0 selects derived.DefaultInterval; negative disables the
+	// background loop (rebuilds then happen only via explicit Rebuild
+	// calls — the deterministic mode tests use).
+	ClassifierRebuildInterval time.Duration
+	// RecommenderRebuildInterval is the recommender's counterpart.
+	RecommenderRebuildInterval time.Duration
 }
 
 // DefaultColdGraceMultiplier widens the load-shed gate while the
@@ -68,21 +78,31 @@ const (
 	coldCacheMinSamples        = 100
 )
 
-// Server routes API requests to the analysis stack. Construction builds
-// the search index and trains the classifier on the whole corpus, so
-// creating a Server is not free; reuse one instance.
+// Server routes API requests to the analysis stack. Every derived
+// read model is version-aware: the full-text search index is
+// maintained incrementally inside the mutation critical section (an
+// acked upsert is searchable by the next request), while the
+// classifier and recommender rebuild in the background, debounced by
+// corpus version, and stamp responses with the corpus version they
+// were built at. Construction still indexes the whole corpus, so
+// creating a Server is not free; reuse one instance and Close it when
+// done to stop the rebuild loops.
 type Server struct {
 	cfg         Config
 	catalog     *flavor.Catalog
 	index       *search.Index
 	engine      *query.Engine
-	classifier  *classify.Classifier
-	recommender *recommend.Recommender
+	classifier  *derived.Rebuilder[*classify.Classifier]
+	recommender *derived.Rebuilder[*recommend.Recommender]
 	traffic     *httpmw.Traffic
 	mux         *http.ServeMux
 }
 
-// New builds a Server and its derived indexes.
+// New builds a Server and its derived indexes. A corpus that cannot
+// train a model (empty, or only one region) is not an error: the
+// affected endpoints serve structured 503 model_unavailable until the
+// corpus supports the model, and the rebuild loop keeps trying as the
+// corpus changes.
 func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil || cfg.Analyzer == nil {
 		return nil, errors.New("server: Config needs Store and Analyzer")
@@ -91,20 +111,29 @@ func New(cfg Config) (*Server, error) {
 		cfg.NullRecipes = 2000
 	}
 	s := &Server{
-		cfg:         cfg,
-		catalog:     cfg.Store.Catalog(),
-		index:       search.Build(cfg.Store),
-		engine:      query.NewEngine(cfg.Store, cfg.Analyzer),
-		recommender: recommend.New(cfg.Analyzer, cfg.Store),
+		cfg:     cfg,
+		catalog: cfg.Store.Catalog(),
+		index:   search.NewLive(cfg.Store),
+		engine:  query.NewEngine(cfg.Store, cfg.Analyzer),
 	}
 	if cfg.ResultCacheBytes != 0 {
 		s.engine.EnableResultCache(cfg.ResultCacheBytes)
 	}
-	all := cfg.Store.LiveIDs()
-	s.classifier = classify.New()
-	if err := s.classifier.Train(cfg.Store, all); err != nil {
-		return nil, fmt.Errorf("server: training classifier: %w", err)
-	}
+	s.classifier = derived.New("classifier", cfg.Store, cfg.ClassifierRebuildInterval,
+		func(v *recipedb.View) (*classify.Classifier, error) {
+			c := classify.New()
+			if err := c.TrainView(v, v.LiveIDs()); err != nil {
+				return nil, err
+			}
+			return c, nil
+		})
+	s.recommender = derived.New("recommender", cfg.Store, cfg.RecommenderRebuildInterval,
+		func(v *recipedb.View) (*recommend.Recommender, error) {
+			if v.Len() == 0 {
+				return nil, errors.New("recommend: empty corpus")
+			}
+			return recommend.NewFromView(cfg.Analyzer, v), nil
+		})
 	if cfg.Traffic != nil {
 		tc := *cfg.Traffic
 		if tc.IsMutation == nil {
@@ -163,6 +192,42 @@ func (s *Server) coldCacheGrace() float64 {
 // was nil); the load/soak harness asserts against these via
 // /api/health.
 func (s *Server) Traffic() *httpmw.Traffic { return s.traffic }
+
+// Close stops the background model-rebuild loops. Handlers keep
+// serving the last built epoch afterwards.
+func (s *Server) Close() {
+	s.classifier.Close()
+	s.recommender.Close()
+}
+
+// RebuildDerived synchronously brings the classifier and recommender
+// up to the current corpus version — the quiesce hook tests and
+// drain paths use instead of waiting out the debounce interval.
+func (s *Server) RebuildDerived() {
+	s.classifier.Rebuild()
+	s.recommender.Rebuild()
+}
+
+// Index exposes the live search index (for equivalence checks).
+func (s *Server) Index() *search.Index { return s.index }
+
+// modelRetryAfterSeconds is the Retry-After hint on model_unavailable
+// responses: the rebuild loop retries as soon as the corpus version
+// moves, so a short client backoff suffices.
+const modelRetryAfterSeconds = 1
+
+// writeModelUnavailable maps a derived-model miss onto the structured
+// envelope: 503 model_unavailable with Retry-After. The build error
+// (e.g. "need >= 2 regions") is safe to surface — it describes corpus
+// shape, not internals.
+func (s *Server) writeModelUnavailable(w http.ResponseWriter, err error) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("derived model unavailable: %v", err)
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(modelRetryAfterSeconds))
+	httpmw.WriteError(w, http.StatusServiceUnavailable, httpmw.CodeModelUnavailable,
+		err.Error())
+}
 
 // routes registers every endpoint.
 func (s *Server) routes() {
@@ -290,6 +355,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"invalidated": rcs.Invalidated,
 		},
 	}
+	corpusVersion := s.cfg.Store.Version()
+	body["derived"] = map[string]interface{}{
+		// The search index is maintained synchronously inside the
+		// mutation critical section, so its lag is zero by
+		// construction; the version is reported so monitoring can
+		// cross-check the invariant.
+		"search": map[string]interface{}{
+			"mode":    "synchronous",
+			"version": s.index.Version(),
+			"lag":     lagBehind(corpusVersion, s.index.Version()),
+		},
+		"classifier":  derivedModelHealth(s.classifier.Stats(), corpusVersion),
+		"recommender": derivedModelHealth(s.recommender.Stats(), corpusVersion),
+	}
 	if s.traffic != nil {
 		body["traffic"] = s.traffic.Stats()
 	}
@@ -346,6 +425,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, body)
 }
 
+// lagBehind is a saturating corpus-version delta: a model built at a
+// newer version than the sampled corpus version (a mutation raced the
+// health probe) reads as zero lag, never as underflow.
+func lagBehind(corpus, model uint64) uint64 {
+	if model >= corpus {
+		return 0
+	}
+	return corpus - model
+}
+
+// derivedModelHealth shapes one rebuilder's stats for /api/health.
+func derivedModelHealth(st derived.Stats, corpusVersion uint64) map[string]interface{} {
+	return map[string]interface{}{
+		"available":    st.Available,
+		"version":      st.Version,
+		"lag":          lagBehind(corpusVersion, st.Version),
+		"rebuilds":     st.Rebuilds,
+		"failures":     st.Failures,
+		"lastError":    st.LastError,
+		"lastBuildNs":  st.LastBuild.Nanoseconds(),
+		"totalBuildNs": st.TotalBuild.Nanoseconds(),
+		"intervalMs":   st.Interval.Milliseconds(),
+	}
+}
+
 // regionSummary is one row of GET /api/regions.
 type regionSummary struct {
 	Code        string `json:"code"`
@@ -368,9 +472,10 @@ func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-// parseRegion resolves the {code} path segment.
+// parseRegion resolves the {code} path segment (ParseRegion is
+// case-insensitive, so no normalization happens here).
 func parseRegionParam(r *http.Request) (recipedb.Region, error) {
-	return recipedb.ParseRegion(strings.ToUpper(r.PathValue("code")))
+	return recipedb.ParseRegion(r.PathValue("code"))
 }
 
 func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
@@ -504,7 +609,7 @@ func (s *Server) handleRecipes(w http.ResponseWriter, r *http.Request) {
 	}
 	region := recipedb.World
 	if raw := q.Get("region"); raw != "" {
-		reg, err := recipedb.ParseRegion(strings.ToUpper(raw))
+		reg, err := recipedb.ParseRegion(raw)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
@@ -644,22 +749,25 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		opts.Limit = v
 	}
 	if raw := q.Get("region"); raw != "" {
-		region, err := recipedb.ParseRegion(strings.ToUpper(raw))
+		region, err := recipedb.ParseRegion(raw)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		opts.Region, opts.HasRegion = region, true
 	}
-	// Search filters tombstones against the live store itself.
-	hits := s.index.Search(text, opts)
+	// The index is maintained inside the mutation critical section, so
+	// these hits reflect every acked mutation; version is the corpus
+	// version the ranking observed.
+	hits, version := s.index.SearchVersion(text, opts)
 	out := make([]searchHit, len(hits))
 	for i, h := range hits {
 		out[i] = searchHit{Recipe: s.recipeJSON(s.cfg.Store.Recipe(h.RecipeID)), Score: h.Score}
 	}
 	writeJSON(w, map[string]interface{}{
-		"query": text,
-		"hits":  out,
+		"query":   text,
+		"hits":    out,
+		"version": version,
 	})
 }
 
@@ -735,7 +843,12 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	preds, err := s.classifier.Predict(ids)
+	model, modelVersion, err := s.classifier.Get()
+	if err != nil {
+		s.writeModelUnavailable(w, err)
+		return
+	}
+	preds, err := model.Predict(ids)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -753,6 +866,10 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := map[string]interface{}{
 		"predictions": out,
+		// modelVersion is the corpus version the model was trained at —
+		// the staleness fence clients compare against query/search
+		// responses' "version".
+		"modelVersion": modelVersion,
 	}
 	if len(unknown) > 0 {
 		resp["unknownIngredients"] = unknown

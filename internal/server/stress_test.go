@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"sync"
 	"testing"
+	"time"
 
 	"culinary/internal/experiments"
+	"culinary/internal/search"
 	"culinary/internal/storage"
 )
 
@@ -57,6 +60,7 @@ func TestMutationStressRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	h := srv.Handler()
 
 	const (
@@ -234,5 +238,210 @@ func TestMutationStressRace(t *testing.T) {
 	}
 	if _, ok := health["resultCache"].(map[string]interface{}); !ok {
 		t.Errorf("health lacks resultCache block: %v", health)
+	}
+}
+
+// TestDerivedStressRace is the derived-state counterpart of
+// TestMutationStressRace: writer goroutines churn the corpus through
+// the HTTP mutation endpoints while readers hammer the three derived
+// read models — full-text search (maintained synchronously inside the
+// mutation critical section), the classifier, and the recommender
+// (both rebuilding in the background on a short debounce). It asserts
+//
+//   - search freshness: every /api/search response's version is >= the
+//     corpus version sampled just before the request, and per-reader
+//     monotonic — the synchronous index never serves a stale epoch,
+//   - model-version monotonicity: /api/classify and /api/complete
+//     responses never report a modelVersion going backwards within a
+//     reader — background rebuilds install epochs in order, and
+//   - quiesced equivalence: after the storm (and a final explicit
+//     rebuild) the incrementally-maintained index is byte-identical to
+//     a fresh search.Build over the same corpus, and both models sit
+//     at exactly the corpus head with zero reported lag.
+//
+// Run under -race (CI does), it also proves the subscriber/rebuilder
+// plumbing adds no data races to the mutation path.
+func TestDerivedStressRace(t *testing.T) {
+	env, err := experiments.NewEnv(experiments.TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Store:       env.Store,
+		Analyzer:    env.Analyzer,
+		NullRecipes: 200,
+		Seed:        13,
+		// Short debounce so background rebuilds actually interleave
+		// with the mutation storm instead of waiting it out.
+		ClassifierRebuildInterval:  2 * time.Millisecond,
+		RecommenderRebuildInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+
+	const (
+		writers      = 4
+		writesPerGo  = 80
+		readers      = 4
+		readsPerGo   = 120
+		initialSlots = 64
+	)
+	if env.Store.Len() < initialSlots*2 {
+		t.Fatalf("corpus too small: %d", env.Store.Len())
+	}
+	regions := []string{"ITA", "FRA", "JPN", "INSC"}
+	ingredients := make([]string, 0, 8)
+	for i := 0; i < env.Store.Catalog().Len() && len(ingredients) < 8; i++ {
+		ingredients = append(ingredients, env.Store.Catalog().Ingredient(env.Store.Recipe(i).Ingredients[0]).Name)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+
+	post := func(path string, body interface{}) (int, map[string]interface{}) {
+		raw, _ := json.Marshal(body)
+		req := httptest.NewRequest("POST", path, bytes.NewReader(raw))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		var decoded map[string]interface{}
+		json.Unmarshal(rr.Body.Bytes(), &decoded)
+		return rr.Code, decoded
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < writesPerGo; i++ {
+				slot := (w*writesPerGo + i*7) % initialSlots
+				switch i % 3 {
+				case 0, 1:
+					code, body := post("/api/recipes", map[string]interface{}{
+						"id":          slot,
+						"name":        fmt.Sprintf("derived stress w%d i%d", w, i),
+						"region":      regions[(w+i)%len(regions)],
+						"source":      "Epicurious",
+						"ingredients": ingredients[:2+(i%3)],
+					})
+					if code != http.StatusOK && code != http.StatusCreated {
+						errs <- fmt.Errorf("writer %d: upsert slot %d: %d %v", w, slot, code, body)
+						return
+					}
+				case 2: // racing deletes may 404, which is fine
+					req := httptest.NewRequest("DELETE", fmt.Sprintf("/api/recipes/%d", slot), nil)
+					rr := httptest.NewRecorder()
+					h.ServeHTTP(rr, req)
+					if rr.Code != http.StatusOK && rr.Code != http.StatusNotFound {
+						errs <- fmt.Errorf("writer %d: delete slot %d: %d %s", w, slot, rr.Code, rr.Body)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastSearch, lastClassify, lastComplete uint64
+			for i := 0; i < readsPerGo; i++ {
+				switch i % 3 {
+				case 0: // search: synchronous, so >= the pre-request corpus version
+					start := env.Store.Version()
+					req := httptest.NewRequest("GET", "/api/search?q="+url.QueryEscape(ingredients[(r+i)%len(ingredients)]), nil)
+					rr := httptest.NewRecorder()
+					h.ServeHTTP(rr, req)
+					if rr.Code != http.StatusOK {
+						errs <- fmt.Errorf("reader %d: search %d: %d %s", r, i, rr.Code, rr.Body)
+						return
+					}
+					var body map[string]interface{}
+					json.Unmarshal(rr.Body.Bytes(), &body)
+					got := uint64(body["version"].(float64))
+					if got < start {
+						errs <- fmt.Errorf("reader %d: STALE SEARCH: version %d < %d at request start", r, got, start)
+						return
+					}
+					if got < lastSearch {
+						errs <- fmt.Errorf("reader %d: search version went backwards: %d after %d", r, got, lastSearch)
+						return
+					}
+					lastSearch = got
+				case 1: // classify: background model, version must never regress
+					code, body := post("/api/classify", map[string]interface{}{
+						"ingredients": ingredients[:2+(i%3)],
+					})
+					if code != http.StatusOK {
+						errs <- fmt.Errorf("reader %d: classify %d: %d %v", r, i, code, body)
+						return
+					}
+					got := uint64(body["modelVersion"].(float64))
+					if got < lastClassify {
+						errs <- fmt.Errorf("reader %d: classifier version went backwards: %d after %d", r, got, lastClassify)
+						return
+					}
+					lastClassify = got
+				case 2: // complete: a region can transiently empty out mid-storm (422)
+					code, body := post("/api/complete", map[string]interface{}{
+						"region":      regions[(r+i)%len(regions)],
+						"ingredients": ingredients[:2],
+					})
+					if code != http.StatusOK && code != http.StatusUnprocessableEntity {
+						errs <- fmt.Errorf("reader %d: complete %d: %d %v", r, i, code, body)
+						return
+					}
+					if code != http.StatusOK {
+						continue
+					}
+					got := uint64(body["modelVersion"].(float64))
+					if got < lastComplete {
+						errs <- fmt.Errorf("reader %d: recommender version went backwards: %d after %d", r, got, lastComplete)
+						return
+					}
+					lastComplete = got
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Quiesced equivalence: the incrementally-maintained index must be
+	// byte-identical to a fresh Build over the mutated corpus.
+	fresh := search.Build(env.Store)
+	if got, want := srv.Index().CanonicalDump(), fresh.CanonicalDump(); !bytes.Equal(got, want) {
+		t.Errorf("live index diverged from fresh Build after stress:\nlive:\n%s\nfresh:\n%s", got, want)
+	}
+
+	// After an explicit rebuild both models sit at the corpus head and
+	// health reports zero lag everywhere.
+	srv.RebuildDerived()
+	req := httptest.NewRequest("GET", "/api/health", nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	var health map[string]interface{}
+	if err := json.Unmarshal(rr.Body.Bytes(), &health); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	derivedBlock := health["derived"].(map[string]interface{})
+	for _, model := range []string{"search", "classifier", "recommender"} {
+		block := derivedBlock[model].(map[string]interface{})
+		if v := uint64(block["version"].(float64)); v != env.Store.Version() {
+			t.Errorf("%s version %d != corpus head %d after quiesce", model, v, env.Store.Version())
+		}
+		if lag := block["lag"].(float64); lag != 0 {
+			t.Errorf("%s lag %v after quiesce", model, lag)
+		}
 	}
 }
