@@ -1,0 +1,139 @@
+package culinary
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"culinary/internal/flavor"
+	"culinary/internal/recipedb"
+	"culinary/internal/storage"
+)
+
+// Writer fan-in benchmarks. The CI mutation gate runs these and
+// compares ns/op against BENCH_baseline.json:
+//
+//	go test -bench 'MutationFanIn|BulkIngest' -benchtime 2000x .
+//
+// Serial reproduces the pre-fan-in write path — every mutation's whole
+// lifecycle (validate, encode, fsync, index) behind one external mutex,
+// so writers cannot overlap and every op pays its own group commit.
+// FanIn submits the same concurrent load straight to the store, where
+// the fan-in coalesces queued writers into shared critical sections and
+// shared fsyncs. The "ops/batch" metric reports the measured
+// coalescing factor; it must exceed 1 for the multi-writer FanIn rows.
+
+// benchMutationStore builds a storage-backed store over a bounded slot
+// window so replace-heavy benchmark loops do not grow the corpus.
+func benchMutationStore(b *testing.B, window int) *recipedb.Store {
+	b.Helper()
+	store := recipedb.NewStore(benchEnv.Store.Catalog())
+	db, err := storage.Open(b.TempDir(), storage.Options{SyncEveryPut: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	store.SetBackend(db)
+	for i := 0; i < window; i++ {
+		if _, _, _, err := store.Upsert(i, fmt.Sprintf("seed %d", i), recipedb.Italy,
+			recipedb.AllRecipes, []flavor.ID{flavor.ID(i % 40), flavor.ID(40 + i%40)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return store
+}
+
+func benchMutationWriters(b *testing.B, writers int, serialize bool) {
+	const window = 512
+	store := benchMutationStore(b, window)
+	before := store.BatchStats()
+	var serialMu sync.Mutex
+	var ctr atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		share := b.N / writers
+		if w < b.N%writers {
+			share++
+		}
+		wg.Add(1)
+		go func(share int) {
+			defer wg.Done()
+			for i := 0; i < share; i++ {
+				n := ctr.Add(1)
+				slot := int(n % window)
+				ing := []flavor.ID{flavor.ID(n % 40), flavor.ID(40 + (n+1)%40)}
+				if serialize {
+					serialMu.Lock()
+				}
+				_, _, _, err := store.Upsert(slot, fmt.Sprintf("bench %d", n),
+					recipedb.France, recipedb.AllRecipes, ing)
+				if serialize {
+					serialMu.Unlock()
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(share)
+	}
+	wg.Wait()
+	b.StopTimer()
+	after := store.BatchStats()
+	if batches := after.Batches - before.Batches; batches > 0 {
+		b.ReportMetric(float64(after.Ops-before.Ops)/float64(batches), "ops/batch")
+	}
+}
+
+func BenchmarkMutationFanIn(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		serialize bool
+	}{{"Serial", true}, {"FanIn", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for _, w := range []int{1, 4, 8} {
+				b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+					benchMutationWriters(b, w, mode.serialize)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkBulkIngest measures per-recipe cost of ApplyBatch chunks —
+// the POST /api/recipes/batch hot path: one group commit and one
+// critical section per 64 recipes. ns/op is per recipe, not per batch.
+func BenchmarkBulkIngest(b *testing.B) {
+	const window = 4096
+	const chunk = 64
+	store := benchMutationStore(b, 1) // seed one slot; batches grow the window
+	b.ResetTimer()
+	applied := 0
+	for applied < b.N {
+		n := chunk
+		if b.N-applied < n {
+			n = b.N - applied
+		}
+		items := make([]recipedb.BatchItem, n)
+		for j := range items {
+			k := applied + j
+			items[j] = recipedb.BatchItem{
+				ID:     k % window,
+				Name:   fmt.Sprintf("bulk %d", k),
+				Region: recipedb.USA,
+				Source: recipedb.AllRecipes,
+				Ingredients: []flavor.ID{
+					flavor.ID(k % 40), flavor.ID(40 + (k+1)%40),
+				},
+			}
+		}
+		for j, res := range store.ApplyBatch(items) {
+			if res.Err != nil {
+				b.Fatalf("item %d: %v", j, res.Err)
+			}
+		}
+		applied += n
+	}
+}

@@ -5,11 +5,13 @@
 // responses, not an unbounded client backlog) drawn from a weighted mix
 // of traffic shapes: CQL queries, recipe/region reads, full-text
 // searches, recipe mutations (upsert + delete), mutation-then-search
-// freshness probes (searchmut), and recommender completions
-// (recommend).
+// freshness probes (searchmut), recommender completions (recommend),
+// and random-size bulk ingests through POST /api/recipes/batch with
+// per-item result validation and a freshness probe on the last item
+// (batch).
 //
 //	loadgen [-addr http://localhost:8080] [-duration 60s] [-concurrency 16]
-//	        [-mix query=35,read=25,search=15,mutation=10,searchmut=10,recommend=5]
+//	        [-mix query=35,read=25,search=15,mutation=10,searchmut=5,recommend=5,batch=5]
 //	        [-seed 1] [-out BENCH_load.json] [-name LoadSoak/mixed] [-strict]
 //
 // The run records p50/p99 latency over successful requests, throughput,
@@ -49,7 +51,7 @@ func main() {
 		addr        = flag.String("addr", "http://localhost:8080", "server base URL")
 		duration    = flag.Duration("duration", 60*time.Second, "soak length")
 		concurrency = flag.Int("concurrency", 16, "closed-loop workers")
-		mixSpec     = flag.String("mix", "query=35,read=25,search=15,mutation=10,searchmut=10,recommend=5", "traffic mix weights")
+		mixSpec     = flag.String("mix", "query=35,read=25,search=15,mutation=10,searchmut=5,recommend=5,batch=5", "traffic mix weights")
 		seed        = flag.Int64("seed", 1, "workload RNG seed")
 		out         = flag.String("out", "", "benchjson rows destination (default stdout)")
 		name        = flag.String("name", "LoadSoak/mixed", "benchmark row name prefix")
@@ -109,16 +111,17 @@ const (
 	shapeMutation  = "mutation"
 	shapeSearchMut = "searchmut" // upsert, then assert the ack is searchable
 	shapeRecommend = "recommend" // completion with modelVersion monotonicity
+	shapeBatch     = "batch"     // bulk ingest with per-item results + freshness probe
 )
 
-var shapeOrder = []string{shapeQuery, shapeRead, shapeSearch, shapeMutation, shapeSearchMut, shapeRecommend}
+var shapeOrder = []string{shapeQuery, shapeRead, shapeSearch, shapeMutation, shapeSearchMut, shapeRecommend, shapeBatch}
 
 // parseMix reads "query=40,read=30,...". Unknown shapes are errors;
 // omitted shapes get weight 0; the total must be positive.
 func parseMix(spec string) (map[string]int, error) {
 	mix := map[string]int{
 		shapeQuery: 0, shapeRead: 0, shapeSearch: 0, shapeMutation: 0,
-		shapeSearchMut: 0, shapeRecommend: 0,
+		shapeSearchMut: 0, shapeRecommend: 0, shapeBatch: 0,
 	}
 	total := 0
 	for _, part := range strings.Split(spec, ",") {
@@ -463,6 +466,8 @@ func (w *worker) run(stop time.Time) {
 			w.searchMut()
 		case shapeRecommend:
 			w.recommend()
+		case shapeBatch:
+			w.batchIngest()
 		}
 	}
 }
@@ -649,6 +654,119 @@ func (w *worker) recommend() {
 		return
 	}
 	w.lastModelVersion = resp.ModelVersion
+}
+
+// batchIngest POSTs a random-size bulk ingest and validates the
+// per-item result contract: one result per request item, every status
+// from the documented set, applied items carrying an id — any drift is
+// an envelope violation. Since every generated item is valid, a
+// rejected item is a violation too. The last item's name carries a
+// unique token, and — like searchmut — if the batch was acked, the very
+// next search for that token must return the acked ID: the synchronous
+// freshness contract covers coalesced batches exactly as it covers
+// single upserts.
+func (w *worker) batchIngest() {
+	size := 2 + w.rng.Intn(7)
+	recipes := make([]map[string]interface{}, size)
+	var token string
+	for i := range recipes {
+		w.seq++
+		n := 2 + w.rng.Intn(3)
+		seen := map[string]bool{}
+		var ings []string
+		for len(ings) < n {
+			ing := w.ingredient()
+			if !seen[ing] {
+				seen[ing] = true
+				ings = append(ings, ing)
+			}
+		}
+		name := fmt.Sprintf("loadgen bulk w%d #%d", w.id, w.seq)
+		if i == size-1 {
+			token = "zzbulk" + alphaToken(w.id) + "q" + alphaToken(w.seq)
+			name = token + " probe"
+		}
+		recipes[i] = map[string]interface{}{
+			"name":        name,
+			"region":      w.region(),
+			"source":      w.info.sources[w.rng.Intn(len(w.info.sources))],
+			"ingredients": ings,
+		}
+	}
+	status, raw := w.do("POST", "/api/recipes/batch", map[string]interface{}{"recipes": recipes})
+	if status != http.StatusOK {
+		return // shed or degraded; already classified by do
+	}
+	var resp struct {
+		Applied int `json:"applied"`
+		Results []struct {
+			Index   int    `json:"index"`
+			Status  string `json:"status"`
+			ID      *int   `json:"id"`
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		w.rep.EnvelopeViolations++
+		w.note("batch: unparseable response: %.200s", raw)
+		return
+	}
+	if len(resp.Results) != size {
+		w.rep.EnvelopeViolations++
+		w.note("batch: %d items answered with %d results", size, len(resp.Results))
+		return
+	}
+	probeID := -1
+	for i, res := range resp.Results {
+		switch res.Status {
+		case "created", "replaced", "kept":
+			if res.ID == nil {
+				w.rep.EnvelopeViolations++
+				w.note("batch: %s result %d lacks an id", res.Status, i)
+				continue
+			}
+			if res.Status == "created" {
+				w.created = append(w.created, *res.ID)
+			}
+			if i == size-1 {
+				probeID = *res.ID
+			}
+		case "rejected":
+			w.rep.EnvelopeViolations++
+			w.note("batch: valid item %d rejected: %s %s", i, res.Code, res.Message)
+		default:
+			w.rep.EnvelopeViolations++
+			w.note("batch: result %d has unknown status %q", i, res.Status)
+		}
+	}
+	if probeID < 0 {
+		return
+	}
+
+	st, sraw := w.do("GET", "/api/search?q="+token+"&limit=50", nil)
+	if st != http.StatusOK {
+		return // search shed; freshness unobservable this round
+	}
+	var sr struct {
+		Hits []struct {
+			Recipe struct {
+				ID int `json:"id"`
+			} `json:"recipe"`
+		} `json:"hits"`
+	}
+	if err := json.Unmarshal(sraw, &sr); err != nil {
+		w.rep.FreshnessViolations++
+		w.note("batch: unparseable search body for %q: %.200s", token, sraw)
+		return
+	}
+	for _, h := range sr.Hits {
+		if h.Recipe.ID == probeID {
+			return
+		}
+	}
+	w.rep.FreshnessViolations++
+	w.note("batch: acked recipe %d missing from next search for %q (%d hits)", probeID, token, len(sr.Hits))
 }
 
 // do issues one request, classifies the response, and validates the

@@ -110,6 +110,8 @@ func main() {
 		clsRebuild = flag.Duration("classifier-rebuild-interval", 2*time.Second, "max classifier staleness under mutation: at most one background retrain per interval")
 		recRebuild = flag.Duration("recommender-rebuild-interval", 2*time.Second, "max recommender staleness under mutation: at most one background rebuild per interval")
 
+		maxBatch = flag.Int("max-batch-items", server.DefaultMaxBatchItems, "recipe count cap for one POST /api/recipes/batch request (negative disables)")
+
 		maxBody    = flag.Int64("max-body-bytes", 1<<20, "request body size cap; oversized bodies get a structured 413 (0 disables)")
 		readRPS    = flag.Float64("rate-limit-rps", 500, "per-IP rate limit for read traffic, requests/second (burst 2x; 0 disables)")
 		mutRPS     = flag.Float64("rate-limit-mutation-rps", 100, "per-IP rate limit for corpus mutations, requests/second (burst 2x; 0 disables)")
@@ -163,6 +165,7 @@ func main() {
 		ResultCacheBytes:           *resCache,
 		ClassifierRebuildInterval:  *clsRebuild,
 		RecommenderRebuildInterval: *recRebuild,
+		MaxBatchItems:              *maxBatch,
 		Traffic: &httpmw.Config{
 			ReadRPS:        *readRPS,
 			ReadBurst:      *readRPS * 2,

@@ -103,11 +103,12 @@ func New[T any](name string, store *recipedb.Store, interval time.Duration, buil
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
-	store.Subscribe(
+	store.SubscribeBatch(
 		func(v *recipedb.View) { r.rebuildFromView(v) },
-		func(recipedb.Mutation) {
-			// Non-blocking: one pending nudge is enough, the loop
-			// re-reads the live version when it wakes.
+		func([]recipedb.Mutation) {
+			// One nudge per coalesced batch, non-blocking: one pending
+			// nudge is enough, the loop re-reads the live version when
+			// it wakes.
 			select {
 			case r.nudge <- struct{}{}:
 			default:

@@ -1,0 +1,568 @@
+package recipedb
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"culinary/internal/flavor"
+)
+
+// Writer fan-in. Mutations no longer run their whole lifecycle under
+// the corpus write lock: a writer packages its operations into writeOps
+// and races for the write token. Whoever wins becomes the leader for
+// every op queued at that moment — it validates, assigns slots and
+// encodes records against a read snapshot (no exclusive lock), persists
+// the whole group through one backend batch (one storage group commit
+// when the backend supports it), then takes the write lock once to
+// apply all slot and posting-list updates, publish one version bump,
+// and deliver one subscriber notification batch. Writers that arrive
+// while a group is in flight pile into the next group, so the exclusive
+// lock and the backend fsync amortize across concurrent callers.
+//
+// Coherence argument: only the token holder mutates corpus state, so
+// the read snapshot the leader plans against is exactly the state its
+// exclusive-lock apply phase will observe — no other writer can
+// interleave between plan and apply. Ops within a group are planned
+// against an overlay that layers earlier in-group ops over that
+// snapshot, which makes a batch byte-equivalent to applying the same
+// ops sequentially: same slot assignment, same version sequence, same
+// posting lists, same persisted keys.
+
+// BatchBackend is an optional Backend extension: a backend that can
+// persist several mutations through one group-commit round. The
+// returned slice aligns with the inputs; a mid-batch storage fault
+// yields per-record errors (the durable prefix nil, the rest failed).
+// *storage.Store satisfies it via WriteBatch.
+type BatchBackend interface {
+	Backend
+	WriteBatch(keys []string, values [][]byte, tombstones []bool) []error
+}
+
+// Outcome classifies what a batch item did to the corpus.
+type Outcome uint8
+
+const (
+	// OutcomeRejected: the item failed validation (or a persistence
+	// fault); the corpus is untouched by it.
+	OutcomeRejected Outcome = iota
+	// OutcomeCreated: a new live recipe occupies the slot.
+	OutcomeCreated
+	// OutcomeReplaced: the slot's previous live recipe was displaced.
+	OutcomeReplaced
+	// OutcomeKept: the item was byte-identical to the slot's live
+	// recipe; nothing was written (batch ingest only).
+	OutcomeKept
+	// OutcomeRemoved: the slot was tombstoned.
+	OutcomeRemoved
+)
+
+// String returns the wire spelling used by the batch endpoint.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCreated:
+		return "created"
+	case OutcomeReplaced:
+		return "replaced"
+	case OutcomeKept:
+		return "kept"
+	case OutcomeRemoved:
+		return "removed"
+	default:
+		return "rejected"
+	}
+}
+
+// BatchItem is one operation of an ApplyBatch call.
+type BatchItem struct {
+	// Remove tombstones slot ID instead of upserting.
+	Remove bool
+	// ID addresses a slot; for upserts, -1 assigns the next free one.
+	ID int
+
+	Name        string
+	Region      Region
+	Source      Source
+	Ingredients []flavor.ID
+}
+
+// BatchResult reports one item's outcome. Err is nil exactly when the
+// item was applied (or kept); validation failures wrap ErrValidation
+// or ErrNoRecipe, persistence failures wrap the backend error.
+type BatchResult struct {
+	// ID is the slot the item resolved to (upserts with ID -1 learn
+	// their assignment here).
+	ID int
+	// Version is the corpus version the item produced; a kept item
+	// reports the version it was verified against.
+	Version uint64
+	Outcome Outcome
+	Err     error
+}
+
+// ApplyBatch applies the items as one coalesced group: one write
+// critical section, one version publication, one subscriber batch, one
+// backend group commit. Items apply in order with all-or-nothing
+// semantics per item — an invalid item is rejected in place while its
+// neighbors proceed, exactly as if the items had been applied
+// sequentially. Upsert items that are byte-identical to the slot's
+// current live recipe are skipped as OutcomeKept. The returned slice
+// aligns with items.
+func (s *Store) ApplyBatch(items []BatchItem) []BatchResult {
+	if len(items) == 0 {
+		return nil
+	}
+	ops := make([]*writeOp, len(items))
+	for i, it := range items {
+		ops[i] = &writeOp{
+			remove: it.Remove,
+			id:     it.ID,
+			name:   it.Name,
+			region: it.Region,
+			source: it.Source,
+			// Copy: the caller may reuse its slice after we return.
+			ingredients: append([]flavor.ID(nil), it.Ingredients...),
+			dedupe:      true,
+		}
+	}
+	s.submitOps(ops)
+	out := make([]BatchResult, len(items))
+	for i, op := range ops {
+		out[i] = BatchResult{ID: op.outID, Version: op.version, Outcome: op.outcome, Err: op.err}
+	}
+	return out
+}
+
+// writeOp is one mutation inside a write group.
+type writeOp struct {
+	remove      bool
+	id          int
+	name        string
+	region      Region
+	source      Source
+	ingredients []flavor.ID // writer's private copy
+	// dedupe skips byte-identical upserts (OutcomeKept). Batch-ingest
+	// items opt in; single Upsert keeps its always-write semantics.
+	dedupe bool
+
+	// Leader planning state.
+	rec        Recipe // the recipe to install (upserts)
+	persistIdx int    // index into the group's backend arrays; -1 none
+	// keptAfter, for a kept op, is the in-group predecessor whose write
+	// produced the state the op was deduplicated against; if that write
+	// fails to persist the dedup premise is gone and the op fails too.
+	keptAfter *writeOp
+
+	// Outcome.
+	outID   int
+	version uint64
+	outcome Outcome
+	err     error
+}
+
+// writeGroup is a batch of ops applied by one leader.
+type writeGroup struct {
+	ops  []*writeOp
+	done chan struct{}
+}
+
+// submitOps drives ops through the fan-in and returns once some leader
+// (possibly this goroutine) has applied the group containing them. The
+// protocol mirrors the storage engine's group commit (storage/commit.go
+// submit): leader fast path with an adaptive yield so writers made
+// runnable by the previous apply can join this group, follower path
+// that queues and races for the token in case the current leader's
+// group detached before these ops joined.
+func (s *Store) submitOps(ops []*writeOp) {
+	select {
+	case s.wtok <- struct{}{}:
+		if s.wgrouping {
+			runtime.Gosched()
+		}
+		s.wpendMu.Lock()
+		g := s.wpending
+		s.wpending = nil
+		if g == nil {
+			g = &writeGroup{} // solo group: nobody to signal
+		}
+		g.ops = append(g.ops, ops...)
+		s.wpendMu.Unlock()
+		s.wgrouping = len(g.ops) > len(ops)
+		s.applyGroup(g)
+		if g.done != nil {
+			close(g.done)
+		}
+		<-s.wtok
+		return
+	default:
+	}
+
+	s.wpendMu.Lock()
+	g := s.wpending
+	if g == nil {
+		g = &writeGroup{done: make(chan struct{})}
+		s.wpending = g
+	}
+	g.ops = append(g.ops, ops...)
+	s.wpendMu.Unlock()
+
+	select {
+	case s.wtok <- struct{}{}:
+		s.applyNext()
+		<-s.wtok
+	case <-g.done:
+	}
+	<-g.done
+}
+
+// applyNext detaches the pending group and applies it. Caller holds
+// the write token; reaching this path means the token was contended,
+// so future leaders should pause for company.
+func (s *Store) applyNext() {
+	s.wgrouping = true
+	s.wpendMu.Lock()
+	g := s.wpending
+	s.wpending = nil
+	s.wpendMu.Unlock()
+	if g == nil {
+		return
+	}
+	s.applyGroup(g)
+	close(g.done)
+}
+
+// applyGroup runs one group through plan → persist → commit. Caller
+// holds the write token, so this is the only goroutine mutating corpus
+// state — the invariant the three-phase split relies on.
+func (s *Store) applyGroup(g *writeGroup) {
+	keys, values, tombs := s.planGroup(g)
+	s.persistGroup(g, keys, values, tombs)
+	s.commitGroup(g)
+	s.bstats.note(len(g.ops))
+}
+
+// planGroup validates every op, assigns slots, detects kept items and
+// encodes the backend records, all against a read snapshot layered with
+// the effects of earlier in-group ops. Returns the backend write set.
+func (s *Store) planGroup(g *writeGroup) (keys []string, values [][]byte, tombs []bool) {
+	s.mu.RLock()
+	slots := len(s.recipes)
+	// overlay maps slots touched by earlier in-group ops to their
+	// post-op content (nil = tombstoned); lastWriter tracks which op
+	// produced that content, for kept-dependency accounting.
+	overlay := make(map[int]*Recipe)
+	lastWriter := make(map[int]*writeOp)
+	curLive := func(id int) *Recipe {
+		if r, touched := overlay[id]; touched {
+			return r
+		}
+		if id >= 0 && id < len(s.recipes) && !s.recipes[id].Deleted {
+			return &s.recipes[id]
+		}
+		return nil
+	}
+	for _, op := range g.ops {
+		op.persistIdx = -1
+		if op.remove {
+			if op.id < 0 || op.id >= slots || curLive(op.id) == nil {
+				op.err = fmt.Errorf("%w: id %d", ErrNoRecipe, op.id)
+				continue
+			}
+			op.outID = op.id
+			op.outcome = OutcomeRemoved
+			overlay[op.id] = nil
+			lastWriter[op.id] = op
+			if s.persist != nil {
+				keys = append(keys, RecipeKey(op.id))
+				values = append(values, nil)
+				tombs = append(tombs, true)
+				op.persistIdx = len(keys) - 1
+			}
+			continue
+		}
+		if err := s.validate(op.name, op.region, op.source, op.ingredients); err != nil {
+			op.err = err
+			continue
+		}
+		id := op.id
+		if id < 0 {
+			id = slots // next free slot, counting in-group extensions
+		}
+		if id >= slots {
+			slots = id + 1
+		}
+		op.outID = id
+		rec := Recipe{
+			ID: id, Name: op.name, Region: op.region, Source: op.source,
+			Ingredients: op.ingredients,
+		}
+		cur := curLive(id)
+		if op.dedupe && cur != nil && recipeEqual(cur, &rec) {
+			op.outcome = OutcomeKept
+			op.keptAfter = lastWriter[id]
+			continue
+		}
+		op.rec = rec
+		if cur == nil {
+			op.outcome = OutcomeCreated
+		} else {
+			op.outcome = OutcomeReplaced
+		}
+		overlay[id] = &op.rec
+		lastWriter[id] = op
+		if s.persist != nil {
+			keys = append(keys, RecipeKey(id))
+			values = append(values, EncodeRecipe(&rec))
+			tombs = append(tombs, false)
+			op.persistIdx = len(keys) - 1
+		}
+	}
+	s.mu.RUnlock()
+	return keys, values, tombs
+}
+
+// persistGroup writes the group's records through the backend before
+// any in-memory state changes (write-through: a failed write leaves the
+// corpus untouched for exactly the ops it failed). One BatchBackend
+// round when available, else per-op writes.
+func (s *Store) persistGroup(g *writeGroup, keys []string, values [][]byte, tombs []bool) {
+	if s.persist == nil || len(keys) == 0 {
+		return
+	}
+	if bb, ok := s.persist.(BatchBackend); ok {
+		errs := bb.WriteBatch(keys, values, tombs)
+		for _, op := range g.ops {
+			if op.persistIdx >= 0 && errs[op.persistIdx] != nil {
+				op.err = wrapPersistError(op, errs[op.persistIdx])
+			}
+		}
+	} else {
+		for _, op := range g.ops {
+			if op.persistIdx < 0 {
+				continue
+			}
+			var err error
+			if tombs[op.persistIdx] {
+				err = s.persist.Delete(keys[op.persistIdx])
+			} else {
+				err = s.persist.Put(keys[op.persistIdx], values[op.persistIdx])
+			}
+			if err != nil {
+				op.err = wrapPersistError(op, err)
+			}
+		}
+	}
+	// A kept op deduplicated against an in-group write that failed: its
+	// premise ("the slot already holds these bytes") is gone, so it
+	// fails with the same cause rather than acking silently.
+	for _, op := range g.ops {
+		if op.err == nil && op.outcome == OutcomeKept && op.keptAfter != nil && op.keptAfter.err != nil {
+			op.err = op.keptAfter.err
+			op.outcome = OutcomeRejected
+		}
+	}
+}
+
+// wrapPersistError keeps the per-op error spelling of the old
+// write-through path, so callers' errors.Is chains (ErrWriteWedged,
+// ENOSPC, ...) keep resolving through the wrap.
+func wrapPersistError(op *writeOp, err error) error {
+	if op.remove {
+		return fmt.Errorf("recipedb: deleting recipe %d: %w", op.outID, err)
+	}
+	return fmt.Errorf("recipedb: persisting recipe %d: %w", op.outID, err)
+}
+
+// commitGroup takes the write lock once and applies every surviving op
+// in order: slot and posting-list updates, per-mutation versions, one
+// atomic version publication, one subscriber notification batch. The
+// live corpus is authoritative here — an op whose in-group predecessor
+// failed to persist re-fails its precondition check instead of applying
+// against state that never materialized.
+func (s *Store) commitGroup(g *writeGroup) {
+	s.mu.Lock()
+	base := s.version.Load()
+	v := base
+	var muts []Mutation
+	for _, op := range g.ops {
+		if op.err != nil {
+			op.outcome = OutcomeRejected
+			continue
+		}
+		if op.outcome == OutcomeKept {
+			op.version = v
+			continue
+		}
+		if op.remove {
+			if op.outID >= len(s.recipes) || s.recipes[op.outID].Deleted {
+				op.err = fmt.Errorf("%w: id %d", ErrNoRecipe, op.outID)
+				op.outcome = OutcomeRejected
+				continue
+			}
+			oldCopy := s.recipes[op.outID]
+			s.unindexLocked(&s.recipes[op.outID])
+			s.recipes[op.outID] = Recipe{ID: op.outID, Deleted: true}
+			s.live--
+			v++
+			op.version = v
+			muts = append(muts, Mutation{Version: v, ID: op.outID, Old: &oldCopy})
+			continue
+		}
+		id := op.outID
+		for len(s.recipes) < id { // gap slots stay tombstoned
+			s.recipes = append(s.recipes, Recipe{ID: len(s.recipes), Deleted: true})
+		}
+		var displaced *Recipe
+		op.outcome = OutcomeCreated
+		if id == len(s.recipes) {
+			s.recipes = append(s.recipes, op.rec)
+			s.live++
+		} else {
+			if old := &s.recipes[id]; !old.Deleted {
+				oldCopy := *old
+				displaced = &oldCopy
+				s.unindexLocked(old)
+				op.outcome = OutcomeReplaced
+			} else {
+				s.live++
+			}
+			s.recipes[id] = op.rec
+		}
+		s.indexLocked(&s.recipes[id])
+		v++
+		op.version = v
+		newCopy := s.recipes[id]
+		muts = append(muts, Mutation{Version: v, ID: id, Old: displaced, New: &newCopy})
+	}
+	if v != base {
+		s.version.Store(v)
+	}
+	s.notifyLocked(muts)
+	s.mu.Unlock()
+}
+
+// recipeEqual reports content equality (everything but the slot ID,
+// which both sides already share when this is called).
+func recipeEqual(a, b *Recipe) bool {
+	if a.Name != b.Name || a.Region != b.Region || a.Source != b.Source ||
+		a.Deleted != b.Deleted || len(a.Ingredients) != len(b.Ingredients) {
+		return false
+	}
+	for i := range a.Ingredients {
+		if a.Ingredients[i] != b.Ingredients[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// batchStats tracks write-group coalescing for /api/health: group
+// count, op count, the max group size, and a ring of recent sizes for
+// the p50.
+type batchStats struct {
+	mu      sync.Mutex
+	batches uint64
+	ops     uint64
+	// coalesced counts groups that carried more than one op — the
+	// number the fan-in exists to make nonzero under concurrency.
+	coalesced uint64
+	max       int
+	recent    [256]int
+	recentN   int // total notes, for ring occupancy
+}
+
+func (b *batchStats) note(n int) {
+	b.mu.Lock()
+	b.batches++
+	b.ops += uint64(n)
+	if n > 1 {
+		b.coalesced++
+	}
+	if n > b.max {
+		b.max = n
+	}
+	b.recent[b.recentN%len(b.recent)] = n
+	b.recentN++
+	b.mu.Unlock()
+}
+
+// BatchStats is a snapshot of write-group coalescing.
+type BatchStats struct {
+	// Batches is the number of write groups applied (each cost one
+	// critical section, one version publication, one group commit).
+	Batches uint64
+	// Ops is the number of mutations those groups carried.
+	Ops uint64
+	// Coalesced is the number of groups carrying more than one op.
+	Coalesced uint64
+	// MaxBatch is the largest group seen; P50Batch the median size of
+	// the most recent groups (up to 256).
+	MaxBatch int
+	P50Batch int
+}
+
+// BatchStats returns the fan-in coalescing counters.
+func (s *Store) BatchStats() BatchStats {
+	b := &s.bstats
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := BatchStats{
+		Batches:   b.batches,
+		Ops:       b.ops,
+		Coalesced: b.coalesced,
+		MaxBatch:  b.max,
+	}
+	n := b.recentN
+	if n > len(b.recent) {
+		n = len(b.recent)
+	}
+	if n > 0 {
+		sizes := append([]int(nil), b.recent[:n]...)
+		sort.Ints(sizes)
+		out.P50Batch = sizes[n/2]
+	}
+	return out
+}
+
+// CanonicalDump serializes the complete corpus state — version, slot
+// layout, per-slot content, and both posting-list families — in a
+// deterministic text form, so equivalence tests can assert that a
+// batched application is byte-identical to a sequential one.
+func (s *Store) CanonicalDump() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "version=%d live=%d slots=%d\n", s.version.Load(), s.live, len(s.recipes))
+	for i := range s.recipes {
+		r := &s.recipes[i]
+		if r.Deleted {
+			fmt.Fprintf(&b, "slot %d: tombstone\n", i)
+			continue
+		}
+		fmt.Fprintf(&b, "slot %d: %q region=%d source=%d ingredients=%v\n",
+			i, r.Name, r.Region, r.Source, r.Ingredients)
+	}
+	regions := make([]Region, 0, len(s.byRegion))
+	for r := range s.byRegion {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	for _, r := range regions {
+		if len(s.byRegion[r]) > 0 {
+			fmt.Fprintf(&b, "region %d: %v\n", r, s.byRegion[r])
+		}
+	}
+	ings := make([]flavor.ID, 0, len(s.byIngredient))
+	for id := range s.byIngredient {
+		ings = append(ings, id)
+	}
+	sort.Slice(ings, func(i, j int) bool { return ings[i] < ings[j] })
+	for _, id := range ings {
+		if len(s.byIngredient[id]) > 0 {
+			fmt.Fprintf(&b, "ingredient %d: %v\n", id, s.byIngredient[id])
+		}
+	}
+	return b.String()
+}

@@ -80,10 +80,28 @@ type Mutation struct {
 // init sees a consistent corpus snapshot and no mutation between that
 // snapshot and the first fn delivery can be missed — the gap a
 // derived index would otherwise have to re-scan for. Subscribers run
-// synchronously inside Upsert/Remove, so fn must be fast, must not
-// call back into the Store, and must do its own locking against the
-// subscriber's readers. init may be nil.
+// synchronously inside the mutation critical section, so fn must be
+// fast, must not call back into the Store, and must do its own locking
+// against the subscriber's readers. init may be nil.
+//
+// When a write batch coalesces several mutations, fn is called once
+// per mutation in version order; subscribers that can amortize
+// per-batch work (one lock acquisition, one rebuild nudge) should use
+// SubscribeBatch instead.
 func (s *Store) Subscribe(init func(v *View), fn func(Mutation)) {
+	s.SubscribeBatch(init, func(ms []Mutation) {
+		for _, m := range ms {
+			fn(m)
+		}
+	})
+}
+
+// SubscribeBatch is Subscribe for batch-aware consumers: fn receives
+// every mutation of one coalesced write batch in a single call, still
+// synchronously inside the mutation critical section and in version
+// order (ms is sorted by Version, and successive calls never overlap
+// or reorder). A single-item write delivers a one-element batch.
+func (s *Store) SubscribeBatch(init func(v *View), fn func(ms []Mutation)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if init != nil {
@@ -92,15 +110,15 @@ func (s *Store) Subscribe(init func(v *View), fn func(Mutation)) {
 	s.subs = append(s.subs, fn)
 }
 
-// notifyLocked delivers a mutation to every subscriber; callers hold
-// s.mu exclusively and have already bumped the version.
-func (s *Store) notifyLocked(id int, old, new *Recipe) {
-	if len(s.subs) == 0 {
+// notifyLocked delivers one batch of mutations to every subscriber;
+// callers hold s.mu exclusively and have already published the final
+// batch version.
+func (s *Store) notifyLocked(ms []Mutation) {
+	if len(ms) == 0 {
 		return
 	}
-	m := Mutation{Version: s.version.Load(), ID: id, Old: old, New: new}
 	for _, fn := range s.subs {
-		fn(m)
+		fn(ms)
 	}
 }
 
@@ -127,8 +145,19 @@ type Store struct {
 
 	// subs are mutation subscribers, notified synchronously under the
 	// write lock so derived state observes mutations in version order
-	// and is current before the mutation is acknowledged.
-	subs []func(Mutation)
+	// and is current before the mutation is acknowledged. Each receives
+	// one call per coalesced write batch.
+	subs []func([]Mutation)
+
+	// Writer fan-in (batch.go): writers queue ops into wpending and
+	// race for wtok; the winner plans, persists and applies the whole
+	// group. wgrouping is leader-private state (serialized by the
+	// token), bstats is the coalescing telemetry for /api/health.
+	wtok      chan struct{}
+	wpendMu   sync.Mutex
+	wpending  *writeGroup
+	wgrouping bool
+	bstats    batchStats
 }
 
 // NewStore creates an empty store bound to an ingredient catalog.
@@ -137,13 +166,15 @@ func NewStore(catalog *flavor.Catalog) *Store {
 		catalog:      catalog,
 		byRegion:     make(map[Region][]int),
 		byIngredient: make(map[flavor.ID][]int),
+		wtok:         make(chan struct{}, 1),
 	}
 }
 
 // SetBackend attaches a persistence backend. Subsequent mutations
-// write through to it before updating the in-memory corpus. Writes
-// serialize behind the corpus lock (one at a time, so they cannot form
-// storage group-commit batches; see the ROADMAP batching follow-up).
+// write through to it before updating the in-memory corpus. Writers
+// that arrive concurrently coalesce into one backend batch (see
+// batch.go); a Backend that also implements BatchBackend persists the
+// whole group through one storage group commit.
 func (s *Store) SetBackend(b Backend) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -277,72 +308,32 @@ func (s *Store) Add(name string, region Region, source Source, ingredients []fla
 // tombstoned); id >= Slots() extends the corpus, tombstoning any
 // intermediate slots — the sparse-snapshot reload path. When a Backend
 // is attached the mutation is persisted first; a persistence error
-// leaves the in-memory corpus unchanged.
+// leaves the in-memory corpus unchanged. Concurrent callers coalesce
+// through the writer fan-in (batch.go) into one critical section and
+// one backend group commit.
 func (s *Store) Upsert(id int, name string, region Region, source Source, ingredients []flavor.ID) (int, uint64, bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.validate(name, region, source, ingredients); err != nil {
-		return 0, 0, false, err
+	op := &writeOp{
+		id: id, name: name, region: region, source: source,
+		ingredients: append([]flavor.ID(nil), ingredients...),
 	}
-	if id < 0 {
-		id = len(s.recipes)
+	s.submitOps([]*writeOp{op})
+	if op.err != nil {
+		return 0, 0, false, op.err
 	}
-	rec := Recipe{
-		ID: id, Name: name, Region: region, Source: source,
-		Ingredients: append([]flavor.ID(nil), ingredients...),
-	}
-	if s.persist != nil {
-		if err := s.persist.Put(RecipeKey(id), EncodeRecipe(&rec)); err != nil {
-			return 0, 0, false, fmt.Errorf("recipedb: persisting recipe %d: %w", id, err)
-		}
-	}
-	for len(s.recipes) < id { // gap slots stay tombstoned
-		s.recipes = append(s.recipes, Recipe{ID: len(s.recipes), Deleted: true})
-	}
-	created := true
-	var displaced *Recipe
-	if id == len(s.recipes) {
-		s.recipes = append(s.recipes, rec)
-		s.live++
-	} else {
-		if old := &s.recipes[id]; !old.Deleted {
-			oldCopy := *old
-			displaced = &oldCopy
-			s.unindexLocked(old)
-			created = false
-		} else {
-			s.live++
-		}
-		s.recipes[id] = rec
-	}
-	s.indexLocked(&s.recipes[id])
-	s.version.Add(1)
-	newCopy := s.recipes[id]
-	s.notifyLocked(id, displaced, &newCopy)
-	return id, s.version.Load(), created, nil
+	return op.outID, op.version, op.outcome == OutcomeCreated, nil
 }
 
 // Remove tombstones the recipe in slot id and returns the new corpus
 // version. The slot stays reserved so later recipe IDs keep their
-// meaning. Persistence, when attached, happens first.
+// meaning. Persistence, when attached, happens first. Like Upsert,
+// concurrent Removes coalesce through the writer fan-in.
 func (s *Store) Remove(id int) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if id < 0 || id >= len(s.recipes) || s.recipes[id].Deleted {
-		return 0, fmt.Errorf("%w: id %d", ErrNoRecipe, id)
+	op := &writeOp{remove: true, id: id}
+	s.submitOps([]*writeOp{op})
+	if op.err != nil {
+		return 0, op.err
 	}
-	if s.persist != nil {
-		if err := s.persist.Delete(RecipeKey(id)); err != nil {
-			return 0, fmt.Errorf("recipedb: deleting recipe %d: %w", id, err)
-		}
-	}
-	oldCopy := s.recipes[id]
-	s.unindexLocked(&s.recipes[id])
-	s.recipes[id] = Recipe{ID: id, Deleted: true}
-	s.live--
-	s.version.Add(1)
-	s.notifyLocked(id, &oldCopy, nil)
-	return s.version.Load(), nil
+	return op.version, nil
 }
 
 // indexLocked adds rec's ID to the region and ingredient posting

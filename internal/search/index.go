@@ -91,9 +91,9 @@ func Build(store *recipedb.Store) *Index {
 // guarantee rather than a race.
 func NewLive(store *recipedb.Store) *Index {
 	idx := newIndex(store.Catalog())
-	store.Subscribe(
+	store.SubscribeBatch(
 		func(v *recipedb.View) { idx.rebuildLocked(v) },
-		idx.Apply,
+		idx.ApplyBatch,
 	)
 	return idx
 }
@@ -147,23 +147,34 @@ func (idx *Index) countTokens(rec *recipedb.Recipe, addLen func(int), counts map
 	addLen(n)
 }
 
-// Apply folds one corpus mutation into the index. It is the store
-// subscriber: called synchronously under the corpus write lock, in
-// version order. Mutations at or below the index's version (already
-// covered by the initial build) are ignored.
+// Apply folds one corpus mutation into the index. Mutations at or
+// below the index's version (already covered by the initial build) are
+// ignored.
 func (idx *Index) Apply(m recipedb.Mutation) {
+	idx.ApplyBatch([]recipedb.Mutation{m})
+}
+
+// ApplyBatch folds one coalesced batch of corpus mutations into the
+// index under a single lock acquisition. It is the store subscriber:
+// called synchronously inside the mutation critical section, batches in
+// version order and mutations in version order within each batch, so
+// the per-mutation version skip composes exactly as it does for
+// singleton batches.
+func (idx *Index) ApplyBatch(ms []recipedb.Mutation) {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
-	if m.Version <= idx.version {
-		return
+	for _, m := range ms {
+		if m.Version <= idx.version {
+			continue
+		}
+		if m.Old != nil {
+			idx.removeDocLocked(m.Old)
+		}
+		if m.New != nil {
+			idx.addDocLocked(m.New)
+		}
+		idx.version = m.Version
 	}
-	if m.Old != nil {
-		idx.removeDocLocked(m.Old)
-	}
-	if m.New != nil {
-		idx.addDocLocked(m.New)
-	}
-	idx.version = m.Version
 }
 
 // addDocLocked indexes one recipe, growing the slot tables if the

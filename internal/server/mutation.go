@@ -36,34 +36,37 @@ type upsertRequest struct {
 	Ingredients []string `json:"ingredients"`
 }
 
-func (s *Server) handleUpsertRecipe(w http.ResponseWriter, r *http.Request) {
-	var req upsertRequest
-	if !s.decodeJSON(w, r, &req,
-		"body must be JSON {\"name\", \"region\", \"source\", \"ingredients\": [...], \"id\"?}") {
-		return
-	}
+// itemError is a wire-level rejection of one upsert item: the single
+// endpoint turns it into that HTTP status, the batch endpoint into a
+// per-item "rejected" result carrying the status's envelope code.
+type itemError struct {
+	status  int
+	message string
+}
+
+// resolveUpsertItem maps one wire upsert onto a store batch item:
+// region/source parsing, ingredient canonicalization (case and entity
+// duplicates collapse silently to the first occurrence instead of
+// bouncing off the store's duplicate check), and the explicit-ID slot
+// bound — IDs must address an existing slot, clients cannot grow the ID
+// space at arbitrary offsets over HTTP. All of this runs before the
+// store's fan-in, so none of it holds the corpus write lock.
+func (s *Server) resolveUpsertItem(req upsertRequest) (recipedb.BatchItem, *itemError) {
+	var item recipedb.BatchItem
 	if strings.TrimSpace(req.Name) == "" {
-		writeError(w, http.StatusBadRequest, "missing recipe name")
-		return
+		return item, &itemError{http.StatusBadRequest, "missing recipe name"}
 	}
 	region, err := recipedb.ParseRegion(strings.ToUpper(req.Region))
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
-		return
+		return item, &itemError{http.StatusUnprocessableEntity, err.Error()}
 	}
 	source, err := recipedb.ParseSource(req.Source)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
-		return
+		return item, &itemError{http.StatusUnprocessableEntity, err.Error()}
 	}
 	if len(req.Ingredients) == 0 {
-		writeError(w, http.StatusUnprocessableEntity, "ingredients list is empty")
-		return
+		return item, &itemError{http.StatusUnprocessableEntity, "ingredients list is empty"}
 	}
-	// Duplicates — same spelling in any case, or different spellings
-	// resolving to the same catalog entity — collapse silently to the
-	// first occurrence instead of bouncing off the store's duplicate
-	// check.
 	ids := make([]flavor.ID, 0, len(req.Ingredients))
 	seenName := make(map[string]bool, len(req.Ingredients))
 	seenID := make(map[flavor.ID]bool, len(req.Ingredients))
@@ -75,8 +78,7 @@ func (s *Server) handleUpsertRecipe(w http.ResponseWriter, r *http.Request) {
 		}
 		id, ok := s.catalog.Lookup(name)
 		if !ok {
-			writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("unknown ingredient %q", name))
-			return
+			return item, &itemError{http.StatusUnprocessableEntity, fmt.Sprintf("unknown ingredient %q", name)}
 		}
 		if seenID[id] {
 			continue
@@ -84,17 +86,30 @@ func (s *Server) handleUpsertRecipe(w http.ResponseWriter, r *http.Request) {
 		seenID[id] = true
 		ids = append(ids, id)
 	}
-	id := -1
-	if req.ID != nil {
-		// Explicit IDs must address an existing slot: clients cannot
-		// grow the ID space at arbitrary offsets over HTTP.
-		if *req.ID < 0 || *req.ID >= s.cfg.Store.Slots() {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("no recipe slot %d", *req.ID))
-			return
-		}
-		id = *req.ID
+	item = recipedb.BatchItem{
+		ID: -1, Name: req.Name, Region: region, Source: source, Ingredients: ids,
 	}
-	id, version, created, err := s.cfg.Store.Upsert(id, req.Name, region, source, ids)
+	if req.ID != nil {
+		if *req.ID < 0 || *req.ID >= s.cfg.Store.Slots() {
+			return item, &itemError{http.StatusNotFound, fmt.Sprintf("no recipe slot %d", *req.ID)}
+		}
+		item.ID = *req.ID
+	}
+	return item, nil
+}
+
+func (s *Server) handleUpsertRecipe(w http.ResponseWriter, r *http.Request) {
+	var req upsertRequest
+	if !s.decodeJSON(w, r, &req,
+		"body must be JSON {\"name\", \"region\", \"source\", \"ingredients\": [...], \"id\"?}") {
+		return
+	}
+	item, ierr := s.resolveUpsertItem(req)
+	if ierr != nil {
+		writeError(w, ierr.status, ierr.message)
+		return
+	}
+	id, version, created, err := s.cfg.Store.Upsert(item.ID, item.Name, item.Region, item.Source, item.Ingredients)
 	if err != nil {
 		if errors.Is(err, recipedb.ErrValidation) {
 			writeError(w, http.StatusUnprocessableEntity, err.Error())
@@ -128,14 +143,27 @@ const storageRetryAfterSeconds = 1
 // treat the corpus as broken. Anything else is an opaque 500; the
 // underlying error text stays in the server log instead of leaking
 // filesystem paths and internal state to clients.
+//
+// Batch awareness: when one group-commit fault fails a whole coalesced
+// write group, only the ops queued *behind* the fault carry a
+// recognizable ErrWriteWedged — the op that hit the fault carries the
+// raw I/O error. Any I/O failure on the commit path also degrades the
+// engine, so consulting its health state here maps every queued item of
+// the batch to the same retryable 503 instead of a scatter of generic
+// 500s.
 func (s *Server) writePersistenceError(w http.ResponseWriter, err error) {
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Printf("persistence failure: %v", err)
 	}
-	if errors.Is(err, storage.ErrWriteWedged) ||
+	degraded := errors.Is(err, storage.ErrWriteWedged) ||
 		errors.Is(err, storage.ErrCompactorWedged) ||
 		errors.Is(err, syscall.ENOSPC) ||
-		errors.Is(err, syscall.EDQUOT) {
+		errors.Is(err, syscall.EDQUOT)
+	if !degraded && s.cfg.DB != nil {
+		degraded = s.cfg.DB.Health() != storage.HealthHealthy
+	}
+	if degraded {
+		s.storage503.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(storageRetryAfterSeconds))
 		httpmw.WriteError(w, http.StatusServiceUnavailable, httpmw.CodeStorageUnavailable,
 			"storage is temporarily unavailable for writes; retry after the Retry-After interval")

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"culinary/internal/classify"
@@ -65,7 +66,17 @@ type Config struct {
 	ClassifierRebuildInterval time.Duration
 	// RecommenderRebuildInterval is the recommender's counterpart.
 	RecommenderRebuildInterval time.Duration
+	// MaxBatchItems caps the number of recipes one POST
+	// /api/recipes/batch request may carry. 0 selects
+	// DefaultMaxBatchItems; negative disables the cap.
+	MaxBatchItems int
 }
+
+// DefaultMaxBatchItems bounds a bulk-ingest request when
+// Config.MaxBatchItems is zero. A batch holds the fan-in token for its
+// whole plan/persist/apply cycle, so the cap is what keeps one huge
+// ingest from stalling interactive mutations behind it.
+const DefaultMaxBatchItems = 256
 
 // DefaultColdGraceMultiplier widens the load-shed gate while the
 // result cache is cold: cold-cache queries run ~600× longer than
@@ -96,6 +107,10 @@ type Server struct {
 	recommender *derived.Rebuilder[*recommend.Recommender]
 	traffic     *httpmw.Traffic
 	mux         *http.ServeMux
+	// storage503 counts storage_unavailable responses (one per queued
+	// mutation or whole batch request), reported under
+	// traffic.storageUnavailable503 in /api/health.
+	storage503 atomic.Int64
 }
 
 // New builds a Server and its derived indexes. A corpus that cannot
@@ -238,6 +253,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/recipes", s.handleRecipes)
 	s.mux.HandleFunc("GET /api/recipes/{id}", s.handleRecipe)
 	s.mux.HandleFunc("POST /api/recipes", s.handleUpsertRecipe)
+	s.mux.HandleFunc("POST /api/recipes/batch", s.handleBatchUpsert)
 	s.mux.HandleFunc("DELETE /api/recipes/{id}", s.handleDeleteRecipe)
 	s.mux.HandleFunc("GET /api/ingredients/{name}", s.handleIngredient)
 	s.mux.HandleFunc("GET /api/ingredients/{name}/pairings", s.handleIngredientPairings)
@@ -369,8 +385,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"classifier":  derivedModelHealth(s.classifier.Stats(), corpusVersion),
 		"recommender": derivedModelHealth(s.recommender.Stats(), corpusVersion),
 	}
+	// The traffic block always carries the mutation fan-in's coalescing
+	// telemetry and the storage_unavailable response count; the
+	// rate-limit/shed counters join it when the traffic stack is armed.
+	bs := s.cfg.Store.BatchStats()
+	mutationBatches := map[string]interface{}{
+		"batches":   bs.Batches,
+		"ops":       bs.Ops,
+		"coalesced": bs.Coalesced,
+		"p50":       bs.P50Batch,
+		"max":       bs.MaxBatch,
+	}
 	if s.traffic != nil {
-		body["traffic"] = s.traffic.Stats()
+		body["traffic"] = struct {
+			httpmw.TrafficStats
+			MutationBatches interface{} `json:"mutationBatches"`
+			Storage503      int64       `json:"storageUnavailable503"`
+		}{s.traffic.Stats(), mutationBatches, s.storage503.Load()}
+	} else {
+		body["traffic"] = map[string]interface{}{
+			"mutationBatches":       mutationBatches,
+			"storageUnavailable503": s.storage503.Load(),
+		}
 	}
 	if s.cfg.DB != nil {
 		st := s.cfg.DB.Stats()

@@ -1,0 +1,120 @@
+package storage
+
+import "runtime"
+
+// WriteBatch persists a mixed put/tombstone record set through one
+// group-commit round: the whole set joins a single commit group, so it
+// costs one WriteAt and — under SyncEveryPut — one fsync, shared with
+// any concurrent writers that piled into the same group. The returned
+// slice aligns with the inputs: nil exactly when that record reached
+// the configured durability level (or resolved as a redundant-tombstone
+// no-op). A mid-batch I/O fault splits the set exactly like a fault
+// splits a concurrent group — the durable prefix is applied and
+// acknowledged, every other record carries the fault and is never
+// visible.
+//
+// The signature uses parallel slices rather than a request struct so
+// callers behind an interface boundary (recipedb.BatchBackend) can
+// declare it without importing this package.
+func (s *Store) WriteBatch(keys []string, values [][]byte, tombstones []bool) []error {
+	n := len(keys)
+	if len(values) != n || len(tombstones) != n {
+		panic("storage: WriteBatch input slices differ in length")
+	}
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	reqs := make([]*commitReq, n)
+	for i := 0; i < n; i++ {
+		rec := record{key: []byte(keys[i]), tombstone: tombstones[i]}
+		if !rec.tombstone {
+			rec.value = values[i]
+		}
+		// Frame into private buffers (no framePool): all frames stay
+		// alive until the whole group commits, so pooling would only
+		// churn.
+		framed, err := appendRecord(nil, rec)
+		if err != nil {
+			// Unframeable records (oversized key/value) poison the
+			// whole batch before any byte is written: callers treat
+			// the batch as one atomic submission, and a client error
+			// this early must not let later records silently succeed
+			// while an earlier one was dropped.
+			for j := range errs {
+				errs[j] = err
+			}
+			return errs
+		}
+		reqs[i] = &commitReq{key: keys[i], rec: rec, framed: framed}
+	}
+	s.submitMany(reqs)
+	for i, req := range reqs {
+		errs[i] = req.result()
+	}
+	return errs
+}
+
+// submitMany drives a set of requests through group commit as one
+// joined unit and returns once some leader (possibly this goroutine)
+// has committed the group containing them. It mirrors submit
+// (commit.go) — leader fast path with the adaptive grouping yield,
+// follower path that queues and races for the token — except that the
+// whole request set joins one group together, preserving its internal
+// order.
+func (s *Store) submitMany(reqs []*commitReq) {
+	// Fast-fail while the write path is degraded; the commit leader
+	// re-checks under the token, so this is advisory only.
+	if err := s.writeGate(); err != nil {
+		for _, req := range reqs {
+			req.err = err
+		}
+		return
+	}
+	select {
+	case s.commitTok <- struct{}{}:
+		if s.grouping {
+			runtime.Gosched()
+		}
+		s.pendMu.Lock()
+		g := s.pending
+		s.pending = nil
+		if g == nil {
+			g = &commitGroup{} // solo commit: nobody to signal
+		}
+		g.reqs = append(g.reqs, reqs...)
+		s.pendMu.Unlock()
+		s.grouping = len(g.reqs) > len(reqs)
+		g.err = s.commit(g)
+		if g.done != nil {
+			close(g.done)
+		}
+		<-s.commitTok
+		return
+	default:
+	}
+
+	s.pendMu.Lock()
+	if s.closed.Load() {
+		s.pendMu.Unlock()
+		for _, req := range reqs {
+			req.err = ErrClosed
+		}
+		return
+	}
+	g := s.pending
+	if g == nil {
+		g = &commitGroup{done: make(chan struct{})}
+		s.pending = g
+	}
+	g.reqs = append(g.reqs, reqs...)
+	s.pendMu.Unlock()
+
+	select {
+	case s.commitTok <- struct{}{}:
+		s.commitNext()
+		<-s.commitTok
+	case <-g.done:
+	}
+	<-g.done
+}
