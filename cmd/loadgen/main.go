@@ -10,9 +10,20 @@
 // per-item result validation and a freshness probe on the last item
 // (batch).
 //
-//	loadgen [-addr http://localhost:8080] [-duration 60s] [-concurrency 16]
+//	loadgen [-addr http://localhost:8080] [-read-addr http://localhost:8081]
+//	        [-duration 60s] [-concurrency 16]
 //	        [-mix query=35,read=25,search=15,mutation=10,searchmut=5,recommend=5,batch=5]
 //	        [-seed 1] [-out BENCH_load.json] [-name LoadSoak/mixed] [-strict]
+//
+// With -read-addr the run becomes a replication soak: mutations still
+// go to -addr (the primary) while every read shape targets the read
+// address (a follower). Freshness probes then route their follow-up
+// search with the write's acked corpus version as an X-Min-Version
+// token, so the follower must either serve read-your-writes state or
+// answer 503 replica_lagging — never a stale read. One lag-and-retry
+// round trip per probe is within contract and lands in the
+// replicaLagging503 bucket; a probe still lagging after the retry is
+// a freshness violation (unbounded lag).
 //
 // The run records p50/p99 latency over successful requests, throughput,
 // error rate and shed rate, and writes them as rows in the unified
@@ -41,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -48,7 +60,8 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "http://localhost:8080", "server base URL")
+		addr        = flag.String("addr", "http://localhost:8080", "server base URL (the primary: mutations always go here)")
+		readAddr    = flag.String("read-addr", "", "base URL for read traffic (a follower); empty reads from -addr. Setting it makes 503 replica_lagging an expected probe outcome")
 		duration    = flag.Duration("duration", 60*time.Second, "soak length")
 		concurrency = flag.Int("concurrency", 16, "closed-loop workers")
 		mixSpec     = flag.String("mix", "query=35,read=25,search=15,mutation=10,searchmut=5,recommend=5,batch=5", "traffic mix weights")
@@ -66,6 +79,7 @@ func main() {
 	}
 	rep, err := runLoad(loadConfig{
 		BaseURL:          strings.TrimRight(*addr, "/"),
+		ReadBaseURL:      strings.TrimRight(*readAddr, "/"),
 		Duration:         *duration,
 		Concurrency:      *concurrency,
 		Mix:              mix,
@@ -151,7 +165,13 @@ func parseMix(spec string) (map[string]int, error) {
 
 // loadConfig parameterizes one soak run.
 type loadConfig struct {
-	BaseURL     string
+	BaseURL string
+	// ReadBaseURL, when non-empty and different from BaseURL, receives
+	// every read-shaped request (a follower in a replication soak);
+	// mutations still go to BaseURL. Freshness probes then carry the
+	// write's corpus version as an X-Min-Version token, and one 503
+	// replica_lagging + retry per probe becomes an expected outcome.
+	ReadBaseURL string
 	Duration    time.Duration
 	Concurrency int
 	Mix         map[string]int
@@ -171,6 +191,7 @@ type report struct {
 	Shed429            int64
 	Shed503            int64
 	Degraded503        int64 // 503 storage_unavailable under -tolerate-degraded
+	ReplicaLagging503  int64 // 503 replica_lagging on version-token reads in a replica soak
 	Timeout504         int64
 	Unexpected5        int64 // 5xx other than 503 sheds
 	EnvelopeViolations int64
@@ -196,9 +217,9 @@ func (r *report) percentile(p float64) time.Duration {
 }
 
 func (r *report) total() int64 {
-	// Shed429 already rides inside Expected4; Shed503 and Degraded503
-	// are their own buckets.
-	return r.Succeeded + r.Expected4 + r.Shed503 + r.Degraded503 + r.Unexpected5 + r.EnvelopeViolations + r.Timeout504
+	// Shed429 already rides inside Expected4; the 503 variants are
+	// their own buckets.
+	return r.Succeeded + r.Expected4 + r.Shed503 + r.Degraded503 + r.ReplicaLagging503 + r.Unexpected5 + r.EnvelopeViolations + r.Timeout504
 }
 
 // benchRows renders the run in the cmd/benchjson flat schema: one row
@@ -241,8 +262,8 @@ func (r *report) summary(name string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "loadgen %s: %d requests in %v (%.0f req/s)\n",
 		name, r.total(), r.Duration.Round(time.Millisecond), float64(r.total())/r.Duration.Seconds())
-	fmt.Fprintf(&b, "  ok=%d expected4xx=%d (429=%d) shed503=%d degraded503=%d timeout504=%d unexpected5xx=%d envelopeViolations=%d freshnessViolations=%d\n",
-		r.Succeeded, r.Expected4, r.Shed429, r.Shed503, r.Degraded503, r.Timeout504, r.Unexpected5, r.EnvelopeViolations, r.FreshnessViolations)
+	fmt.Fprintf(&b, "  ok=%d expected4xx=%d (429=%d) shed503=%d degraded503=%d replicaLagging503=%d timeout504=%d unexpected5xx=%d envelopeViolations=%d freshnessViolations=%d\n",
+		r.Succeeded, r.Expected4, r.Shed429, r.Shed503, r.Degraded503, r.ReplicaLagging503, r.Timeout504, r.Unexpected5, r.EnvelopeViolations, r.FreshnessViolations)
 	fmt.Fprintf(&b, "  latency p50=%v p99=%v (over %d successes)\n",
 		r.percentile(50).Round(time.Microsecond), r.percentile(99).Round(time.Microsecond), len(r.latencies))
 	if r.HealthTraffic != nil {
@@ -285,9 +306,9 @@ type corpusInfo struct {
 	slots       int
 }
 
-// bootstrap waits for the server and harvests ingredient names, region
-// codes and source labels to parameterize the workload.
-func bootstrap(client *http.Client, base string) (*corpusInfo, error) {
+// waitHealthy polls /api/health until the server at base answers 200
+// or the 30s patience runs out.
+func waitHealthy(client *http.Client, base string) error {
 	var lastErr error
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
@@ -296,8 +317,7 @@ func bootstrap(client *http.Client, base string) (*corpusInfo, error) {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
-				lastErr = nil
-				break
+				return nil
 			}
 			lastErr = fmt.Errorf("health: status %d", resp.StatusCode)
 		} else {
@@ -305,8 +325,14 @@ func bootstrap(client *http.Client, base string) (*corpusInfo, error) {
 		}
 		time.Sleep(250 * time.Millisecond)
 	}
-	if lastErr != nil {
-		return nil, fmt.Errorf("server never became healthy: %w", lastErr)
+	return fmt.Errorf("server at %s never became healthy: %w", base, lastErr)
+}
+
+// bootstrap waits for the server and harvests ingredient names, region
+// codes and source labels to parameterize the workload.
+func bootstrap(client *http.Client, base string) (*corpusInfo, error) {
+	if err := waitHealthy(client, base); err != nil {
+		return nil, err
 	}
 
 	resp, err := client.Get(base + "/api/recipes?limit=100")
@@ -366,6 +392,16 @@ func runLoad(cfg loadConfig) (*report, error) {
 	if err != nil {
 		return nil, err
 	}
+	readBase := cfg.ReadBaseURL
+	if readBase == "" {
+		readBase = cfg.BaseURL
+	}
+	if readBase != cfg.BaseURL {
+		// A follower bootstraps asynchronously; wait until it serves.
+		if err := waitHealthy(client, readBase); err != nil {
+			return nil, err
+		}
+	}
 
 	var picks []string
 	for _, s := range shapeOrder {
@@ -383,10 +419,12 @@ func runLoad(cfg loadConfig) (*report, error) {
 			rng:              rand.New(rand.NewSource(cfg.Seed + int64(i))),
 			client:           client,
 			base:             cfg.BaseURL,
+			readBase:         readBase,
 			info:             info,
 			picks:            picks,
 			rep:              &report{},
 			tolerateDegraded: cfg.TolerateDegraded,
+			expectLagging:    readBase != cfg.BaseURL,
 		}
 		reports[i] = w.rep
 		wg.Add(1)
@@ -405,6 +443,7 @@ func runLoad(cfg loadConfig) (*report, error) {
 		total.Shed429 += r.Shed429
 		total.Shed503 += r.Shed503
 		total.Degraded503 += r.Degraded503
+		total.ReplicaLagging503 += r.ReplicaLagging503
 		total.Timeout504 += r.Timeout504
 		total.Unexpected5 += r.Unexpected5
 		total.EnvelopeViolations += r.EnvelopeViolations
@@ -435,14 +474,22 @@ func runLoad(cfg loadConfig) (*report, error) {
 
 // worker is one closed-loop client.
 type worker struct {
-	id               int
-	rng              *rand.Rand
-	client           *http.Client
+	id     int
+	rng    *rand.Rand
+	client *http.Client
+	// base receives mutations (the primary); readBase receives read
+	// shapes and freshness follow-ups (a follower in a replica soak,
+	// otherwise the same URL).
 	base             string
+	readBase         string
 	info             *corpusInfo
 	picks            []string
 	rep              *report
 	tolerateDegraded bool
+	// expectLagging marks a replica soak: version-token reads may
+	// legitimately answer 503 replica_lagging while the follower
+	// catches up.
+	expectLagging bool
 
 	created []int // recipe IDs this worker upserted and may delete
 	seq     int
@@ -495,18 +542,18 @@ func (w *worker) query() {
 	default:
 		q = fmt.Sprintf("SELECT avg(size) FROM recipes WHERE region = '%s'", w.region())
 	}
-	w.do("POST", "/api/query", map[string]interface{}{"q": q})
+	w.doRead("POST", "/api/query", map[string]interface{}{"q": q}, 0)
 }
 
 func (w *worker) read() {
 	switch w.rng.Intn(3) {
 	case 0:
-		w.do("GET", fmt.Sprintf("/api/recipes?limit=20&offset=%d", w.rng.Intn(200)), nil)
+		w.doRead("GET", fmt.Sprintf("/api/recipes?limit=20&offset=%d", w.rng.Intn(200)), nil, 0)
 	case 1:
-		w.do("GET", "/api/regions", nil)
+		w.doRead("GET", "/api/regions", nil, 0)
 	default:
 		if w.info.slots > 0 {
-			w.do("GET", fmt.Sprintf("/api/recipes/%d", w.rng.Intn(w.info.slots)), nil)
+			w.doRead("GET", fmt.Sprintf("/api/recipes/%d", w.rng.Intn(w.info.slots)), nil, 0)
 		}
 	}
 }
@@ -516,7 +563,7 @@ func (w *worker) search() {
 	if w.rng.Intn(2) == 0 {
 		q += " " + w.ingredient()
 	}
-	w.do("GET", "/api/search?q="+strings.ReplaceAll(q, " ", "+")+"&limit=10", nil)
+	w.doRead("GET", "/api/search?q="+strings.ReplaceAll(q, " ", "+")+"&limit=10", nil, 0)
 }
 
 // mutate upserts a small synthetic recipe, occasionally deleting one
@@ -569,11 +616,15 @@ func alphaToken(n int) string {
 // searchMut is the mutation-visibility probe: upsert a recipe whose
 // name carries a token unique to this (worker, sequence) pair, then —
 // if the mutation was acked 2xx — assert the very next /api/search for
-// that token returns the acked recipe ID. A shed mutation (429/503)
-// acks nothing, so there is nothing to assert; a shed search leaves
-// freshness unobservable that round. A successful search missing the
-// acked ID is a freshness violation: the synchronous-index contract
-// broke on the wire.
+// that token returns the acked recipe ID. The follow-up read carries
+// the ack's corpus version as an X-Min-Version token, so when reads
+// target a follower the probe asserts read-your-writes across the
+// replication hop: the follower either serves the write or answers
+// 503 replica_lagging (one retry allowed) — never a stale hit list.
+// A shed mutation (429/503) acks nothing, so there is nothing to
+// assert; a shed search leaves freshness unobservable that round. A
+// successful search missing the acked ID is a freshness violation:
+// the synchronous-index contract broke on the wire.
 func (w *worker) searchMut() {
 	w.seq++
 	token := "zzfresh" + alphaToken(w.id) + "q" + alphaToken(w.seq)
@@ -587,12 +638,12 @@ func (w *worker) searchMut() {
 			ings = append(ings, ing)
 		}
 	}
-	status, body := w.do("POST", "/api/recipes", map[string]interface{}{
+	status, body, hdr := w.doAt(w.base, "POST", "/api/recipes", map[string]interface{}{
 		"name":        token + " probe",
 		"region":      w.region(),
 		"source":      w.info.sources[w.rng.Intn(len(w.info.sources))],
 		"ingredients": ings,
-	})
+	}, 0)
 	if status != http.StatusCreated && status != http.StatusOK {
 		return // not acked; nothing to assert
 	}
@@ -604,29 +655,76 @@ func (w *worker) searchMut() {
 	}
 	w.created = append(w.created, ack.ID)
 
-	st, raw := w.do("GET", "/api/search?q="+token+"&limit=50", nil)
-	if st != http.StatusOK {
-		return // search shed; freshness unobservable this round
+	ids, ok := w.probeSearch("searchmut", token, ackVersion(hdr))
+	if !ok {
+		return // search shed or still lagging; already classified
 	}
-	var sr struct {
-		Hits []struct {
-			Recipe struct {
-				ID int `json:"id"`
-			} `json:"recipe"`
-		} `json:"hits"`
-	}
-	if err := json.Unmarshal(raw, &sr); err != nil {
-		w.rep.FreshnessViolations++
-		w.note("searchmut: unparseable search body for %q: %.200s", token, raw)
-		return
-	}
-	for _, h := range sr.Hits {
-		if h.Recipe.ID == ack.ID {
+	for _, id := range ids {
+		if id == ack.ID {
 			return
 		}
 	}
 	w.rep.FreshnessViolations++
-	w.note("searchmut: acked recipe %d missing from next search for %q (%d hits)", ack.ID, token, len(sr.Hits))
+	w.note("searchmut: acked recipe %d missing from next search for %q (%d hits)", ack.ID, token, len(ids))
+}
+
+// ackVersion extracts the corpus version a mutation response was
+// stamped with; 0 (no token) when the header is absent or unparseable,
+// which degrades the probe to an unversioned read.
+func ackVersion(hdr http.Header) uint64 {
+	v, _ := strconv.ParseUint(hdr.Get("X-Corpus-Version"), 10, 64)
+	return v
+}
+
+// retryAfterDelay honors a 503's Retry-After hint (capped at 5s so a
+// misbehaving server cannot stall the soak), defaulting to 1s.
+func retryAfterDelay(hdr http.Header) time.Duration {
+	if s, err := strconv.Atoi(hdr.Get("Retry-After")); err == nil && s > 0 && s <= 5 {
+		return time.Duration(s) * time.Second
+	}
+	return time.Second
+}
+
+// probeSearch issues a freshness follow-up /api/search with the
+// write's version token and returns the hit IDs. A 503 replica_lagging
+// answer earns exactly one retry after the Retry-After hint — the
+// contract the replica soak enforces end to end; a probe still lagging
+// after the retry is a freshness violation (lag is supposed to be
+// bounded). Any other non-200 leaves freshness unobservable this
+// round (ok=false without a violation).
+func (w *worker) probeSearch(shape, token string, minVersion uint64) ([]int, bool) {
+	path := "/api/search?q=" + token + "&limit=50"
+	for attempt := 0; ; attempt++ {
+		st, raw, hdr := w.doRead("GET", path, nil, minVersion)
+		if st == http.StatusOK {
+			var sr struct {
+				Hits []struct {
+					Recipe struct {
+						ID int `json:"id"`
+					} `json:"recipe"`
+				} `json:"hits"`
+			}
+			if err := json.Unmarshal(raw, &sr); err != nil {
+				w.rep.FreshnessViolations++
+				w.note("%s: unparseable search body for %q: %.200s", shape, token, raw)
+				return nil, false
+			}
+			ids := make([]int, 0, len(sr.Hits))
+			for _, h := range sr.Hits {
+				ids = append(ids, h.Recipe.ID)
+			}
+			return ids, true
+		}
+		if st == http.StatusServiceUnavailable && envelopeCode(raw) == "replica_lagging" {
+			if attempt == 0 {
+				time.Sleep(retryAfterDelay(hdr))
+				continue
+			}
+			w.rep.FreshnessViolations++
+			w.note("%s: follower still lagging after retry (minVersion=%d, token %q)", shape, minVersion, token)
+		}
+		return nil, false
+	}
 }
 
 // recommend issues one completion and asserts the stamped modelVersion
@@ -634,11 +732,11 @@ func (w *worker) searchMut() {
 // install strictly newer model epochs. A 422 (the drawn region may
 // have emptied out under mutation churn) carries no version to check.
 func (w *worker) recommend() {
-	status, raw := w.do("POST", "/api/complete", map[string]interface{}{
+	status, raw, _ := w.doRead("POST", "/api/complete", map[string]interface{}{
 		"region":      w.region(),
 		"ingredients": []string{w.ingredient(), w.ingredient()},
 		"k":           5,
-	})
+	}, 0)
 	if status != http.StatusOK {
 		return
 	}
@@ -693,7 +791,7 @@ func (w *worker) batchIngest() {
 			"ingredients": ings,
 		}
 	}
-	status, raw := w.do("POST", "/api/recipes/batch", map[string]interface{}{"recipes": recipes})
+	status, raw, hdr := w.doAt(w.base, "POST", "/api/recipes/batch", map[string]interface{}{"recipes": recipes}, 0)
 	if status != http.StatusOK {
 		return // shed or degraded; already classified by do
 	}
@@ -744,48 +842,52 @@ func (w *worker) batchIngest() {
 		return
 	}
 
-	st, sraw := w.do("GET", "/api/search?q="+token+"&limit=50", nil)
-	if st != http.StatusOK {
-		return // search shed; freshness unobservable this round
+	ids, ok := w.probeSearch("batch", token, ackVersion(hdr))
+	if !ok {
+		return // search shed or still lagging; already classified
 	}
-	var sr struct {
-		Hits []struct {
-			Recipe struct {
-				ID int `json:"id"`
-			} `json:"recipe"`
-		} `json:"hits"`
-	}
-	if err := json.Unmarshal(sraw, &sr); err != nil {
-		w.rep.FreshnessViolations++
-		w.note("batch: unparseable search body for %q: %.200s", token, sraw)
-		return
-	}
-	for _, h := range sr.Hits {
-		if h.Recipe.ID == probeID {
+	for _, id := range ids {
+		if id == probeID {
 			return
 		}
 	}
 	w.rep.FreshnessViolations++
-	w.note("batch: acked recipe %d missing from next search for %q (%d hits)", probeID, token, len(sr.Hits))
+	w.note("batch: acked recipe %d missing from next search for %q (%d hits)", probeID, token, len(ids))
 }
 
-// do issues one request, classifies the response, and validates the
-// envelope contract on every error status.
+// do issues one mutation-side request against the primary base URL.
 func (w *worker) do(method, path string, body interface{}) (int, []byte) {
+	status, raw, _ := w.doAt(w.base, method, path, body, 0)
+	return status, raw
+}
+
+// doRead issues one read-shaped request against the read base (the
+// follower in a replica soak); minVersion > 0 stamps the X-Min-Version
+// token so a lagging follower must refuse rather than serve stale.
+func (w *worker) doRead(method, path string, body interface{}, minVersion uint64) (int, []byte, http.Header) {
+	return w.doAt(w.readBase, method, path, body, minVersion)
+}
+
+// doAt issues one request, classifies the response, and validates the
+// envelope contract on every error status.
+func (w *worker) doAt(base, method, path string, body interface{}, minVersion uint64) (int, []byte, http.Header) {
 	var reader io.Reader
 	if body != nil {
 		raw, err := json.Marshal(body)
 		if err != nil {
-			return 0, nil
+			return 0, nil, nil
 		}
 		reader = bytes.NewReader(raw)
 	}
-	req, err := http.NewRequest(method, w.base+path, reader)
+	req, err := http.NewRequest(method, base+path, reader)
 	if err != nil {
-		return 0, nil
+		return 0, nil, nil
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if minVersion > 0 {
+		req.Header.Set("X-Min-Version", strconv.FormatUint(minVersion, 10))
 	}
 	start := time.Now()
 	resp, err := w.client.Do(req)
@@ -795,7 +897,7 @@ func (w *worker) do(method, path string, body interface{}) (int, []byte) {
 		// accepted requests, and a healthy one must keep accepting.
 		w.rep.Unexpected5++
 		w.note("transport error on %s %s: %v", method, path, err)
-		return 0, nil
+		return 0, nil, nil
 	}
 	elapsed := time.Since(start)
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
@@ -818,7 +920,7 @@ func (w *worker) do(method, path string, body interface{}) (int, []byte) {
 	default: // other 4xx
 		w.classifyError(status, raw, resp, method, path)
 	}
-	return status, raw
+	return status, raw, resp.Header
 }
 
 // classifyError buckets an expected error status after validating the
@@ -838,7 +940,8 @@ func (w *worker) classifyError(status int, raw []byte, resp *http.Response, meth
 			w.note("429 on %s %s missing Retry-After", method, path)
 		}
 	case http.StatusServiceUnavailable:
-		if envelopeCode(raw) == "storage_unavailable" {
+		switch envelopeCode(raw) {
+		case "storage_unavailable":
 			// The storage engine's write path is degraded, not the
 			// request pipeline. Only acceptable when the caller said
 			// the disk is being faulted on purpose.
@@ -848,7 +951,17 @@ func (w *worker) classifyError(status int, raw []byte, resp *http.Response, meth
 				return
 			}
 			w.rep.Degraded503++
-		} else {
+		case "replica_lagging":
+			// A version-token read outran the follower's replay — the
+			// documented refuse-rather-than-serve-stale outcome, but
+			// only a replica soak (-read-addr) should ever see it.
+			if !w.expectLagging {
+				w.rep.Unexpected5++
+				w.note("503 replica_lagging on %s %s outside a replica soak", method, path)
+				return
+			}
+			w.rep.ReplicaLagging503++
+		default:
 			w.rep.Shed503++
 		}
 		if resp.Header.Get("Retry-After") == "" {

@@ -9,6 +9,7 @@ import (
 
 	"culinary/internal/experiments"
 	"culinary/internal/httpmw"
+	"culinary/internal/replica"
 	"culinary/internal/server"
 	"culinary/internal/storage"
 )
@@ -294,4 +295,95 @@ func TestSoakToleratesDegradedStorage(t *testing.T) {
 	if len(rep.violations()) == 0 {
 		t.Fatal("expected strict-mode violations without -tolerate-degraded")
 	}
+}
+
+// TestReplicaSoak drives the two-node read-your-writes loop fully in
+// process: mutations land on a primary, every read shape — including
+// the freshness probes, which carry the write ack's X-Corpus-Version
+// as X-Min-Version — routes to a follower polling in the background.
+// Strict mode must hold end to end: zero stale reads, with transient
+// lag absorbed by the contract's single 503 replica_lagging + retry
+// (counted in its own bucket, not as a violation).
+func TestReplicaSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak needs a real corpus")
+	}
+	env, err := experiments.NewEnv(experiments.TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := storage.Open(t.TempDir(), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := storage.SaveCorpus(db, env.Store); err != nil {
+		t.Fatal(err)
+	}
+	env.Store.SetBackend(db)
+	primary, err := server.New(server.Config{
+		Store:    env.Store,
+		Analyzer: env.Analyzer,
+		Seed:     7,
+		DB:       db,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	pts := httptest.NewServer(primary.Handler())
+	defer pts.Close()
+	feedSrv := httptest.NewServer(replica.NewFeed(db, env.Store).Handler())
+	defer feedSrv.Close()
+
+	f, err := replica.OpenFollower(replica.FollowerConfig{
+		Primary:  feedSrv.URL,
+		Dir:      t.TempDir(),
+		Catalog:  env.Catalog,
+		Interval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Close()
+	follower, err := server.New(server.Config{
+		Store:      f.Corpus(),
+		Analyzer:   env.Analyzer,
+		Seed:       7,
+		Follower:   f,
+		PrimaryURL: pts.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	fts := httptest.NewServer(follower.Handler())
+	defer fts.Close()
+
+	mix, err := parseMix("query=25,read=20,search=15,mutation=15,searchmut=25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runLoad(loadConfig{
+		BaseURL:     pts.URL,
+		ReadBaseURL: fts.URL,
+		Duration:    3 * time.Second,
+		Concurrency: 4,
+		Mix:         mix,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs := rep.violations(); len(msgs) > 0 {
+		t.Fatalf("replica soak violations: %v\nsummary:\n%s", msgs, rep.summary("test"))
+	}
+	if rep.Succeeded < 20 {
+		t.Fatalf("only %d requests succeeded: %s", rep.Succeeded, rep.summary("test"))
+	}
+	if rep.FreshnessViolations != 0 {
+		t.Fatalf("stale reads on follower: %s", rep.summary("test"))
+	}
+	t.Logf("replica soak: %d ok, %d replica_lagging 503s absorbed", rep.Succeeded, rep.ReplicaLagging503)
 }

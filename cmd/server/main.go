@@ -10,6 +10,24 @@
 //	       [-classifier-rebuild-interval d] [-recommender-rebuild-interval d]
 //	       [-max-body-bytes n] [-rate-limit-rps f] [-rate-limit-mutation-rps f]
 //	       [-max-inflight n] [-request-timeout d] [-shutdown-grace d]
+//	       [-trusted-proxies cidrs] [-replication-listen addr]
+//	       [-replica-of url] [-primary-url url] [-replica-poll-interval d]
+//
+// Replication: with -replication-listen, a -db primary serves its
+// storage log (sealed segments plus the active segment's durable
+// prefix) on a dedicated listener. A second process started with
+// -replica-of pointing at that listener runs as a read replica: it
+// mirrors the log into its own -db directory, replays it into memory,
+// serves every read endpoint, and answers mutations with 403
+// not_primary (Location: -primary-url). Reads carrying X-Min-Version
+// (or ?minVersion=) are version-gated: a replica that has not caught
+// up to the requested corpus version answers 503 replica_lagging with
+// Retry-After instead of a stale result, so clients can read their
+// own writes from any replica by echoing the version token a mutation
+// ack returned. -trusted-proxies lists load-balancer CIDRs whose
+// X-Forwarded-For chains the rate limiter may believe for client
+// keying; without it (the default) every request keys on RemoteAddr
+// and forged headers are ignored.
 //
 // The HTTP front is armored for production traffic: per-IP token-bucket
 // rate limiting with separate read/mutation budgets (X-RateLimit-*
@@ -74,6 +92,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -85,6 +104,7 @@ import (
 	"culinary/internal/pairing"
 	"culinary/internal/query"
 	"culinary/internal/recipedb"
+	"culinary/internal/replica"
 	"culinary/internal/server"
 	"culinary/internal/storage"
 	"culinary/internal/synth"
@@ -111,6 +131,13 @@ func main() {
 		recRebuild = flag.Duration("recommender-rebuild-interval", 2*time.Second, "max recommender staleness under mutation: at most one background rebuild per interval")
 
 		maxBatch = flag.Int("max-batch-items", server.DefaultMaxBatchItems, "recipe count cap for one POST /api/recipes/batch request (negative disables)")
+
+		replListen  = flag.String("replication-listen", "", "dedicated listener address for the replication feed (primary mode; requires -db)")
+		replicaOf   = flag.String("replica-of", "", "primary replication feed base URL; run as a read replica with -db as the local mirror directory")
+		primaryURL  = flag.String("primary-url", "", "primary's public API base URL, advertised in not_primary redirects (replica mode)")
+		replicaPoll = flag.Duration("replica-poll-interval", 250*time.Millisecond, "replication poll period in replica mode")
+
+		trustedCIDR = flag.String("trusted-proxies", "", "comma-separated proxy CIDRs whose X-Forwarded-For chains key the rate limiter (empty: key on RemoteAddr)")
 
 		maxBody    = flag.Int64("max-body-bytes", 1<<20, "request body size cap; oversized bodies get a structured 413 (0 disables)")
 		readRPS    = flag.Float64("rate-limit-rps", 500, "per-IP rate limit for read traffic, requests/second (burst 2x; 0 disables)")
@@ -142,18 +169,80 @@ func main() {
 	}
 	analyzer := pairing.NewAnalyzer(catalog)
 
-	store, db, err := loadOrGenerate(logger, catalog, analyzer, *dbDir, dbOpts, *scale, *seed)
+	trustedProxies, err := httpmw.ParseTrustedProxies(*trustedCIDR)
 	if err != nil {
 		fatal(err)
 	}
-	if db != nil {
-		defer db.Close()
-		// Recipe mutations write through to the open engine, so they
-		// survive restarts. Writes serialize behind the corpus lock;
-		// batching them is a ROADMAP follow-up.
-		store.SetBackend(db)
+
+	var (
+		store    *recipedb.Store
+		db       *storage.Store
+		follower *replica.Follower
+		feed     *replica.Feed
+	)
+	if *replicaOf != "" {
+		// Read-replica mode: the corpus comes from the primary's
+		// replication feed, mirrored into -db and replayed in memory.
+		if *dbDir == "" {
+			fatal(errors.New("-replica-of requires -db (the local mirror directory)"))
+		}
+		follower, err = replica.OpenFollower(replica.FollowerConfig{
+			Primary:  *replicaOf,
+			Dir:      *dbDir,
+			Catalog:  catalog,
+			Interval: *replicaPoll,
+			Logger:   logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer follower.Close()
+		follower.Start()
+		store = follower.Corpus()
+	} else {
+		store, db, err = loadOrGenerate(logger, catalog, analyzer, *dbDir, dbOpts, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if db != nil {
+			defer db.Close()
+			// Recipe mutations write through to the open engine, so they
+			// survive restarts. Writes serialize behind the corpus lock;
+			// batching them is a ROADMAP follow-up.
+			store.SetBackend(db)
+		}
 	}
 	logger.Printf("corpus ready: %d recipes in %v", store.Len(), time.Since(t0).Round(time.Millisecond))
+
+	// The replication feed gets its own listener so shipping traffic
+	// never competes with client requests for the API listener's
+	// connection budget or the traffic stack's rate limits.
+	var feedSrv *http.Server
+	if *replListen != "" {
+		if db == nil {
+			fatal(errors.New("-replication-listen requires -db (the feed ships the storage log)"))
+		}
+		feed = replica.NewFeed(db, store)
+		feedSrv = &http.Server{
+			Addr:              *replListen,
+			Handler:           feed.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		// Bind before serving: a primary that cannot offer its feed
+		// (port taken, bad address) must fail loudly at startup, not
+		// run on while followers can never bootstrap.
+		feedLn, err := net.Listen("tcp", *replListen)
+		if err != nil {
+			fatal(fmt.Errorf("replication listener: %w", err))
+		}
+		go func() {
+			if err := feedSrv.Serve(feedLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("replication listener: %v", err)
+			}
+		}()
+		logger.Printf("replication feed on %s", *replListen)
+	}
 
 	srv, err := server.New(server.Config{
 		Store:                      store,
@@ -166,11 +255,15 @@ func main() {
 		ClassifierRebuildInterval:  *clsRebuild,
 		RecommenderRebuildInterval: *recRebuild,
 		MaxBatchItems:              *maxBatch,
+		Follower:                   follower,
+		PrimaryURL:                 *primaryURL,
+		Feed:                       feed,
 		Traffic: &httpmw.Config{
 			ReadRPS:        *readRPS,
 			ReadBurst:      *readRPS * 2,
 			MutationRPS:    *mutRPS,
 			MutationBurst:  *mutRPS * 2,
+			TrustedProxies: trustedProxies,
 			MaxInFlight:    *maxInf,
 			RetryAfter:     time.Second,
 			MaxBodyBytes:   *maxBody,
@@ -212,6 +305,11 @@ func main() {
 		logger.Printf("shutdown signal received; draining for up to %v", *grace)
 		drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
+		if feedSrv != nil {
+			if err := feedSrv.Shutdown(drainCtx); err != nil {
+				logger.Printf("replication listener drain incomplete: %v", err)
+			}
+		}
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
 			logger.Printf("drain incomplete: %v", err)
 			os.Exit(1)

@@ -41,6 +41,21 @@ const (
 	// and search still serve; the model returns once the corpus
 	// supports it again, so clients should honor Retry-After.
 	CodeModelUnavailable = "model_unavailable"
+	// CodeReplicaLagging marks a 503 from a read replica that has not
+	// yet replayed up to the version the request demanded via
+	// X-Min-Version (or ?minVersion=). The state requested exists on
+	// the primary and is in flight; clients should retry this replica
+	// after Retry-After or route the read to the primary.
+	CodeReplicaLagging = "replica_lagging"
+	// CodeNotPrimary marks a 403 from a read replica refusing a
+	// mutation: followers are read-only by construction, and the
+	// response's Location header names the primary that accepts writes.
+	CodeNotPrimary = "not_primary"
+	// CodeSegmentGone marks a 404 from the replication feed for a
+	// segment the primary no longer serves (compacted, salvaged or
+	// quarantined). Followers re-fetch the replication state and
+	// reconcile instead of retrying the fetch.
+	CodeSegmentGone = "segment_gone"
 )
 
 // ErrorDetail is the inner object of the error envelope.

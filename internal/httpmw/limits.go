@@ -3,6 +3,7 @@ package httpmw
 import (
 	"context"
 	"errors"
+	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -67,6 +68,10 @@ type Config struct {
 	// IsMutation classifies requests for the limiter split; nil
 	// treats every non-GET/HEAD request as a mutation.
 	IsMutation func(*http.Request) bool
+	// TrustedProxies lists proxy networks whose X-Forwarded-For chains
+	// the limiter may believe (see ClientIPTrusted). Empty means no
+	// proxy is trusted and every request keys on its RemoteAddr.
+	TrustedProxies []*net.IPNet
 	// MaxInFlight bounds concurrent admitted requests; <= 0 disables
 	// the gate.
 	MaxInFlight int
@@ -122,7 +127,12 @@ func (t *Traffic) Wrap(next http.Handler) http.Handler {
 		h = LoadShed(h, t.gate, t.cfg.Exempt)
 	}
 	if t.read != nil || t.mutation != nil {
-		h = RateLimit(h, t.read, t.mutation, t.cfg.IsMutation, t.cfg.Exempt)
+		var key func(*http.Request) string
+		if len(t.cfg.TrustedProxies) > 0 {
+			trusted := t.cfg.TrustedProxies
+			key = func(r *http.Request) string { return ClientIPTrusted(r, trusted) }
+		}
+		h = RateLimit(h, t.read, t.mutation, t.cfg.IsMutation, t.cfg.Exempt, key)
 	}
 	return h
 }

@@ -1,10 +1,12 @@
 package httpmw
 
 import (
+	"fmt"
 	"math"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -147,25 +149,115 @@ func (l *Limiter) Stats() LimiterStats {
 
 // ClientIP extracts the bucket key for a request: the host part of
 // RemoteAddr. Proxy headers (X-Forwarded-For) are deliberately not
-// trusted; terminate them at the proxy and run one limiter per edge.
+// trusted on this path — an untrusted peer could mint a fresh bucket
+// per request and starve real clients. Deployments that sit behind a
+// load balancer use ClientIPTrusted with an explicit proxy allowlist.
 func ClientIP(r *http.Request) string {
 	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		if ip := net.ParseIP(host); ip != nil {
+			return ip.String()
+		}
 		return host
 	}
 	return r.RemoteAddr
 }
 
-// RateLimit enforces read and mutation budgets per client IP.
+// ParseTrustedProxies parses a comma-separated list of CIDR blocks
+// (bare IPs are accepted as /32, or /128 for IPv6). The result feeds
+// ClientIPTrusted / Config.TrustedProxies.
+func ParseTrustedProxies(list string) ([]*net.IPNet, error) {
+	var nets []*net.IPNet
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "/") {
+			ip := net.ParseIP(part)
+			if ip == nil {
+				return nil, fmt.Errorf("httpmw: bad trusted proxy %q", part)
+			}
+			bits := 32
+			if ip.To4() == nil {
+				bits = 128
+			}
+			part = fmt.Sprintf("%s/%d", ip.String(), bits)
+		}
+		_, n, err := net.ParseCIDR(part)
+		if err != nil {
+			return nil, fmt.Errorf("httpmw: bad trusted proxy %q: %w", part, err)
+		}
+		nets = append(nets, n)
+	}
+	return nets, nil
+}
+
+func ipTrusted(ip net.IP, trusted []*net.IPNet) bool {
+	if ip == nil {
+		return false
+	}
+	for _, n := range trusted {
+		if n.Contains(ip) {
+			return true
+		}
+	}
+	return false
+}
+
+// ClientIPTrusted resolves the rate-limit key for a request arriving
+// through known proxies. The X-Forwarded-For chain is honored only
+// when the direct peer is on the trusted list; the chain is then
+// walked right to left past every trusted hop, and the first address
+// NOT on the list is the client. A request whose direct peer is
+// untrusted keys on RemoteAddr no matter what headers it carries — a
+// spoofer cannot mint buckets — and a malformed chain entry also
+// falls back to RemoteAddr rather than keying on attacker-controlled
+// bytes. When every hop is trusted (internal traffic), the leftmost
+// entry keys the bucket.
+func ClientIPTrusted(r *http.Request, trusted []*net.IPNet) string {
+	peer := ClientIP(r)
+	if len(trusted) == 0 || !ipTrusted(net.ParseIP(peer), trusted) {
+		return peer
+	}
+	var chain []string
+	for _, h := range r.Header.Values("X-Forwarded-For") {
+		for _, e := range strings.Split(h, ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				chain = append(chain, e)
+			}
+		}
+	}
+	leftmost := peer
+	for i := len(chain) - 1; i >= 0; i-- {
+		ip := net.ParseIP(chain[i])
+		if ip == nil {
+			return peer
+		}
+		if !ipTrusted(ip, trusted) {
+			return ip.String()
+		}
+		leftmost = ip.String()
+	}
+	return leftmost
+}
+
+// RateLimit enforces read and mutation budgets per client key.
 // isMutation classifies requests (nil means every non-GET/HEAD
 // request is a mutation); exempt requests (nil = none) bypass both
-// budgets. Every limited response carries the X-RateLimit-* headers;
-// a rejection is a structured 429 with Retry-After.
+// budgets; clientKey picks the bucket key (nil = ClientIP, which
+// ignores proxy headers). Every limited response carries the
+// X-RateLimit-* headers; a rejection is a structured 429 with
+// Retry-After.
 func RateLimit(next http.Handler, read, mutation *Limiter,
-	isMutation, exempt func(*http.Request) bool) http.Handler {
+	isMutation, exempt func(*http.Request) bool,
+	clientKey func(*http.Request) string) http.Handler {
 	if isMutation == nil {
 		isMutation = func(r *http.Request) bool {
 			return r.Method != http.MethodGet && r.Method != http.MethodHead
 		}
+	}
+	if clientKey == nil {
+		clientKey = ClientIP
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if exempt != nil && exempt(r) {
@@ -180,7 +272,7 @@ func RateLimit(next http.Handler, read, mutation *Limiter,
 			next.ServeHTTP(w, r)
 			return
 		}
-		d := l.Allow(ClientIP(r))
+		d := l.Allow(clientKey(r))
 		h := w.Header()
 		h.Set("X-RateLimit-Limit", strconv.Itoa(d.Limit))
 		h.Set("X-RateLimit-Remaining", strconv.Itoa(d.Remaining))

@@ -1,0 +1,128 @@
+package httpmw
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func mustProxies(t *testing.T, list string) []*net.IPNet {
+	t.Helper()
+	nets, err := ParseTrustedProxies(list)
+	if err != nil {
+		t.Fatalf("ParseTrustedProxies(%q): %v", list, err)
+	}
+	return nets
+}
+
+func TestParseTrustedProxies(t *testing.T) {
+	nets, err := ParseTrustedProxies(" 10.0.0.0/8, 192.0.2.1 , 2001:db8::/32,fe80::1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 4 {
+		t.Fatalf("parsed %d nets, want 4", len(nets))
+	}
+	for _, bad := range []string{"not-an-ip", "10.0.0.0/33", "10.0.0.256"} {
+		if _, err := ParseTrustedProxies(bad); err == nil {
+			t.Fatalf("ParseTrustedProxies(%q) accepted", bad)
+		}
+	}
+	if nets, err := ParseTrustedProxies(""); err != nil || len(nets) != 0 {
+		t.Fatalf("empty list: %v, %d nets", err, len(nets))
+	}
+}
+
+func proxyReq(remote string, xff ...string) *http.Request {
+	r := httptest.NewRequest("GET", "/api/recipes", nil)
+	r.RemoteAddr = remote
+	for _, v := range xff {
+		r.Header.Add("X-Forwarded-For", v)
+	}
+	return r
+}
+
+func TestClientIPTrusted(t *testing.T) {
+	trusted := mustProxies(t, "10.0.0.0/8,2001:db8::/32")
+	cases := []struct {
+		name string
+		req  *http.Request
+		want string
+	}{
+		// The bug this battery pins down: an untrusted peer forging
+		// X-Forwarded-For must NOT mint a bucket per spoofed value.
+		{"spoof from untrusted peer", proxyReq("198.51.100.9:4000", "203.0.113.77"), "198.51.100.9"},
+		{"untrusted peer, no header", proxyReq("198.51.100.9:4000"), "198.51.100.9"},
+		{"trusted peer, single hop", proxyReq("10.1.2.3:4000", "203.0.113.77"), "203.0.113.77"},
+		// Multi-hop: client → trusted A → trusted B → server; both
+		// proxy addresses are walked past, right to left.
+		{"multi-hop trusted chain", proxyReq("10.1.2.3:4000", "203.0.113.77, 10.9.9.9"), "203.0.113.77"},
+		{"multi-hop split headers", proxyReq("10.1.2.3:4000", "203.0.113.77", "10.9.9.9"), "203.0.113.77"},
+		// An untrusted hop stops the walk: everything left of it is
+		// attacker-controllable and must be ignored.
+		{"spoofed prefix behind trusted hop", proxyReq("10.1.2.3:4000", "1.1.1.1, 203.0.113.77"), "203.0.113.77"},
+		// IPv6 peers and clients, including canonicalization.
+		{"ipv6 client via trusted v4 proxy", proxyReq("10.1.2.3:4000", "2001:4860:4860:0:0:0:0:8888"), "2001:4860:4860::8888"},
+		{"ipv6 trusted proxy", proxyReq("[2001:db8::5]:4000", "203.0.113.77"), "203.0.113.77"},
+		{"ipv6 untrusted peer spoofing", proxyReq("[2001:4860::1]:4000", "203.0.113.77"), "2001:4860::1"},
+		// Garbage in the chain from a trusted peer: fall back to the
+		// peer rather than keying on attacker bytes.
+		{"malformed chain entry", proxyReq("10.1.2.3:4000", "garbage, 10.9.9.9"), "10.1.2.3"},
+		// All hops trusted (internal traffic): leftmost entry keys.
+		{"fully trusted chain", proxyReq("10.1.2.3:4000", "10.0.0.1, 10.9.9.9"), "10.0.0.1"},
+		{"trusted peer, empty header", proxyReq("10.1.2.3:4000"), "10.1.2.3"},
+	}
+	for _, tc := range cases {
+		if got := ClientIPTrusted(tc.req, trusted); got != tc.want {
+			t.Errorf("%s: key = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+	if got := ClientIPTrusted(proxyReq("10.1.2.3:4000", "203.0.113.77"), nil); got != "10.1.2.3" {
+		t.Errorf("nil trusted list: key = %q, want peer", got)
+	}
+}
+
+// TestRateLimitSpoofedForwardedFor drives the full middleware: with a
+// trusted-proxy key function, one spoofing client rotating forged
+// X-Forwarded-For values from an untrusted address exhausts ONE
+// bucket, while a genuine client behind the trusted proxy keeps its
+// own budget.
+func TestRateLimitSpoofedForwardedFor(t *testing.T) {
+	trusted := mustProxies(t, "10.0.0.0/8")
+	read := NewLimiter(1, 2)
+	frozen := time.Now()
+	read.now = func() time.Time { return frozen }
+	h := RateLimit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), read, nil, func(*http.Request) bool { return false }, nil,
+		func(r *http.Request) string { return ClientIPTrusted(r, trusted) })
+
+	do := func(remote, xff string) int {
+		req := proxyReq(remote)
+		if xff != "" {
+			req.Header.Set("X-Forwarded-For", xff)
+		}
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		return rr.Code
+	}
+
+	// Attacker at an untrusted address forges a fresh client per
+	// request; all of them must land in the attacker's own bucket.
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if do("198.51.100.9:4000", fmt.Sprintf("203.0.113.%d", i)) == http.StatusOK {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("spoofer admitted %d times, want burst of 2", admitted)
+	}
+	// A real client arriving via the trusted proxy still has tokens.
+	if code := do("10.1.2.3:4000", "203.0.113.200"); code != http.StatusOK {
+		t.Fatalf("legitimate proxied client rejected: %d", code)
+	}
+}

@@ -122,7 +122,7 @@ func TestRateLimitHeaderContract(t *testing.T) {
 	read.now = func() time.Time { return frozen }
 	h := RateLimit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
-	}), read, nil, func(*http.Request) bool { return false }, nil)
+	}), read, nil, func(*http.Request) bool { return false }, nil, nil)
 
 	get := func() *httptest.ResponseRecorder {
 		req := httptest.NewRequest("GET", "/api/recipes", nil)
@@ -172,7 +172,7 @@ func TestRateLimitBudgetSplit(t *testing.T) {
 	mutation.now = func() time.Time { return frozen }
 	h := RateLimit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
-	}), read, mutation, nil, nil)
+	}), read, mutation, nil, nil, nil)
 
 	do := func(method string) int {
 		req := httptest.NewRequest(method, "/api/recipes", nil)
@@ -206,7 +206,7 @@ func TestRateLimitConcurrentContract(t *testing.T) {
 	h := RateLimit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		served.Add(1)
 		w.WriteHeader(http.StatusOK)
-	}), l, l, nil, nil)
+	}), l, l, nil, nil, nil)
 
 	const goroutines, per = 8, 50
 	var denied atomic.Int64

@@ -436,10 +436,17 @@ func (s *Store) commitGroup(g *writeGroup) {
 		newCopy := s.recipes[id]
 		muts = append(muts, Mutation{Version: v, ID: id, Old: displaced, New: &newCopy})
 	}
+	// Subscribers run before the atomic version is published: the
+	// lock-free version is a fence ("state at version v is observable"),
+	// so anything keyed on it — a replica's version gate admitting a
+	// read the live search index must already cover — may only see v
+	// once every subscriber has processed the batch. Readers under
+	// Read() are excluded by the lock either way; only lock-free
+	// Version() observers need this ordering.
+	s.notifyLocked(muts)
 	if v != base {
 		s.version.Store(v)
 	}
-	s.notifyLocked(muts)
 	s.mu.Unlock()
 }
 

@@ -110,9 +110,10 @@ func (s *Store) SubscribeBatch(init func(v *View), fn func(ms []Mutation)) {
 	s.subs = append(s.subs, fn)
 }
 
-// notifyLocked delivers one batch of mutations to every subscriber;
-// callers hold s.mu exclusively and have already published the final
-// batch version.
+// notifyLocked delivers one batch of mutations to every subscriber.
+// Callers hold s.mu exclusively and publish the atomic version only
+// AFTER this returns, so lock-free Version() observers never see a
+// version whose mutations a subscriber has not yet processed.
 func (s *Store) notifyLocked(ms []Mutation) {
 	if len(ms) == 0 {
 		return
@@ -189,6 +190,43 @@ func (s *Store) Catalog() *flavor.Catalog { return s.catalog }
 // successful mutation. It is safe to read without any lock, so cache
 // layers can fence entries against it cheaply.
 func (s *Store) Version() uint64 { return s.version.Load() }
+
+// SyncVersion raises the corpus version to at least v without changing
+// any recipe. Replica followers use it to reconcile version accounting
+// with the primary: some primary version bumps leave no replayable
+// record (redundant-tombstone no-ops, and version numbering consumed
+// by records a later compaction folded away), so after applying every
+// shipped record up to the primary's published version V the follower
+// calls SyncVersion(V) to land exactly on V. Subscribers receive one
+// content-free Mutation{Version: v} (nil Old and New) so derived state
+// that fences on the corpus version — the search index, the rebuild
+// debouncers — advances its version stamp with it. Lower or equal v is
+// a no-op.
+func (s *Store) SyncVersion(v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v <= s.version.Load() {
+		return
+	}
+	s.notifyLocked([]Mutation{{Version: v}})
+	s.version.Store(v)
+}
+
+// SyncSlots extends the slot table to at least n slots with tombstones,
+// changing no live recipe and no version. The snapshot-reload path
+// (storage.LoadCorpus) carries only live recipes, so a corpus whose
+// highest slots were all tombstoned reloads short of the original slot
+// bound; replica followers persist the bound alongside the version and
+// restore it here so Slots(), Add's next-free-slot choice and
+// CanonicalDump agree with the primary byte for byte. Lower or equal n
+// is a no-op.
+func (s *Store) SyncSlots(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.recipes) < n {
+		s.recipes = append(s.recipes, Recipe{ID: len(s.recipes), Deleted: true})
+	}
+}
 
 // View is a lock-free window onto the corpus, valid only inside the
 // Read callback that produced it. Its accessors mirror the Store read

@@ -1,0 +1,89 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"culinary/internal/httpmw"
+	"culinary/internal/storage"
+)
+
+// client fetches feed state and segment bytes from a primary.
+type client struct {
+	base string // primary replication base URL, no trailing slash
+	hc   *http.Client
+}
+
+func newClient(base string, hc *http.Client) *client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &client{base: base, hc: hc}
+}
+
+// state fetches the primary's replication snapshot.
+func (c *client) state() (*State, error) {
+	resp, err := c.hc.Get(c.base + StatePath)
+	if err != nil {
+		return nil, fmt.Errorf("replica: fetching state: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, envelopeError(resp)
+	}
+	var st State
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("replica: decoding state: %w", err)
+	}
+	return &st, nil
+}
+
+// segment fetches up to limit bytes of segment id at off. A shorter or
+// empty slice means the primary's watermark has not advanced further.
+// A primary that no longer serves the segment yields an error wrapping
+// storage.ErrSegmentGone.
+func (c *client) segment(id uint64, off, limit int64) ([]byte, error) {
+	u := c.base + SegmentPath + "?" + url.Values{
+		"id":    {strconv.FormatUint(id, 10)},
+		"off":   {strconv.FormatInt(off, 10)},
+		"limit": {strconv.FormatInt(limit, 10)},
+	}.Encode()
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("replica: fetching segment %d: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, envelopeError(resp)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxChunkBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("replica: reading segment %d: %w", id, err)
+	}
+	if int64(len(data)) > MaxChunkBytes {
+		return nil, fmt.Errorf("replica: segment %d response exceeds %d bytes", id, int64(MaxChunkBytes))
+	}
+	return data, nil
+}
+
+// envelopeError converts a non-200 feed response into a typed error:
+// the segment_gone code maps onto storage.ErrSegmentGone so the
+// follower's reconcile logic can errors.Is on it across the wire.
+func envelopeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	var env httpmw.Envelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		if env.Error.Code == httpmw.CodeSegmentGone {
+			return fmt.Errorf("replica: feed: %s: %w", env.Error.Message, storage.ErrSegmentGone)
+		}
+		return fmt.Errorf("replica: feed %d %s: %s", resp.StatusCode, env.Error.Code, env.Error.Message)
+	}
+	return fmt.Errorf("replica: feed status %d", resp.StatusCode)
+}

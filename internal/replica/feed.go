@@ -1,0 +1,166 @@
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"culinary/internal/httpmw"
+	"culinary/internal/recipedb"
+	"culinary/internal/storage"
+)
+
+// Feed is the primary-side replication endpoint pair, designed to be
+// served from a dedicated listener (cmd/server -replication-listen) so
+// replication traffic never competes with client requests for the API
+// listener's connection and rate budgets.
+type Feed struct {
+	db     *storage.Store
+	corpus *recipedb.Store
+
+	// lastGood is the newest (version, slot bound) a successful sample
+	// published. When a sample's fsync fails (write path degraded), the
+	// feed keeps serving segment positions — reads and shipping stay up
+	// while writes are down — but must not claim a version the
+	// un-fsynced positions might not cover, so it falls back to these
+	// values (undershooting is always safe; see State).
+	mu            sync.Mutex
+	lastGood      uint64
+	lastGoodSlots int
+
+	stateReqs   atomic.Uint64
+	segmentReqs atomic.Uint64
+	bytesServed atomic.Uint64
+}
+
+// NewFeed builds a replication feed over an open primary store pair.
+func NewFeed(db *storage.Store, corpus *recipedb.Store) *Feed {
+	return &Feed{db: db, corpus: corpus}
+}
+
+// Handler returns the feed's HTTP handler, routing StatePath and
+// SegmentPath. Errors use the structured envelope so follower clients
+// and humans share one decoding path.
+func (f *Feed) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(StatePath, f.handleState)
+	mux.HandleFunc(SegmentPath, f.handleSegment)
+	return mux
+}
+
+// handleState samples and serves a replication snapshot. Ordering is
+// the correctness core: the corpus version is read FIRST, then the log
+// is fsynced, then segment positions are sampled. Any mutation counted
+// by the version was persisted (write-through) before the version was
+// published, so the fsync covers its bytes and the sampled positions
+// include them — replaying to these positions can only land at or
+// beyond the published version, never behind it.
+func (f *Feed) handleState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpmw.WriteError(w, http.StatusMethodNotAllowed, httpmw.CodeMethod, "GET only")
+		return
+	}
+	f.stateReqs.Add(1)
+
+	var version uint64
+	var slots int
+	f.corpus.Read(func(v *recipedb.View) {
+		version, slots = v.Version, v.Slots()
+	})
+	if err := f.db.Sync(); err != nil {
+		// Write path degraded: the durable watermark cannot be advanced,
+		// so fall back to the last version a successful sample covered.
+		// Fresh positions are still served — they only ever undershoot.
+		f.mu.Lock()
+		version, slots = f.lastGood, f.lastGoodSlots
+		f.mu.Unlock()
+	} else {
+		f.mu.Lock()
+		if version > f.lastGood {
+			f.lastGood, f.lastGoodSlots = version, slots
+		} else {
+			version, slots = f.lastGood, f.lastGoodSlots
+		}
+		f.mu.Unlock()
+	}
+
+	manifest, segs, err := f.db.ReplicationState()
+	if err != nil {
+		httpmw.WriteError(w, http.StatusServiceUnavailable, httpmw.CodeStorageUnavailable, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(State{Version: version, Slots: slots, Manifest: manifest, Segments: segs})
+}
+
+// handleSegment streams raw segment bytes: ?id=N&off=N&limit=N. The
+// response may be shorter than limit (watermark reached) or empty (no
+// new bytes past off). A segment the store no longer serves answers
+// 404 segment_gone — the follower's cue to re-fetch the state and
+// reconcile rather than retry.
+func (f *Feed) handleSegment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpmw.WriteError(w, http.StatusMethodNotAllowed, httpmw.CodeMethod, "GET only")
+		return
+	}
+	f.segmentReqs.Add(1)
+	q := r.URL.Query()
+	id, err := strconv.ParseUint(q.Get("id"), 10, 64)
+	if err != nil {
+		httpmw.WriteError(w, http.StatusBadRequest, httpmw.CodeBadRequest, "bad segment id")
+		return
+	}
+	off, err := strconv.ParseInt(q.Get("off"), 10, 64)
+	if err != nil || off < 0 {
+		httpmw.WriteError(w, http.StatusBadRequest, httpmw.CodeBadRequest, "bad offset")
+		return
+	}
+	limit := int64(DefaultChunkBytes)
+	if s := q.Get("limit"); s != "" {
+		limit, err = strconv.ParseInt(s, 10, 64)
+		if err != nil || limit <= 0 {
+			httpmw.WriteError(w, http.StatusBadRequest, httpmw.CodeBadRequest, "bad limit")
+			return
+		}
+	}
+	if limit > MaxChunkBytes {
+		limit = MaxChunkBytes
+	}
+	data, err := f.db.ReadSegmentAt(id, off, limit)
+	switch {
+	case errors.Is(err, storage.ErrSegmentGone):
+		httpmw.WriteError(w, http.StatusNotFound, httpmw.CodeSegmentGone, err.Error())
+		return
+	case err != nil:
+		httpmw.WriteError(w, http.StatusServiceUnavailable, httpmw.CodeStorageUnavailable, err.Error())
+		return
+	}
+	f.bytesServed.Add(uint64(len(data)))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// FeedStats is a snapshot of feed-side counters for /api/health.
+type FeedStats struct {
+	StateRequests   uint64 `json:"stateRequests"`
+	SegmentRequests uint64 `json:"segmentRequests"`
+	BytesServed     uint64 `json:"bytesServed"`
+	LastVersion     uint64 `json:"lastVersion"`
+}
+
+// Stats returns the feed counters.
+func (f *Feed) Stats() FeedStats {
+	f.mu.Lock()
+	last := f.lastGood
+	f.mu.Unlock()
+	return FeedStats{
+		StateRequests:   f.stateReqs.Load(),
+		SegmentRequests: f.segmentReqs.Load(),
+		BytesServed:     f.bytesServed.Load(),
+		LastVersion:     last,
+	}
+}

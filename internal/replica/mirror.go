@@ -1,0 +1,467 @@
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"culinary/internal/storage"
+)
+
+// mirror manages the follower's on-disk copy of the primary's store
+// directory: segment files under their primary names, the MANIFEST
+// verbatim, and a REPLICA_STATE progress file. The invariant it
+// maintains across crashes is that after openMirror's repair pass the
+// directory is byte-consistent with some committed REPLICA_STATE — a
+// read-only storage.Open of it replays to a corpus state at or beyond
+// the recorded version, never a corrupt or regressed one.
+//
+// Two write disciplines make that hold:
+//
+//   - Chain segments (rank == id) append in place. Progress is
+//     recorded (sizes fsynced, then REPLICA_STATE renamed in) only
+//     after the data fsync, so a torn fetch leaves bytes past the
+//     recorded size — truncated away at the next openMirror, exactly
+//     like the engine's own tail repair.
+//   - Ranked segments (compaction/salvage outputs) must appear
+//     atomically WITH the manifest that ranks them: an unranked copy
+//     would replay at its high raw id and let stale records win. They
+//     stage as *.seg.tmp, their staged sizes are committed to
+//     REPLICA_STATE, the manifest is mirrored, and only then are they
+//     renamed in — every crash window either rolls the staged file
+//     forward (its recorded size proves it complete) or discards it.
+type mirror struct {
+	dir     string
+	version uint64
+	// slots mirrors the corpus slot bound at version; the follower sets
+	// it before each commitState (see replicaState.Slots).
+	slots int
+	// written tracks final segment file sizes; staged tracks *.seg.tmp
+	// sizes mid-protocol; done marks segments known fully fetched (a
+	// sealed segment mirrored to its full primary size) — persisted so
+	// a restart can tell a harmless drop of a fully-replayed segment
+	// from one whose unfetched suffix was re-homed into ranked outputs
+	// the follower never decodes (which forces a reconcile).
+	written  map[uint64]int64
+	staged   map[uint64]int64
+	done     map[uint64]bool
+	files    map[uint64]*os.File
+	tmpFiles map[uint64]*os.File
+	dirty    map[uint64]bool
+	manifest []byte
+}
+
+// stateFileName is the follower's durable progress marker.
+const stateFileName = "REPLICA_STATE"
+
+// replicaState is the REPLICA_STATE wire format.
+type replicaState struct {
+	Version uint64 `json:"version"`
+	// Slots is the corpus slot bound at Version. LoadCorpus cannot
+	// recover trailing tombstoned slots (only live recipes have keys),
+	// so reopen restores the bound from here via SyncSlots.
+	Slots    int        `json:"slots,omitempty"`
+	Segments []savedSeg `json:"segments,omitempty"`
+	Staged   []savedSeg `json:"staged,omitempty"`
+}
+
+type savedSeg struct {
+	ID   uint64 `json:"id"`
+	Size int64  `json:"size"`
+	Done bool   `json:"done,omitempty"`
+}
+
+// openMirror opens (creating if necessary) a mirror directory and
+// repairs it to the last committed REPLICA_STATE: final files truncate
+// to their recorded sizes (or are deleted when unrecorded), staged
+// files roll forward only when their recorded staged size proves them
+// complete and the mirrored manifest ranks them, and everything else
+// from a torn poll is discarded for refetch.
+func openMirror(dir string) (*mirror, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("replica: creating mirror dir: %w", err)
+	}
+	m := &mirror{
+		dir:      dir,
+		written:  make(map[uint64]int64),
+		staged:   make(map[uint64]int64),
+		done:     make(map[uint64]bool),
+		files:    make(map[uint64]*os.File),
+		tmpFiles: make(map[uint64]*os.File),
+		dirty:    make(map[uint64]bool),
+	}
+	var st replicaState
+	raw, err := os.ReadFile(filepath.Join(dir, stateFileName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh mirror (or one that never completed a poll).
+	case err != nil:
+		return nil, fmt.Errorf("replica: reading %s: %w", stateFileName, err)
+	default:
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return nil, fmt.Errorf("replica: parsing %s: %w", stateFileName, err)
+		}
+	}
+	m.version = st.Version
+	m.slots = st.Slots
+	recorded := make(map[uint64]int64, len(st.Segments))
+	recordedDone := make(map[uint64]bool, len(st.Segments))
+	for _, s := range st.Segments {
+		recorded[s.ID] = s.Size
+		recordedDone[s.ID] = s.Done
+	}
+	stagedRec := make(map[uint64]int64, len(st.Staged))
+	for _, s := range st.Staged {
+		stagedRec[s.ID] = s.Size
+	}
+
+	if m.manifest, err = os.ReadFile(filepath.Join(dir, storage.ManifestFileName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("replica: reading mirrored manifest: %w", err)
+	}
+	man, err := parseManifest(m.manifest)
+	if err != nil {
+		return nil, err
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("replica: scanning mirror dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		path := filepath.Join(dir, name)
+		switch {
+		case strings.HasSuffix(name, ".seg.tmp"):
+			id, ok := parseSegName(strings.TrimSuffix(name, ".tmp"))
+			if !ok {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				return nil, err
+			}
+			// Roll forward only a provably complete staged file the
+			// mirrored manifest already ranks; anything else is a torn
+			// stage, discarded for refetch.
+			if _, ranked := man.Ranks[id]; ranked && stagedRec[id] == info.Size() && info.Size() > 0 {
+				if err := os.Rename(path, filepath.Join(dir, storage.SegmentFileName(id))); err != nil {
+					return nil, fmt.Errorf("replica: rolling staged segment forward: %w", err)
+				}
+				recorded[id] = info.Size()
+				recordedDone[id] = true // staged fetches are all-or-nothing
+				continue
+			}
+			if err := os.Remove(path); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(name, ".seg"):
+			id, ok := parseSegName(name)
+			if !ok {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				return nil, err
+			}
+			want, ok := recorded[id]
+			if !ok {
+				// A promoted staged file whose final REPLICA_STATE commit
+				// never landed is proven complete by its staged record;
+				// any other unrecorded file is a torn bootstrap fetch.
+				if stagedRec[id] == info.Size() && info.Size() > 0 {
+					recorded[id] = info.Size()
+					recordedDone[id] = true
+					continue
+				}
+				if err := os.Remove(path); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			switch {
+			case info.Size() > want:
+				if err := os.Truncate(path, want); err != nil {
+					return nil, fmt.Errorf("replica: trimming torn fetch: %w", err)
+				}
+			case info.Size() < want:
+				// Data shorter than a committed record claims durable:
+				// the file cannot be trusted at any prefix; refetch.
+				if err := os.Remove(path); err != nil {
+					return nil, err
+				}
+				delete(recorded, id)
+			}
+		}
+	}
+	// Drop records whose files vanished (a cleanup interrupted
+	// mid-delete): the segment was superseded, refetching is the worst
+	// case.
+	for id, size := range recorded {
+		if info, err := os.Stat(filepath.Join(dir, storage.SegmentFileName(id))); err != nil || info.Size() != size {
+			delete(recorded, id)
+			continue
+		}
+		m.written[id] = size
+		if recordedDone[id] {
+			m.done[id] = true
+		}
+	}
+	return m, nil
+}
+
+func parseSegName(name string) (uint64, bool) {
+	base := strings.TrimSuffix(name, ".seg")
+	if len(base) != 8 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// segFile returns (opening or creating as needed) the append handle
+// for a final segment file.
+func (m *mirror) segFile(id uint64) (*os.File, error) {
+	if f, ok := m.files[id]; ok {
+		return f, nil
+	}
+	f, err := os.OpenFile(filepath.Join(m.dir, storage.SegmentFileName(id)), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("replica: opening mirror segment: %w", err)
+	}
+	m.files[id] = f
+	return f, nil
+}
+
+// writeAt appends fetched chain-segment bytes at their primary offset.
+func (m *mirror) writeAt(id uint64, off int64, data []byte) error {
+	f, err := m.segFile(id)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, off); err != nil {
+		return fmt.Errorf("replica: writing mirror segment %d: %w", id, err)
+	}
+	if end := off + int64(len(data)); end > m.written[id] {
+		m.written[id] = end
+	}
+	m.dirty[id] = true
+	return nil
+}
+
+// stageWriteAt appends fetched ranked-segment bytes into the staging
+// file (*.seg.tmp).
+func (m *mirror) stageWriteAt(id uint64, off int64, data []byte) error {
+	f, ok := m.tmpFiles[id]
+	if !ok {
+		var err error
+		f, err = os.OpenFile(filepath.Join(m.dir, storage.SegmentFileName(id)+".tmp"), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return fmt.Errorf("replica: opening staging segment: %w", err)
+		}
+		m.tmpFiles[id] = f
+	}
+	if _, err := f.WriteAt(data, off); err != nil {
+		return fmt.Errorf("replica: staging segment %d: %w", id, err)
+	}
+	if end := off + int64(len(data)); end > m.staged[id] {
+		m.staged[id] = end
+	}
+	return nil
+}
+
+// stagedSize reports how far a staged fetch has progressed.
+func (m *mirror) stagedSize(id uint64) int64 { return m.staged[id] }
+
+// markDone records that segment id is fully fetched (a sealed segment
+// mirrored to its complete primary size); isDone reports it. The bit
+// is persisted by commitState.
+func (m *mirror) markDone(id uint64)    { m.done[id] = true }
+func (m *mirror) isDone(id uint64) bool { return m.done[id] }
+
+// sealStaged fsyncs every staging file and durably records the staged
+// sizes, so a later crash can prove them complete. Must run before the
+// manifest that ranks them is mirrored.
+func (m *mirror) sealStaged() error {
+	if len(m.staged) == 0 {
+		return nil
+	}
+	for id, f := range m.tmpFiles {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("replica: syncing staged segment %d: %w", id, err)
+		}
+	}
+	return m.commitState(m.version)
+}
+
+// dropStaged discards a staging file (its segment vanished from the
+// snapshot before the fetch completed).
+func (m *mirror) dropStaged(id uint64) error {
+	if f, ok := m.tmpFiles[id]; ok {
+		f.Close()
+		delete(m.tmpFiles, id)
+	}
+	delete(m.staged, id)
+	err := os.Remove(filepath.Join(m.dir, storage.SegmentFileName(id)+".tmp"))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// promoteStaged renames every staged file to its final name. Must run
+// after the ranking manifest is mirrored; the rename makes the ranked
+// copy visible to replay under the rank the manifest assigns it.
+func (m *mirror) promoteStaged() error {
+	if len(m.tmpFiles) == 0 {
+		return nil
+	}
+	for id, f := range m.tmpFiles {
+		if err := f.Close(); err != nil {
+			return err
+		}
+		delete(m.tmpFiles, id)
+		tmp := filepath.Join(m.dir, storage.SegmentFileName(id)+".tmp")
+		if err := os.Rename(tmp, filepath.Join(m.dir, storage.SegmentFileName(id))); err != nil {
+			return fmt.Errorf("replica: promoting staged segment %d: %w", id, err)
+		}
+		m.written[id] = m.staged[id]
+		m.done[id] = true
+		delete(m.staged, id)
+	}
+	return syncDir(m.dir)
+}
+
+// mirrorManifest atomically replaces the local MANIFEST with the
+// primary's bytes (temp file, fsync, rename, directory fsync) when
+// they changed.
+func (m *mirror) mirrorManifest(data []byte) error {
+	if len(data) == 0 || string(data) == string(m.manifest) {
+		return nil
+	}
+	path := filepath.Join(m.dir, storage.ManifestFileName)
+	if err := atomicWrite(path, data); err != nil {
+		return fmt.Errorf("replica: mirroring manifest: %w", err)
+	}
+	m.manifest = append([]byte(nil), data...)
+	return nil
+}
+
+// removeSegment deletes a superseded local segment (cleanup after the
+// snapshot stopped listing it). Safe at any crash point: the records
+// it held are covered by ranked outputs fetched before cleanup runs.
+func (m *mirror) removeSegment(id uint64) error {
+	if f, ok := m.files[id]; ok {
+		f.Close()
+		delete(m.files, id)
+	}
+	delete(m.written, id)
+	delete(m.done, id)
+	delete(m.dirty, id)
+	err := os.Remove(filepath.Join(m.dir, storage.SegmentFileName(id)))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// commitState makes all fetch progress durable: fsync every dirty
+// final file, then atomically replace REPLICA_STATE. The data fsync
+// strictly precedes the state commit, so a recorded size never claims
+// bytes the disk might not hold.
+func (m *mirror) commitState(version uint64) error {
+	for id := range m.dirty {
+		f, ok := m.files[id]
+		if !ok {
+			continue
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("replica: syncing mirror segment %d: %w", id, err)
+		}
+		delete(m.dirty, id)
+	}
+	st := replicaState{Version: version, Slots: m.slots}
+	for id, size := range m.written {
+		st.Segments = append(st.Segments, savedSeg{ID: id, Size: size, Done: m.done[id]})
+	}
+	for id, size := range m.staged {
+		st.Staged = append(st.Staged, savedSeg{ID: id, Size: size})
+	}
+	sort.Slice(st.Segments, func(i, j int) bool { return st.Segments[i].ID < st.Segments[j].ID })
+	sort.Slice(st.Staged, func(i, j int) bool { return st.Staged[i].ID < st.Staged[j].ID })
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(filepath.Join(m.dir, stateFileName), data); err != nil {
+		return fmt.Errorf("replica: committing %s: %w", stateFileName, err)
+	}
+	m.version = version
+	return nil
+}
+
+// close releases every open file handle (without further fsync: state
+// not committed is state to refetch).
+func (m *mirror) close() error {
+	var firstErr error
+	for _, f := range m.files {
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, f := range m.tmpFiles {
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	m.files = map[uint64]*os.File{}
+	m.tmpFiles = map[uint64]*os.File{}
+	return firstErr
+}
+
+// atomicWrite replaces path via temp file, fsync, rename and directory
+// fsync — the same commit discipline the storage engine uses for its
+// manifest.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so renames and creations inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

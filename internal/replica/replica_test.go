@@ -1,0 +1,479 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"culinary/internal/flavor"
+	"culinary/internal/recipedb"
+	"culinary/internal/storage"
+)
+
+func testCatalog(t *testing.T) *flavor.Catalog {
+	t.Helper()
+	catalog, err := flavor.Build(flavor.DefaultConfig())
+	if err != nil {
+		t.Fatalf("building catalog: %v", err)
+	}
+	return catalog
+}
+
+// primary bundles a feed-serving primary: a storage-backed corpus plus
+// the replication feed on an httptest listener.
+type primary struct {
+	t       *testing.T
+	dir     string
+	db      *storage.Store
+	corpus  *recipedb.Store
+	catalog *flavor.Catalog
+	srv     *httptest.Server
+
+	nextIng int
+	nextReg int
+}
+
+var testRegions = []recipedb.Region{
+	recipedb.Italy, recipedb.Japan, recipedb.IndianSubcontinent, recipedb.Mexico,
+}
+
+// newPrimary builds a primary with baseRecipes recipes snapshotted into
+// storage before write-through begins, mimicking cmd/server startup.
+// Small segments force frequent rotation so sealed-segment shipping is
+// exercised by modest workloads.
+func newPrimary(t *testing.T, inj *storage.ErrInjector, baseRecipes int) *primary {
+	t.Helper()
+	p := &primary{t: t, catalog: testCatalog(t)}
+	p.corpus = recipedb.NewStore(p.catalog)
+	for i := 0; i < baseRecipes; i++ {
+		p.addRecipe(fmt.Sprintf("base recipe %03d", i))
+	}
+	p.dir = t.TempDir()
+	db, err := storage.Open(p.dir, storage.Options{
+		MaxSegmentBytes: 2048,
+		FaultInjection:  inj,
+	})
+	if err != nil {
+		t.Fatalf("opening primary store: %v", err)
+	}
+	if err := storage.SaveCorpus(db, p.corpus); err != nil {
+		t.Fatalf("saving corpus: %v", err)
+	}
+	p.db = db
+	p.corpus.SetBackend(db)
+	p.srv = httptest.NewServer(NewFeed(db, p.corpus).Handler())
+	t.Cleanup(func() {
+		p.srv.Close()
+		db.Close()
+	})
+	return p
+}
+
+func (p *primary) ingredients(n int) []flavor.ID {
+	p.t.Helper()
+	names := p.catalog.Names()
+	ids := make([]flavor.ID, n)
+	for i := range ids {
+		name := names[(p.nextIng+i*11)%len(names)]
+		id, ok := p.catalog.Lookup(name)
+		if !ok {
+			p.t.Fatalf("lookup %q failed", name)
+		}
+		ids[i] = id
+	}
+	p.nextIng += 3
+	return ids
+}
+
+func (p *primary) addRecipe(name string) int {
+	p.t.Helper()
+	region := testRegions[p.nextReg%len(testRegions)]
+	p.nextReg++
+	id, err := p.corpus.Add(name, region, recipedb.AllRecipes, p.ingredients(3))
+	if err != nil {
+		p.t.Fatalf("Add(%q): %v", name, err)
+	}
+	return id
+}
+
+func (p *primary) upsert(id int, name string) {
+	p.t.Helper()
+	r := p.corpus.Recipe(id)
+	if _, _, _, err := p.corpus.Upsert(id, name, r.Region, r.Source, r.Ingredients); err != nil {
+		p.t.Fatalf("Upsert(%d): %v", id, err)
+	}
+}
+
+func newFollower(t *testing.T, p *primary, dir string, chunk int64) *Follower {
+	t.Helper()
+	f, err := OpenFollower(FollowerConfig{
+		Primary:    p.srv.URL,
+		Dir:        dir,
+		Catalog:    p.catalog,
+		ChunkBytes: chunk,
+	})
+	if err != nil {
+		t.Fatalf("OpenFollower: %v", err)
+	}
+	return f
+}
+
+// syncFollower polls until the follower's corpus reaches the primary's
+// current version, asserting the version token never regresses on the
+// way (the monotonic read-your-writes contract).
+func syncFollower(t *testing.T, f *Follower, p *primary) {
+	t.Helper()
+	want := p.corpus.Version()
+	prev := f.Corpus().Version()
+	for i := 0; i < 100; i++ {
+		if err := f.Poll(); err != nil {
+			t.Fatalf("poll %d: %v", i, err)
+		}
+		if v := f.Corpus().Version(); v < prev {
+			t.Fatalf("follower version regressed: %d after %d", v, prev)
+		} else {
+			prev = v
+		}
+		if prev >= want {
+			if prev > want {
+				t.Fatalf("follower overshot: %d, primary %d", prev, want)
+			}
+			return
+		}
+	}
+	t.Fatalf("follower stuck at version %d, want %d", prev, want)
+}
+
+func assertConverged(t *testing.T, f *Follower, p *primary) {
+	t.Helper()
+	got, want := f.Corpus().CanonicalDump(), p.corpus.CanonicalDump()
+	if got != want {
+		t.Fatalf("follower state diverged from primary\nfollower:\n%s\nprimary:\n%s", got, want)
+	}
+}
+
+func TestFeedStateAndSegments(t *testing.T) {
+	p := newPrimary(t, nil, 5)
+	c := newClient(p.srv.URL, nil)
+
+	st, err := c.state()
+	if err != nil {
+		t.Fatalf("state: %v", err)
+	}
+	if st.Version != p.corpus.Version() {
+		t.Errorf("state version = %d, corpus %d", st.Version, p.corpus.Version())
+	}
+	if len(st.Segments) == 0 {
+		t.Fatal("state lists no segments")
+	}
+	if _, err := parseManifest(st.Manifest); err != nil {
+		t.Errorf("state manifest unparseable: %v", err)
+	}
+
+	chain := st.chainSegments()
+	if len(chain) == 0 {
+		t.Fatal("no chain segments listed")
+	}
+	data, err := c.segment(chain[0].ID, 0, 10)
+	if err != nil {
+		t.Fatalf("segment fetch: %v", err)
+	}
+	if len(data) == 0 || len(data) > 10 {
+		t.Errorf("segment chunk = %d bytes, want 1..10", len(data))
+	}
+
+	// A segment the store never allocated is a typed miss, the
+	// follower's cue to re-sync rather than retry.
+	if _, err := c.segment(999999, 0, 10); !errors.Is(err, storage.ErrSegmentGone) {
+		t.Errorf("unknown segment error = %v, want ErrSegmentGone", err)
+	}
+
+	// Parameter and method errors stay enveloped.
+	resp, err := http.Get(p.srv.URL + SegmentPath + "?id=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(p.srv.URL+StatePath, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST state: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestFollowerBootstrapAndTail covers the happy path end to end:
+// bootstrap from the committed snapshot, then incremental tailing of
+// adds, replacements and deletes through rotation, with a chunk size
+// smaller than one record so the tail-buffering path (fetch chunks
+// buffer in memory until a whole record decodes) is exercised hard.
+func TestFollowerBootstrapAndTail(t *testing.T) {
+	p := newPrimary(t, nil, 8)
+	f := newFollower(t, p, t.TempDir(), 57)
+	defer f.Close()
+
+	if got := f.Corpus().Version(); got != p.corpus.Version() {
+		t.Fatalf("bootstrap version = %d, primary %d", got, p.corpus.Version())
+	}
+	assertConverged(t, f, p)
+
+	// Enough adds to rotate the active segment several times.
+	var ids []int
+	for i := 0; i < 25; i++ {
+		ids = append(ids, p.addRecipe(fmt.Sprintf("tail recipe %03d", i)))
+	}
+	syncFollower(t, f, p)
+	assertConverged(t, f, p)
+
+	p.upsert(ids[0], "renamed after shipping")
+	if _, err := p.corpus.Remove(ids[1]); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	syncFollower(t, f, p)
+	assertConverged(t, f, p)
+
+	st := f.Stats()
+	if st.Lag != 0 || st.BytesFetched == 0 || st.PrimaryVersion != p.corpus.Version() {
+		t.Errorf("stats after catch-up: %+v", st)
+	}
+}
+
+// TestFollowerCompactionBetweenPolls mutates heavily and compacts the
+// primary entirely between two polls: victims vanish, ranked outputs
+// appear, and some segments may have lived and died without the
+// follower ever listing them. Whatever path the follower takes
+// (incremental adoption or reconcile), the contract is byte-identical
+// convergence.
+func TestFollowerCompactionBetweenPolls(t *testing.T) {
+	p := newPrimary(t, nil, 24)
+	f := newFollower(t, p, t.TempDir(), 0)
+	defer f.Close()
+	syncFollower(t, f, p)
+	assertConverged(t, f, p)
+
+	// Kill half the base corpus (dead bytes in sealed segments), bury
+	// the tombstones under fresh adds, and compact — all unobserved.
+	for i := 0; i < 12; i++ {
+		if _, err := p.corpus.Remove(i); err != nil {
+			t.Fatalf("Remove(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		p.addRecipe(fmt.Sprintf("post-compaction recipe %03d", i))
+	}
+	if err := p.db.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	syncFollower(t, f, p)
+	assertConverged(t, f, p)
+
+	// And again with the follower caught up first, so the victims are
+	// fully decoded locally: the cheap cleanup path must also converge.
+	for i := 12; i < 18; i++ {
+		if _, err := p.corpus.Remove(i); err != nil {
+			t.Fatalf("Remove(%d): %v", i, err)
+		}
+	}
+	syncFollower(t, f, p)
+	for i := 0; i < 10; i++ {
+		p.addRecipe(fmt.Sprintf("second wave %03d", i))
+	}
+	if err := p.db.Compact(); err != nil {
+		t.Fatalf("second Compact: %v", err)
+	}
+	syncFollower(t, f, p)
+	assertConverged(t, f, p)
+}
+
+// sealedChainMax returns the highest sealed, healthy chain segment id.
+func sealedChainMax(t *testing.T, p *primary) (uint64, int64) {
+	t.Helper()
+	_, segs, err := p.db.ReplicationState()
+	if err != nil {
+		t.Fatalf("ReplicationState: %v", err)
+	}
+	var id uint64
+	var size int64
+	for _, seg := range segs {
+		if seg.Sealed && !seg.Quarantined && seg.Rank == seg.ID && seg.ID > id {
+			id, size = seg.ID, seg.Size
+		}
+	}
+	if id == 0 {
+		t.Fatal("no sealed chain segment found")
+	}
+	return id, size
+}
+
+// TestScrubDuringShip is the regression test for satellite 2: a sealed
+// segment is corrupted and quarantined after the follower bootstraps
+// but before it tails the segment's records. While the segment sits
+// quarantined (salvage wedged by an injected disk fault) the follower
+// must back off with a typed gap error — not wedge, not serve the
+// version it cannot reach — and a direct fetch answers the typed
+// segment-gone miss. Once salvage lands and the snapshot re-homes the
+// records, the follower reconciles and converges byte-identically.
+func TestScrubDuringShip(t *testing.T) {
+	inj := storage.NewErrInjector()
+	p := newPrimary(t, inj, 6)
+	f := newFollower(t, p, t.TempDir(), 0)
+	defer f.Close()
+	assertConverged(t, f, p)
+
+	// New records the follower has not shipped yet; enough to seal at
+	// least one fresh segment.
+	var ids []int
+	for i := 0; i < 30; i++ {
+		ids = append(ids, p.addRecipe(fmt.Sprintf("unshipped recipe %03d", i)))
+	}
+	if err := p.db.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	seg, _ := sealedChainMax(t, p)
+
+	// Corrupt the final record of the newest sealed segment, then wedge
+	// salvage so the quarantine window stays open.
+	path := filepath.Join(p.dir, storage.SegmentFileName(seg))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading segment: %v", err)
+	}
+	data[len(data)-2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("writing corruption: %v", err)
+	}
+	inj.Arm(syscall.ENOSPC, storage.FaultCreate)
+	if err := p.db.Scrub(); err == nil {
+		t.Fatal("Scrub succeeded with salvage writes wedged")
+	}
+
+	_, segs, err := p.db.ReplicationState()
+	if err != nil {
+		t.Fatalf("ReplicationState: %v", err)
+	}
+	quarantined := false
+	for _, s := range segs {
+		if s.ID == seg && s.Quarantined {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatalf("segment %d not listed quarantined", seg)
+	}
+
+	// The follower backs off with the typed gap error instead of
+	// wedging or publishing a version it has not replayed.
+	before := f.Corpus().Version()
+	if err := f.Poll(); !errors.Is(err, errQuarantineGap) {
+		t.Fatalf("poll during quarantine = %v, want errQuarantineGap", err)
+	}
+	if v := f.Corpus().Version(); v != before {
+		t.Fatalf("version moved to %d during quarantine backoff", v)
+	}
+	// Fetch-by-id of the quarantined segment is a typed miss.
+	if _, err := f.client.segment(seg, 0, 64); !errors.Is(err, storage.ErrSegmentGone) {
+		t.Fatalf("quarantined fetch error = %v, want ErrSegmentGone", err)
+	}
+
+	// Salvage lands: the corrupt record's key is dropped from storage;
+	// re-upserting every unshipped recipe restores the lost slot (and
+	// rewrites the rest in place) so corpus and log agree again.
+	inj.Clear()
+	if err := p.db.Scrub(); err != nil {
+		t.Fatalf("Scrub after clearing fault: %v", err)
+	}
+	for _, id := range ids {
+		r := p.corpus.Recipe(id)
+		if _, _, _, err := p.corpus.Upsert(id, r.Name, r.Region, r.Source, r.Ingredients); err != nil {
+			t.Fatalf("repair upsert(%d): %v", id, err)
+		}
+	}
+
+	syncFollower(t, f, p)
+	assertConverged(t, f, p)
+	if f.Stats().Reconciles == 0 {
+		t.Error("salvaged segment adopted without a reconcile")
+	}
+}
+
+// TestFollowerRestartMatrix is the satellite-4 catch-up matrix: after
+// every applied delta the follower is killed and reopened, and the
+// replayed state must be byte-identical to the primary's corpus at the
+// corresponding version — resuming from the committed mirror, never
+// re-bootstrapping.
+func TestFollowerRestartMatrix(t *testing.T) {
+	p := newPrimary(t, nil, 6)
+	dir := t.TempDir()
+	f := newFollower(t, p, dir, 64)
+	syncFollower(t, f, p)
+
+	var added []int
+	for step := 0; step < 12; step++ {
+		switch step % 3 {
+		case 0:
+			added = append(added, p.addRecipe(fmt.Sprintf("matrix add %02d", step)))
+		case 1:
+			p.upsert(added[len(added)-1], fmt.Sprintf("matrix rename %02d", step))
+		case 2:
+			if _, err := p.corpus.Remove(added[0]); err != nil {
+				t.Fatalf("step %d Remove: %v", step, err)
+			}
+			added = added[1:]
+		}
+		syncFollower(t, f, p)
+		assertConverged(t, f, p)
+
+		if err := f.Close(); err != nil {
+			t.Fatalf("step %d: close: %v", step, err)
+		}
+		f = newFollower(t, p, dir, 64)
+		if fetched := f.Stats().BytesFetched; fetched != 0 {
+			t.Fatalf("step %d: reopen re-bootstrapped (%d bytes fetched)", step, fetched)
+		}
+		if got := f.Corpus().Version(); got != p.corpus.Version() {
+			t.Fatalf("step %d: reopened at version %d, primary %d", step, got, p.corpus.Version())
+		}
+		assertConverged(t, f, p)
+	}
+	f.Close()
+}
+
+// TestFeedServesLastGoodUnderSyncFault pins the feed's undershoot
+// contract: when the primary's fsync fails, the published version
+// falls back to the last successfully covered one — the follower keeps
+// polling without error and never publishes a version whose bytes the
+// durable watermark might not hold.
+func TestFeedServesLastGoodUnderSyncFault(t *testing.T) {
+	inj := storage.NewErrInjector()
+	p := newPrimary(t, inj, 4)
+	f := newFollower(t, p, t.TempDir(), 0)
+	defer f.Close()
+	v0 := f.Corpus().Version()
+
+	p.addRecipe("written but not yet durable")
+	inj.Arm(syscall.EIO, storage.FaultSync)
+	if err := f.Poll(); err != nil {
+		t.Fatalf("poll under sync fault: %v", err)
+	}
+	if got := f.Corpus().Version(); got != v0 {
+		t.Fatalf("follower advanced to %d under sync fault, want %d", got, v0)
+	}
+
+	inj.Clear()
+	p.db.TryRecoverWrites() // clear any write-path poisoning from the faulted sync
+	syncFollower(t, f, p)
+	assertConverged(t, f, p)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"culinary/internal/httpmw"
 	"culinary/internal/recipedb"
@@ -107,6 +108,12 @@ func (s *Server) handleBatchUpsert(w http.ResponseWriter, r *http.Request) {
 		if res.Version > version {
 			version = res.Version
 		}
+	}
+	if version > 0 {
+		// Re-stamp with the newest version the batch produced (the gate
+		// stamped the pre-mutation version) so clients can chain the
+		// header into X-Min-Version without parsing the body.
+		w.Header().Set(CorpusVersionHeader, strconv.FormatUint(version, 10))
 	}
 	writeJSON(w, map[string]interface{}{
 		"version": version,

@@ -118,6 +118,11 @@ func (s *Server) handleUpsertRecipe(w http.ResponseWriter, r *http.Request) {
 		s.writePersistenceError(w, err)
 		return
 	}
+	// Re-stamp with the version this write produced: the gate stamped
+	// the pre-mutation version, and the whole point of the header is
+	// that a client can chain it into X-Min-Version without parsing
+	// the body.
+	w.Header().Set(CorpusVersionHeader, strconv.FormatUint(version, 10))
 	if created {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusCreated)
@@ -188,6 +193,7 @@ func (s *Server) handleDeleteRecipe(w http.ResponseWriter, r *http.Request) {
 		s.writePersistenceError(w, err)
 		return
 	}
+	w.Header().Set(CorpusVersionHeader, strconv.FormatUint(version, 10))
 	writeJSON(w, map[string]interface{}{
 		"id":      id,
 		"version": version,

@@ -25,6 +25,7 @@ import (
 	"culinary/internal/query"
 	"culinary/internal/recipedb"
 	"culinary/internal/recommend"
+	"culinary/internal/replica"
 	"culinary/internal/rng"
 	"culinary/internal/search"
 	"culinary/internal/storage"
@@ -70,6 +71,20 @@ type Config struct {
 	// /api/recipes/batch request may carry. 0 selects
 	// DefaultMaxBatchItems; negative disables the cap.
 	MaxBatchItems int
+	// Follower switches the server into read-replica mode: Store must
+	// be the follower's corpus, mutation endpoints answer 403
+	// not_primary (with a Location redirect when PrimaryURL is set),
+	// and /api/health gains a replication block with the follower's
+	// lag and poll counters. Read endpoints are unchanged — including
+	// the version gate, which is what makes replica reads safe under
+	// the read-your-writes contract (see replica.go).
+	Follower *replica.Follower
+	// PrimaryURL is the primary's public API base URL, advertised in
+	// not_primary rejections so clients can self-correct.
+	PrimaryURL string
+	// Feed, on a primary serving a replication listener, adds the
+	// feed's counters to /api/health's replication block.
+	Feed *replica.Feed
 }
 
 // DefaultMaxBatchItems bounds a bulk-ingest request when
@@ -252,9 +267,19 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/regions/{code}/pairing", s.handlePairing)
 	s.mux.HandleFunc("GET /api/recipes", s.handleRecipes)
 	s.mux.HandleFunc("GET /api/recipes/{id}", s.handleRecipe)
-	s.mux.HandleFunc("POST /api/recipes", s.handleUpsertRecipe)
-	s.mux.HandleFunc("POST /api/recipes/batch", s.handleBatchUpsert)
-	s.mux.HandleFunc("DELETE /api/recipes/{id}", s.handleDeleteRecipe)
+	if s.cfg.Follower != nil {
+		// Read-replica mode: the corpus mutates only via replication
+		// replay, never via the API. Intercepting here (rather than
+		// relying on the missing backend) keeps the in-memory corpus
+		// from silently diverging from the primary's log.
+		s.mux.HandleFunc("POST /api/recipes", s.handleNotPrimary)
+		s.mux.HandleFunc("POST /api/recipes/batch", s.handleNotPrimary)
+		s.mux.HandleFunc("DELETE /api/recipes/{id}", s.handleNotPrimary)
+	} else {
+		s.mux.HandleFunc("POST /api/recipes", s.handleUpsertRecipe)
+		s.mux.HandleFunc("POST /api/recipes/batch", s.handleBatchUpsert)
+		s.mux.HandleFunc("DELETE /api/recipes/{id}", s.handleDeleteRecipe)
+	}
 	s.mux.HandleFunc("GET /api/ingredients/{name}", s.handleIngredient)
 	s.mux.HandleFunc("GET /api/ingredients/{name}/pairings", s.handleIngredientPairings)
 	s.mux.HandleFunc("GET /api/search", s.handleSearch)
@@ -273,11 +298,14 @@ func (s *Server) routes() {
 // the envelope fallback guarantees even the mux's own 404/405 pages
 // honor the structured error contract.
 func (s *Server) Handler() http.Handler {
-	var h http.Handler
+	// The version gate sits just outside the mux: freshness floors are
+	// checked (and responses version-stamped) for every endpoint, after
+	// the traffic stack has already shed what it will shed.
+	var h http.Handler = s.versionGate(s.mux)
 	if s.traffic != nil {
-		h = s.traffic.Wrap(s.mux) // includes the envelope fallback
+		h = s.traffic.Wrap(h) // includes the envelope fallback
 	} else {
-		h = httpmw.EnvelopeFallback(s.mux)
+		h = httpmw.EnvelopeFallback(h)
 	}
 	return s.recoverWrap(s.logWrap(h))
 }
@@ -406,6 +434,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		body["traffic"] = map[string]interface{}{
 			"mutationBatches":       mutationBatches,
 			"storageUnavailable503": s.storage503.Load(),
+		}
+	}
+	switch {
+	case s.cfg.Follower != nil:
+		body["replication"] = map[string]interface{}{
+			"role":     "follower",
+			"follower": s.cfg.Follower.Stats(),
+		}
+	case s.cfg.Feed != nil:
+		body["replication"] = map[string]interface{}{
+			"role": "primary",
+			"feed": s.cfg.Feed.Stats(),
 		}
 	}
 	if s.cfg.DB != nil {

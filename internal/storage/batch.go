@@ -25,6 +25,12 @@ func (s *Store) WriteBatch(keys []string, values [][]byte, tombstones []bool) []
 	if n == 0 {
 		return errs
 	}
+	if s.opts.ReadOnly {
+		for i := range errs {
+			errs[i] = ErrReadOnly
+		}
+		return errs
+	}
 	reqs := make([]*commitReq, n)
 	for i := 0; i < n; i++ {
 		rec := record{key: []byte(keys[i]), tombstone: tombstones[i]}

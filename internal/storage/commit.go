@@ -305,7 +305,7 @@ func (s *Store) appendGroup(g *commitGroup) error {
 			s.active.syncFailed.Store(true)
 			return fmt.Errorf("storage: fsync: %w", err)
 		}
-		s.active.syncedSize = s.active.size
+		s.active.syncedSize.Store(s.active.size)
 		markSynced()
 	}
 	return nil
@@ -493,7 +493,7 @@ func (s *Store) sealActive() error {
 		old.syncFailed.Store(true)
 		return fmt.Errorf("storage: syncing sealed segment: %w", err)
 	}
-	old.syncedSize = old.size
+	old.syncedSize.Store(old.size)
 	s.mapSegment(old)
 	return nil
 }

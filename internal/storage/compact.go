@@ -328,7 +328,7 @@ func (s *Store) writeCompactionOutputs(plan []copyPlan, rank uint64) ([]*segment
 		if err := o.f.Sync(); err != nil {
 			return outputs, fmt.Errorf("storage: syncing compaction output: %w", err)
 		}
-		o.syncedSize = o.size
+		o.syncedSize.Store(o.size)
 	}
 	return outputs, nil
 }
@@ -429,6 +429,9 @@ func (s *Store) discardOutputs(outputs []*segment) {
 // the world — reads and writes proceed throughout; only the brief
 // rotation holds the commit token.
 func (s *Store) Compact() error {
+	if s.opts.ReadOnly {
+		return ErrReadOnly
+	}
 	if s.closed.Load() {
 		return ErrClosed
 	}

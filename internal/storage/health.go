@@ -185,7 +185,7 @@ func (s *Store) recoverWritesLocked() error {
 	// also what restores durability after a failed fsync. Under
 	// SyncEveryPut nothing past syncedSize was ever acknowledged or
 	// applied, so there is nothing to salvage.
-	if !s.opts.SyncEveryPut && old.size > old.syncedSize {
+	if !s.opts.SyncEveryPut && old.size > old.syncedSize.Load() {
 		if err := s.salvageTail(old); err != nil {
 			// The fresh segment may hold a partial copy; poison it and
 			// stay read-only. Its unreferenced bytes are harmless on
@@ -200,7 +200,7 @@ func (s *Store) recoverWritesLocked() error {
 	// never acknowledged; trimming reconciles the file with the key
 	// directory. A failed trim wedges: the file would replay bytes this
 	// process promised were gone.
-	boundary := old.syncedSize
+	boundary := old.syncedSize.Load()
 	if f := osFile(old.f); f != nil {
 		if err := f.Truncate(boundary); err != nil {
 			err = fmt.Errorf("storage: trimming poisoned segment: %w", err)
@@ -237,9 +237,10 @@ func (s *Store) recoverWritesLocked() error {
 // segment, fsyncs them, and repoints the key directory. Caller holds
 // the commit token; the window is bounded by MaxSegmentBytes.
 func (s *Store) salvageTail(old *segment) error {
-	n := old.size - old.syncedSize
+	oldSynced := old.syncedSize.Load()
+	n := old.size - oldSynced
 	buf := make([]byte, n)
-	if _, err := old.f.ReadAt(buf, old.syncedSize); err != nil {
+	if _, err := old.f.ReadAt(buf, oldSynced); err != nil {
 		return fmt.Errorf("storage: reading poisoned tail: %w", err)
 	}
 	act := s.active
@@ -252,7 +253,7 @@ func (s *Store) salvageTail(old *segment) error {
 		act.syncFailed.Store(true)
 		return fmt.Errorf("storage: syncing salvaged tail: %w", err)
 	}
-	act.syncedSize = act.size
+	act.syncedSize.Store(act.size)
 
 	// Repoint live entries frame by frame. Mutations have been gated
 	// since the fault, so an entry into the old tail is exactly at the
@@ -278,7 +279,7 @@ func (s *Store) salvageTail(old *segment) error {
 		key := string(rec.key)
 		sh := s.shardFor(key)
 		sh.mu.Lock()
-		if loc, ok := sh.m[key]; ok && loc.segID == old.id && loc.offset == old.syncedSize+off {
+		if loc, ok := sh.m[key]; ok && loc.segID == old.id && loc.offset == oldSynced+off {
 			sh.m[key] = keyLoc{
 				segID:  act.id,
 				offset: base + off,

@@ -90,7 +90,8 @@ func (s *Store) loadSegments(ids []uint64) error {
 		}
 		// Replayed bytes are as durable as this disk gets: they were
 		// read back from it, so the durable boundary is the full size.
-		seg := &segment{id: id, path: path, f: sf, size: sc.size, rank: s.man.rankOf(id), syncedSize: sc.size}
+		seg := &segment{id: id, path: path, f: sf, size: sc.size, rank: s.man.rankOf(id)}
+		seg.syncedSize.Store(sc.size)
 		s.segments[id] = seg
 		if i == len(ids)-1 {
 			s.active = seg

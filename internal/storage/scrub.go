@@ -140,6 +140,9 @@ func (s *Store) scrubLoop(interval time.Duration, stop, done chan struct{}) {
 // Corruption is not an error (detection and quarantine are the
 // scrubber's job); I/O failures during walks or salvage are.
 func (s *Store) Scrub() error {
+	if s.opts.ReadOnly {
+		return ErrReadOnly
+	}
 	if s.closed.Load() {
 		return ErrClosed
 	}

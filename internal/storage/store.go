@@ -18,6 +18,9 @@ var (
 	ErrNotFound = errors.New("storage: key not found")
 	// ErrClosed is returned by operations on a closed store.
 	ErrClosed = errors.New("storage: store is closed")
+	// ErrReadOnly is returned by mutating operations on a store opened
+	// with Options.ReadOnly (a replica follower's replayed mirror).
+	ErrReadOnly = errors.New("storage: store is read-only")
 )
 
 // Options configures a Store. The zero value is usable; fields default
@@ -83,6 +86,15 @@ type Options struct {
 	// injector (see errfs.go). Testing only: it simulates EIO, ENOSPC,
 	// EDQUOT and torn writes while the process keeps running.
 	FaultInjection *ErrInjector
+	// ReadOnly opens the store for reads only: every mutating entry
+	// point (Put, Delete, Sync, WriteBatch, Compact, Scrub) fails with
+	// ErrReadOnly, no background goroutines start, and an empty
+	// directory opens with no active segment rather than creating one.
+	// Tail repair on the newest segment still runs — a replica
+	// follower's mirror can carry a torn tail from an interrupted
+	// fetch, and trimming it is exactly the recovery the replay
+	// contract promises. This is the mode replica followers serve from.
+	ReadOnly bool
 }
 
 // readCacheMinBytes is the floor a nonzero ReadCacheBytes is raised
@@ -273,10 +285,17 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := s.loadSegments(ids); err != nil {
 		return nil, err
 	}
-	if s.active == nil {
+	if s.active == nil && !opts.ReadOnly {
 		if err := s.rotate(); err != nil {
 			return nil, err
 		}
+	}
+	if opts.ReadOnly {
+		// Nothing mutates a read-only store, so the write probe,
+		// compactor and scrubber have no work; starting them would only
+		// let a background pass race the external process (the replica
+		// fetcher) that owns this directory's contents.
+		return s, nil
 	}
 	// A recovered active segment is deliberately NOT re-preallocated:
 	// its file size stays its logical size, so offline scans of the
@@ -367,6 +386,9 @@ func (s *Store) recoverDir() ([]uint64, error) {
 
 // Put stores value under key, overwriting any previous value.
 func (s *Store) Put(key string, value []byte) error {
+	if s.opts.ReadOnly {
+		return ErrReadOnly
+	}
 	return s.logRecord(key, record{key: []byte(key), value: value})
 }
 
@@ -375,6 +397,9 @@ func (s *Store) Put(key string, value []byte) error {
 // so racing deletes of the same key log exactly one tombstone (the
 // tombstone survives restarts during compaction).
 func (s *Store) Delete(key string) error {
+	if s.opts.ReadOnly {
+		return ErrReadOnly
+	}
 	if s.closed.Load() {
 		return ErrClosed
 	}
@@ -708,6 +733,9 @@ const (
 // marked dirty pages clean, so a retry could claim durability the disk
 // never provided. Recovery re-establishes it with a fresh segment.
 func (s *Store) Sync() error {
+	if s.opts.ReadOnly {
+		return ErrReadOnly
+	}
 	s.commitTok <- struct{}{}
 	defer func() { <-s.commitTok }()
 	if s.closed.Load() {
@@ -722,7 +750,7 @@ func (s *Store) Sync() error {
 		s.degradeWrites(err)
 		return err
 	}
-	s.active.syncedSize = s.active.size
+	s.active.syncedSize.Store(s.active.size)
 	return nil
 }
 
@@ -852,7 +880,7 @@ func (s *Store) Close() error {
 	}
 
 	var firstErr error
-	if s.active != nil {
+	if s.active != nil && !s.opts.ReadOnly {
 		// Trim the preallocated tail so the file's size is its logical
 		// size again — the next Open then replays it without tail
 		// repair, and sealed-segment invariants (file size == data
